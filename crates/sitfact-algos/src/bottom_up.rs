@@ -1,0 +1,355 @@
+//! Algorithm 4 of the paper: `BottomUp`.
+
+use crate::common::{dominates_measures, AlgoParams, ConstraintCache};
+use crate::traits::Discovery;
+use sitfact_core::{
+    dominance, BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple,
+    TupleId,
+};
+use sitfact_storage::{MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats};
+use std::collections::VecDeque;
+
+/// `BottomUp` stores every contextual skyline tuple in **every** cell
+/// `µ_{C,M}` that qualifies it (Invariant 1) and, for each measure subspace,
+/// traverses the lattice of tuple-satisfied constraints bottom-up
+/// (most-specific first), pruning the ancestors of any constraint at which the
+/// new tuple is found dominated.
+///
+/// The redundancy of the storage scheme buys simple, fast per-cell logic: a
+/// comparison against a cell's contents is always a comparison against the
+/// complete contextual skyline, so a single dominating tuple settles the cell
+/// and its ancestors at once. The price is memory: the same tuple may be
+/// stored in thousands of cells, the space/time trade-off the paper's Fig. 10
+/// measures.
+#[derive(Debug)]
+pub struct BottomUp<S: SkylineStore = MemorySkylineStore> {
+    params: AlgoParams,
+    store: S,
+    stats: WorkStats,
+}
+
+impl BottomUp<MemorySkylineStore> {
+    /// Creates the algorithm with the default in-memory skyline store.
+    pub fn new(schema: &Schema, config: DiscoveryConfig) -> Self {
+        Self::with_store(schema, config, MemorySkylineStore::new())
+    }
+}
+
+impl<S: SkylineStore> BottomUp<S> {
+    /// Creates the algorithm over a caller-provided skyline store backend.
+    pub fn with_store(schema: &Schema, config: DiscoveryConfig, store: S) -> Self {
+        BottomUp {
+            params: AlgoParams::new(schema, config),
+            store,
+            stats: WorkStats::default(),
+        }
+    }
+
+    /// Read access to the underlying store (used by prominence queries and
+    /// invariant-checking tests).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The derived algorithm parameters.
+    pub fn params(&self) -> &AlgoParams {
+        &self.params
+    }
+
+    /// Processes one subspace: the core of Algorithm 4. Shared with
+    /// [`SBottomUp`](crate::SBottomUp), which seeds `pruned` from its
+    /// full-space pass.
+    pub(crate) fn traverse_subspace(
+        params: &AlgoParams,
+        store: &mut S,
+        stats: &mut WorkStats,
+        cache: &ConstraintCache,
+        t: &Tuple,
+        t_id: TupleId,
+        subspace: SubspaceMask,
+        pruned: &mut [bool],
+        out: &mut Vec<SkylinePair>,
+    ) {
+        let directions = &params.directions;
+        let flag_len = params.lattice.flag_len();
+        let mut enqueued = vec![false; flag_len];
+        let mut queue: VecDeque<BoundMask> = VecDeque::new();
+        for bottom in params.lattice.bottoms() {
+            if !pruned[bottom.0 as usize] {
+                enqueued[bottom.0 as usize] = true;
+                queue.push_back(bottom);
+            }
+        }
+        while let Some(mask) = queue.pop_front() {
+            if pruned[mask.0 as usize] {
+                // Pruned after being enqueued: skip entirely. Its parents are
+                // necessarily pruned too (the pruned set is closed under
+                // unbinding), so nothing is lost by not expanding it.
+                continue;
+            }
+            stats.traversed_constraints += 1;
+            let constraint = cache.get(mask);
+            let entries = store.read(constraint, subspace);
+            stats.store_reads += 1;
+            let mut dominated = false;
+            for entry in entries.iter() {
+                stats.comparisons += 1;
+                if dominates_measures(&entry.measures, t.measures(), subspace, directions) {
+                    dominated = true;
+                    // Proposition 2: the new tuple is dominated in every more
+                    // general context as well.
+                    for ancestor in mask.ancestors() {
+                        pruned[ancestor.0 as usize] = true;
+                    }
+                    break;
+                } else if dominates_measures(t.measures(), &entry.measures, subspace, directions) {
+                    // The stored tuple is no longer a skyline tuple here.
+                    store.remove(constraint, subspace, entry.id);
+                    stats.store_writes += 1;
+                }
+            }
+            if !dominated {
+                out.push(SkylinePair::new(constraint.clone(), subspace));
+                store.insert(constraint, subspace, StoredEntry::new(t_id, t.measures()));
+                stats.store_writes += 1;
+                for parent in mask.parents() {
+                    let idx = parent.0 as usize;
+                    if !enqueued[idx] && !pruned[idx] {
+                        enqueued[idx] = true;
+                        queue.push_back(parent);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: SkylineStore> Discovery for BottomUp<S> {
+    fn name(&self) -> &'static str {
+        "BottomUp"
+    }
+
+    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair> {
+        let t_id = table.next_id();
+        let cache = ConstraintCache::new(t, self.params.n_dims);
+        let flag_len = self.params.lattice.flag_len();
+        let mut out = Vec::new();
+        let mut pruned = vec![false; flag_len];
+        let subspaces = self.params.subspaces.clone();
+        for subspace in subspaces {
+            pruned.iter_mut().for_each(|p| *p = false);
+            Self::traverse_subspace(
+                &self.params,
+                &mut self.store,
+                &mut self.stats,
+                &cache,
+                t,
+                t_id,
+                subspace,
+                &mut pruned,
+                &mut out,
+            );
+        }
+        self.store.flush();
+        out
+    }
+
+    fn work_stats(&self) -> WorkStats {
+        self.stats
+    }
+
+    fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    fn skyline_cardinality(
+        &mut self,
+        table: &Table,
+        constraint: &Constraint,
+        subspace: SubspaceMask,
+    ) -> usize {
+        // Invariant 1: µ_{C,M} holds exactly λ_M(σ_C(R)) — a cell read is the
+        // answer, provided the pair lies inside the maintained family.
+        let within_family = constraint.bound_count() <= self.params.lattice.max_bound()
+            && subspace.len() <= self.params.subspaces.iter().map(|s| s.len()).max().unwrap_or(0)
+            && !subspace.is_empty();
+        if within_family {
+            self.store.read(constraint, subspace).len()
+        } else {
+            let directions = table.schema().directions();
+            dominance::skyline_of(table.context(constraint), subspace, directions).len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::BruteForce;
+    use sitfact_core::pair::canonical_sort;
+    use sitfact_core::{Direction, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("s")
+            .dimension("d1")
+            .dimension("d2")
+            .dimension("d3")
+            .measure("m1", Direction::HigherIsBetter)
+            .measure("m2", Direction::HigherIsBetter)
+            .build()
+            .unwrap()
+    }
+
+    /// Drives the running example of the paper (Table IV) and checks the
+    /// store contents of Fig. 3 after t5 arrives.
+    #[test]
+    fn reproduces_figure_3() {
+        let schema = schema();
+        let mut table = Table::new(schema.clone());
+        let mut algo = BottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        let rows: [([&str; 3], [f64; 2]); 5] = [
+            (["a1", "b2", "c2"], [10.0, 15.0]),
+            (["a1", "b1", "c1"], [15.0, 10.0]),
+            (["a2", "b1", "c2"], [17.0, 17.0]),
+            (["a2", "b1", "c1"], [20.0, 20.0]),
+            (["a1", "b1", "c1"], [11.0, 15.0]),
+        ];
+        for (dims, measures) in rows {
+            let ids = table.schema_mut().intern_dims(&dims).unwrap();
+            let t = Tuple::new(ids, measures.to_vec());
+            let _ = algo.discover(&table, &t);
+            table.append(t).unwrap();
+        }
+        let full = SubspaceMask::full(2);
+        let schema = table.schema();
+        let get = |bindings: &[(&str, &str)]| Constraint::parse(schema, bindings).unwrap();
+        // Fig. 3b: µ for ⟨a1,*,*⟩ = {t2, t5}, ⟨a1,b1,c1⟩ = {t2, t5},
+        // ⊤ = {t4}, ⟨*,b1,c1⟩ = {t4}.
+        let mut cell = |c: &Constraint| {
+            let mut ids: Vec<TupleId> = algo
+                .store
+                .read(c, full)
+                .iter()
+                .map(|e| e.id)
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(cell(&get(&[("d1", "a1")])), vec![1, 4]);
+        assert_eq!(
+            cell(&get(&[("d1", "a1"), ("d2", "b1"), ("d3", "c1")])),
+            vec![1, 4]
+        );
+        assert_eq!(cell(&Constraint::top(3)), vec![3]);
+        assert_eq!(cell(&get(&[("d2", "b1"), ("d3", "c1")])), vec![3]);
+    }
+
+    /// Invariant 1: after any prefix of a random stream, every cell equals the
+    /// recomputed contextual skyline.
+    #[test]
+    fn invariant_1_holds_on_random_stream() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        let schema = schema();
+        let mut table = Table::new(schema.clone());
+        let mut algo = BottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        for step in 0..80 {
+            let dims = vec![
+                rng.gen_range(0..3u32),
+                rng.gen_range(0..3u32),
+                rng.gen_range(0..2u32),
+            ];
+            let measures = vec![rng.gen_range(0..5) as f64, rng.gen_range(0..5) as f64];
+            let t = Tuple::new(dims, measures);
+            let _ = algo.discover(&table, &t);
+            table.append(t).unwrap();
+            if step % 20 != 19 {
+                continue;
+            }
+            // Validate every non-empty cell against a recomputed skyline.
+            let directions = table.schema().directions().to_vec();
+            for (constraint, subspace, entries) in algo.store.iter_cells() {
+                let expected: std::collections::BTreeSet<TupleId> =
+                    dominance::skyline_of(table.context(constraint), subspace, &directions)
+                        .into_iter()
+                        .map(|(id, _)| id)
+                        .collect();
+                let actual: std::collections::BTreeSet<TupleId> =
+                    entries.iter().map(|e| e.id).collect();
+                assert_eq!(expected, actual, "cell ({constraint:?}, {subspace:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_stream() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        let schema = schema();
+        let config = DiscoveryConfig::unrestricted();
+        let mut table = Table::new(schema.clone());
+        let mut subject = BottomUp::new(&schema, config);
+        let mut reference = BruteForce::new(&schema, config);
+        for _ in 0..70 {
+            let dims = vec![
+                rng.gen_range(0..3u32),
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..3u32),
+            ];
+            let measures = vec![rng.gen_range(0..4) as f64, rng.gen_range(0..4) as f64];
+            let t = Tuple::new(dims, measures);
+            let mut expected = reference.discover(&table, &t);
+            let mut actual = subject.discover(&table, &t);
+            canonical_sort(&mut expected);
+            canonical_sort(&mut actual);
+            assert_eq!(expected, actual, "diverged at tuple {}", table.len());
+            table.append(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn skyline_cardinality_matches_ground_truth() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        let schema = schema();
+        let mut table = Table::new(schema.clone());
+        let mut algo = BottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        for _ in 0..50 {
+            let dims = vec![
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..2u32),
+            ];
+            let measures = vec![rng.gen_range(0..4) as f64, rng.gen_range(0..4) as f64];
+            let t = Tuple::new(dims, measures);
+            let _ = algo.discover(&table, &t);
+            table.append(t).unwrap();
+        }
+        let directions = table.schema().directions().to_vec();
+        let sample = table.tuple(10).clone();
+        for mask in sitfact_core::ConstraintLattice::unrestricted(3).enumerate_top_down() {
+            let c = Constraint::from_tuple_mask(&sample, mask);
+            for m in SubspaceMask::enumerate(2, 2) {
+                let expected =
+                    dominance::skyline_of(table.context(&c), m, &directions).len();
+                assert_eq!(algo.skyline_cardinality(&table, &c, m), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn work_and_store_stats_grow() {
+        let schema = schema();
+        let mut table = Table::new(schema.clone());
+        let mut algo = BottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        for i in 0..10 {
+            let t = Tuple::new(vec![0, 1, 2], vec![i as f64, (10 - i) as f64]);
+            let _ = algo.discover(&table, &t);
+            table.append(t).unwrap();
+        }
+        assert!(algo.work_stats().comparisons > 0);
+        assert!(algo.work_stats().traversed_constraints > 0);
+        assert!(algo.store_stats().stored_entries > 0);
+        assert_eq!(algo.name(), "BottomUp");
+    }
+}

@@ -1,0 +1,237 @@
+//! Shared plumbing for the discovery algorithms: per-tuple constraint caches,
+//! measure-slice dominance helpers and the parameters every algorithm derives
+//! from a schema + [`DiscoveryConfig`].
+
+use sitfact_core::{
+    BoundMask, Constraint, ConstraintLattice, DiscoveryConfig, Direction, Schema, SubspaceMask,
+    Tuple,
+};
+
+/// Parameters shared by every algorithm instance, derived once from the schema
+/// and the `d̂` / `m̂` caps.
+#[derive(Debug, Clone)]
+pub struct AlgoParams {
+    /// Number of dimension attributes.
+    pub n_dims: usize,
+    /// Number of measure attributes.
+    pub n_measures: usize,
+    /// Preference directions of the measures.
+    pub directions: Vec<Direction>,
+    /// The (possibly `d̂`-capped) lattice of tuple-satisfied constraints.
+    pub lattice: ConstraintLattice,
+    /// Every reported measure subspace (non-empty, at most `m̂` attributes).
+    pub subspaces: Vec<SubspaceMask>,
+    /// The full measure space (used internally by the shared variants even
+    /// when `m̂ < m` keeps it out of `subspaces`).
+    pub full_space: SubspaceMask,
+    /// Proper subspaces of the full space within the reported family.
+    pub proper_subspaces: Vec<SubspaceMask>,
+}
+
+impl AlgoParams {
+    /// Derives the parameters from a schema and a discovery configuration.
+    pub fn new(schema: &Schema, config: DiscoveryConfig) -> Self {
+        let d_hat = config.effective_d_hat(schema);
+        let m_hat = config.effective_m_hat(schema);
+        let n_dims = schema.num_dimensions();
+        let n_measures = schema.num_measures();
+        let full_space = SubspaceMask::full(n_measures);
+        let subspaces = SubspaceMask::enumerate(n_measures, m_hat);
+        let proper_subspaces = subspaces
+            .iter()
+            .copied()
+            .filter(|&s| s != full_space)
+            .collect();
+        AlgoParams {
+            n_dims,
+            n_measures,
+            directions: schema.directions().to_vec(),
+            lattice: ConstraintLattice::new(n_dims, d_hat),
+            subspaces,
+            full_space,
+            proper_subspaces,
+        }
+    }
+
+    /// Whether the full measure space itself is part of the reported family
+    /// (`m̂ = m`).
+    pub fn reports_full_space(&self) -> bool {
+        self.subspaces.contains(&self.full_space)
+    }
+}
+
+/// Per-tuple cache of materialised constraints, indexed by bound mask.
+///
+/// Inside `discover`, every constraint of `C^t` is `Constraint::from_tuple_mask
+/// (t, mask)`; materialising each of them once per tuple (instead of once per
+/// (constraint, subspace) visit) removes the dominant allocation cost of the
+/// traversals.
+#[derive(Debug)]
+pub struct ConstraintCache {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintCache {
+    /// Builds the cache for a tuple over an `n_dims`-attribute schema. All
+    /// `2^n_dims` masks are materialised (the few above the `d̂` cap are
+    /// harmless and keep indexing branch-free).
+    pub fn new(tuple: &Tuple, n_dims: usize) -> Self {
+        let count = 1usize << n_dims;
+        let mut constraints = Vec::with_capacity(count);
+        for mask in 0..count as u32 {
+            constraints.push(Constraint::from_tuple_mask(tuple, BoundMask(mask)));
+        }
+        ConstraintCache { constraints }
+    }
+
+    /// The constraint binding exactly the attributes of `mask` to the cached
+    /// tuple's values.
+    #[inline]
+    pub fn get(&self, mask: BoundMask) -> &Constraint {
+        &self.constraints[mask.0 as usize]
+    }
+}
+
+/// `left ≻_M right` on raw measure slices.
+#[inline]
+pub fn dominates_measures(
+    left: &[f64],
+    right: &[f64],
+    m: SubspaceMask,
+    directions: &[Direction],
+) -> bool {
+    let mut strictly_better = false;
+    for i in m.indices() {
+        let a = left[i];
+        let b = right[i];
+        if a == b {
+            continue;
+        }
+        if directions[i].better(a, b) {
+            strictly_better = true;
+        } else {
+            return false;
+        }
+    }
+    strictly_better
+}
+
+/// Three-way partition (Proposition 4) on raw measure slices: returns
+/// `(better, worse)` masks from the perspective of `left`.
+#[inline]
+pub fn partition_measures(
+    left: &[f64],
+    right: &[f64],
+    directions: &[Direction],
+) -> (SubspaceMask, SubspaceMask) {
+    let mut better = 0u32;
+    let mut worse = 0u32;
+    for (i, dir) in directions.iter().enumerate() {
+        let a = left[i];
+        let b = right[i];
+        if a == b {
+            continue;
+        }
+        if dir.better(a, b) {
+            better |= 1 << i;
+        } else {
+            worse |= 1 << i;
+        }
+    }
+    (SubspaceMask(better), SubspaceMask(worse))
+}
+
+/// Whether, given a `(better, worse)` partition for `left` vs `right`,
+/// `left` is dominated by `right` in subspace `m` (Proposition 4).
+#[inline]
+pub fn dominated_in(better: SubspaceMask, worse: SubspaceMask, m: SubspaceMask) -> bool {
+    !m.intersect(worse).is_empty() && m.intersect(better).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitfact_core::SchemaBuilder;
+
+    fn schema(d: usize, m: usize) -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        for i in 0..d {
+            b = b.dimension(format!("d{i}"));
+        }
+        for i in 0..m {
+            b = b.measure(format!("m{i}"), Direction::HigherIsBetter);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn params_respect_caps() {
+        let s = schema(5, 4);
+        let p = AlgoParams::new(&s, DiscoveryConfig::capped(3, 2));
+        assert_eq!(p.lattice.max_bound(), 3);
+        assert_eq!(p.subspaces.len(), 4 + 6); // C(4,1) + C(4,2)
+        assert!(!p.reports_full_space());
+        assert_eq!(p.full_space, SubspaceMask::full(4));
+        assert!(p.proper_subspaces.iter().all(|&m| m != p.full_space));
+
+        let unrestricted = AlgoParams::new(&s, DiscoveryConfig::unrestricted());
+        assert_eq!(unrestricted.subspaces.len(), 15);
+        assert!(unrestricted.reports_full_space());
+        assert_eq!(unrestricted.proper_subspaces.len(), 14);
+    }
+
+    #[test]
+    fn constraint_cache_matches_direct_construction() {
+        let t = Tuple::new(vec![3, 7, 9], vec![1.0]);
+        let cache = ConstraintCache::new(&t, 3);
+        for mask in 0..8u32 {
+            let mask = BoundMask(mask);
+            assert_eq!(*cache.get(mask), Constraint::from_tuple_mask(&t, mask));
+        }
+    }
+
+    #[test]
+    fn slice_dominance_agrees_with_tuple_dominance() {
+        use sitfact_core::dominance;
+        let dirs = [Direction::HigherIsBetter, Direction::LowerIsBetter];
+        let a = Tuple::new(vec![], vec![5.0, 2.0]);
+        let b = Tuple::new(vec![], vec![4.0, 3.0]);
+        for m in SubspaceMask::enumerate(2, 2) {
+            assert_eq!(
+                dominates_measures(a.measures(), b.measures(), m, &dirs),
+                dominance::dominates(&a, &b, m, &dirs)
+            );
+        }
+        let (better, worse) = partition_measures(a.measures(), b.measures(), &dirs);
+        assert_eq!(better, SubspaceMask(0b11));
+        assert_eq!(worse, SubspaceMask::EMPTY);
+        assert!(!dominated_in(better, worse, SubspaceMask(0b01)));
+    }
+
+    #[test]
+    fn partition_dominated_in_matches_slice_dominance() {
+        let dirs = [
+            Direction::HigherIsBetter,
+            Direction::HigherIsBetter,
+            Direction::LowerIsBetter,
+        ];
+        let samples = [
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 2.0, 3.0],
+            vec![1.0, 1.0, 4.0],
+            vec![0.0, 5.0, 0.0],
+        ];
+        for a in &samples {
+            for b in &samples {
+                let (better, worse) = partition_measures(a, b, &dirs);
+                for m in SubspaceMask::enumerate(3, 3) {
+                    assert_eq!(
+                        dominated_in(better, worse, m),
+                        dominates_measures(b, a, m, &dirs),
+                        "a={a:?} b={b:?} m={m:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # sitfact-algos
+//!
+//! The discovery algorithms of *Incremental Discovery of Prominent
+//! Situational Facts* (Sultana et al., ICDE 2014): given an append-only table
+//! and a newly arrived tuple `t`, find every constraint–measure pair `(C, M)`
+//! that qualifies `t` as a contextual skyline tuple.
+//!
+//! | Algorithm | Paper | Idea |
+//! |-----------|-------|------|
+//! | [`BruteForce`] | Alg. 2 | compare with every tuple, for every constraint, in every subspace |
+//! | [`BaselineSeq`] | Alg. 3 | one scan of `R` per subspace, pruning `C^{t,t'}` per dominator |
+//! | [`BaselineIdx`] | Sec. IV | like `BaselineSeq` but dominators come from a k-d tree range query |
+//! | [`CCsc`] | Sec. II/VI | a Compressed Skycube maintained per context (the adapted competitor) |
+//! | [`BottomUp`] | Alg. 4 | store skyline tuples at every skyline constraint; traverse `C^t` bottom-up |
+//! | [`TopDown`] | Alg. 5 | store tuples only at maximal skyline constraints; traverse top-down |
+//! | [`SBottomUp`] | Sec. V-C | `BottomUp` + sharing of comparisons across measure subspaces |
+//! | [`STopDown`] | Sec. V-C | `TopDown` + sharing of comparisons across measure subspaces |
+//! | [`FsBottomUp`] / [`FsTopDown`] | Sec. VI-C | the shared variants over the file-backed store |
+//!
+//! All algorithms implement the [`Discovery`] trait and are exercised by a
+//! common equivalence test-suite that checks their output against
+//! [`BruteForce`] on randomized workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline_idx;
+pub mod baseline_seq;
+pub mod bottom_up;
+pub mod brute_force;
+pub mod common;
+pub mod csc;
+pub mod s_bottom_up;
+pub mod s_top_down;
+pub mod top_down;
+pub mod traits;
+
+pub use baseline_idx::BaselineIdx;
+pub use baseline_seq::BaselineSeq;
+pub use bottom_up::BottomUp;
+pub use brute_force::BruteForce;
+pub use csc::CCsc;
+pub use s_bottom_up::SBottomUp;
+pub use s_top_down::STopDown;
+pub use top_down::TopDown;
+pub use traits::{AlgorithmKind, Discovery};
+
+use sitfact_storage::FileSkylineStore;
+
+/// `SBottomUp` running over the file-backed skyline store (the paper's
+/// `FSBottomUp`, Section VI-C).
+pub type FsBottomUp = SBottomUp<FileSkylineStore>;
+
+/// `STopDown` running over the file-backed skyline store (the paper's
+/// `FSTopDown`, Section VI-C).
+pub type FsTopDown = STopDown<FileSkylineStore>;

@@ -1,0 +1,345 @@
+//! `SBottomUp` — `BottomUp` with computation shared across measure subspaces
+//! (Section V-C of the paper).
+
+use crate::bottom_up::BottomUp;
+use crate::common::{dominates_measures, partition_measures, AlgoParams, ConstraintCache};
+use crate::traits::Discovery;
+use sitfact_core::{
+    dominance, BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple,
+};
+use sitfact_storage::{MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats};
+use std::collections::VecDeque;
+
+/// `SBottomUp` first traverses the lattice in the **full** measure space.
+/// Every comparison made there yields, through the three-way partition of
+/// Proposition 4, the set of subspaces in which the encountered tuple
+/// dominates the new one; the corresponding constraints (`C^{t,t'}`) are
+/// pre-pruned for those subspaces. The per-subspace bottom-up passes then
+/// start from a smaller frontier: traversal stops as soon as it reaches a
+/// pre-pruned constraint.
+///
+/// The pre-pruning is *sound but not complete* (the full-space pass stops
+/// early at dominated constraints), so — unlike
+/// [`STopDown`](crate::STopDown) — the per-subspace passes still perform their
+/// own dominance checks; the shared information only saves comparisons.
+/// Invariant 1 (every cell stores the complete contextual skyline) is
+/// maintained exactly as in `BottomUp`.
+#[derive(Debug)]
+pub struct SBottomUp<S: SkylineStore = MemorySkylineStore> {
+    params: AlgoParams,
+    store: S,
+    stats: WorkStats,
+    /// `pruned_matrix[subspace][mask]`: pre-pruned constraints per subspace,
+    /// reused across tuples to avoid reallocation.
+    pruned_matrix: Vec<Vec<bool>>,
+}
+
+impl SBottomUp<MemorySkylineStore> {
+    /// Creates the algorithm with the default in-memory skyline store.
+    pub fn new(schema: &Schema, config: DiscoveryConfig) -> Self {
+        Self::with_store(schema, config, MemorySkylineStore::new())
+    }
+}
+
+impl<S: SkylineStore> SBottomUp<S> {
+    /// Creates the algorithm over a caller-provided skyline store backend.
+    pub fn with_store(schema: &Schema, config: DiscoveryConfig, store: S) -> Self {
+        let params = AlgoParams::new(schema, config);
+        let subspace_slots = 1usize << params.n_measures;
+        let flag_len = params.lattice.flag_len();
+        SBottomUp {
+            params,
+            store,
+            stats: WorkStats::default(),
+            pruned_matrix: vec![vec![false; flag_len]; subspace_slots],
+        }
+    }
+
+    /// Read access to the underlying store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The derived algorithm parameters.
+    pub fn params(&self) -> &AlgoParams {
+        &self.params
+    }
+
+    fn reset_matrix(&mut self) {
+        for row in &mut self.pruned_matrix {
+            row.iter_mut().for_each(|p| *p = false);
+        }
+    }
+
+    /// The full-space pass: standard `BottomUp` over `𝕄`, except that every
+    /// comparison additionally pre-prunes constraints in the proper subspaces
+    /// where the stored tuple dominates the new one.
+    fn root_pass(
+        &mut self,
+        table: &Table,
+        cache: &ConstraintCache,
+        t: &Tuple,
+        t_id: sitfact_core::TupleId,
+        out: &mut Vec<SkylinePair>,
+    ) {
+        let directions = self.params.directions.clone();
+        let full = self.params.full_space;
+        let report_full = self.params.reports_full_space();
+        let flag_len = self.params.lattice.flag_len();
+        let mut pruned = vec![false; flag_len];
+        let mut enqueued = vec![false; flag_len];
+        let mut queue: VecDeque<BoundMask> = VecDeque::new();
+        for bottom in self.params.lattice.bottoms() {
+            enqueued[bottom.0 as usize] = true;
+            queue.push_back(bottom);
+        }
+        while let Some(mask) = queue.pop_front() {
+            if pruned[mask.0 as usize] {
+                continue;
+            }
+            self.stats.traversed_constraints += 1;
+            let constraint = cache.get(mask);
+            let entries = self.store.read(constraint, full);
+            self.stats.store_reads += 1;
+            let mut dominated = false;
+            for entry in entries.iter() {
+                self.stats.comparisons += 1;
+                let (better, worse) =
+                    partition_measures(t.measures(), &entry.measures, &directions);
+                // Share the comparison across every proper subspace where the
+                // stored tuple dominates the new one (Proposition 4).
+                let other = table.tuple(entry.id);
+                let agreement = BoundMask::agreement(t, other);
+                for &subspace in &self.params.proper_subspaces {
+                    if crate::common::dominated_in(better, worse, subspace) {
+                        let row = &mut self.pruned_matrix[subspace.0 as usize];
+                        if !row[agreement.0 as usize] {
+                            for sub in agreement.submasks() {
+                                row[sub.0 as usize] = true;
+                            }
+                        }
+                    }
+                }
+                if !dominated && crate::common::dominated_in(better, worse, full) {
+                    dominated = true;
+                    for ancestor in mask.ancestors() {
+                        pruned[ancestor.0 as usize] = true;
+                    }
+                    // Keep scanning the cell: the remaining entries still
+                    // contribute subspace pre-pruning information.
+                } else if !dominated
+                    && dominates_measures(t.measures(), &entry.measures, full, &directions)
+                {
+                    self.store.remove(constraint, full, entry.id);
+                    self.stats.store_writes += 1;
+                }
+            }
+            if !dominated {
+                if report_full {
+                    out.push(SkylinePair::new(constraint.clone(), full));
+                }
+                self.store
+                    .insert(constraint, full, StoredEntry::new(t_id, t.measures()));
+                self.stats.store_writes += 1;
+                for parent in mask.parents() {
+                    let idx = parent.0 as usize;
+                    if !enqueued[idx] && !pruned[idx] {
+                        enqueued[idx] = true;
+                        queue.push_back(parent);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: SkylineStore> Discovery for SBottomUp<S> {
+    fn name(&self) -> &'static str {
+        "SBottomUp"
+    }
+
+    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair> {
+        let t_id = table.next_id();
+        let cache = ConstraintCache::new(t, self.params.n_dims);
+        let mut out = Vec::new();
+        self.reset_matrix();
+        self.root_pass(table, &cache, t, t_id, &mut out);
+        let proper = self.params.proper_subspaces.clone();
+        for subspace in proper {
+            // Move the row out to satisfy the borrow checker, then put it back.
+            let mut pruned = std::mem::take(&mut self.pruned_matrix[subspace.0 as usize]);
+            BottomUp::<S>::traverse_subspace(
+                &self.params,
+                &mut self.store,
+                &mut self.stats,
+                &cache,
+                t,
+                t_id,
+                subspace,
+                &mut pruned,
+                &mut out,
+            );
+            self.pruned_matrix[subspace.0 as usize] = pruned;
+        }
+        self.store.flush();
+        out
+    }
+
+    fn work_stats(&self) -> WorkStats {
+        self.stats
+    }
+
+    fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    fn skyline_cardinality(
+        &mut self,
+        table: &Table,
+        constraint: &Constraint,
+        subspace: SubspaceMask,
+    ) -> usize {
+        let within_family = constraint.bound_count() <= self.params.lattice.max_bound()
+            && !subspace.is_empty()
+            && (subspace == self.params.full_space
+                || self.params.subspaces.iter().any(|&s| s == subspace));
+        if within_family {
+            self.store.read(constraint, subspace).len()
+        } else {
+            let directions = table.schema().directions();
+            dominance::skyline_of(table.context(constraint), subspace, directions).len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::BruteForce;
+    use sitfact_core::pair::canonical_sort;
+    use sitfact_core::{Direction, SchemaBuilder};
+
+    fn schema(m: usize) -> Schema {
+        let mut b = SchemaBuilder::new("s")
+            .dimension("d1")
+            .dimension("d2")
+            .dimension("d3");
+        for i in 0..m {
+            let dir = if i % 3 == 2 {
+                Direction::LowerIsBetter
+            } else {
+                Direction::HigherIsBetter
+            };
+            b = b.measure(format!("m{i}"), dir);
+        }
+        b.build().unwrap()
+    }
+
+    fn random_stream_check(m: usize, config: DiscoveryConfig, steps: usize, seed: u64) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = schema(m);
+        let mut table = Table::new(schema.clone());
+        let mut subject = SBottomUp::new(&schema, config);
+        let mut reference = BruteForce::new(&schema, config);
+        for _ in 0..steps {
+            let dims = vec![
+                rng.gen_range(0..3u32),
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..3u32),
+            ];
+            let measures = (0..m).map(|_| rng.gen_range(0..5) as f64).collect();
+            let t = Tuple::new(dims, measures);
+            let mut expected = reference.discover(&table, &t);
+            let mut actual = subject.discover(&table, &t);
+            canonical_sort(&mut expected);
+            canonical_sort(&mut actual);
+            assert_eq!(expected, actual, "diverged at tuple {}", table.len());
+            table.append(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_two_measures() {
+        random_stream_check(2, DiscoveryConfig::unrestricted(), 70, 101);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_three_measures() {
+        random_stream_check(3, DiscoveryConfig::unrestricted(), 50, 103);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_with_caps() {
+        // m̂ < m exercises the "full space maintained but not reported" path.
+        random_stream_check(3, DiscoveryConfig::capped(2, 2), 50, 107);
+    }
+
+    #[test]
+    fn shares_comparisons_relative_to_bottom_up() {
+        use crate::bottom_up::BottomUp;
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(109);
+        let schema = schema(4);
+        let config = DiscoveryConfig::unrestricted();
+        let mut table = Table::new(schema.clone());
+        let mut shared = SBottomUp::new(&schema, config);
+        let mut plain = BottomUp::new(&schema, config);
+        for _ in 0..150 {
+            let dims = vec![
+                rng.gen_range(0..4u32),
+                rng.gen_range(0..4u32),
+                rng.gen_range(0..3u32),
+            ];
+            let measures = (0..4).map(|_| rng.gen_range(0..10) as f64).collect();
+            let t = Tuple::new(dims, measures);
+            let _ = shared.discover(&table, &t);
+            let _ = plain.discover(&table, &t);
+            table.append(t).unwrap();
+        }
+        // Sharing never does more dominance comparisons than the plain
+        // variant, and the stores hold identical contents (Invariant 1).
+        assert!(shared.work_stats().comparisons <= plain.work_stats().comparisons);
+        assert_eq!(
+            shared.store_stats().stored_entries,
+            plain.store_stats().stored_entries
+        );
+    }
+
+    #[test]
+    fn skyline_cardinality_matches_ground_truth() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(113);
+        let schema = schema(2);
+        let mut table = Table::new(schema.clone());
+        let mut algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        for _ in 0..60 {
+            let dims = vec![
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..2u32),
+            ];
+            let measures = vec![rng.gen_range(0..4) as f64, rng.gen_range(0..4) as f64];
+            let t = Tuple::new(dims, measures);
+            let _ = algo.discover(&table, &t);
+            table.append(t).unwrap();
+        }
+        let directions = table.schema().directions().to_vec();
+        let sample = table.tuple(30).clone();
+        for mask in sitfact_core::ConstraintLattice::unrestricted(3).enumerate_top_down() {
+            let c = Constraint::from_tuple_mask(&sample, mask);
+            for m in SubspaceMask::enumerate(2, 2) {
+                let expected = dominance::skyline_of(table.context(&c), m, &directions).len();
+                assert_eq!(algo.skyline_cardinality(&table, &c, m), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn name_and_stats() {
+        let schema = schema(2);
+        let algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        assert_eq!(algo.name(), "SBottomUp");
+        assert_eq!(algo.store_stats(), StoreStats::default());
+    }
+}

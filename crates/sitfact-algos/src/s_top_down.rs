@@ -1,0 +1,473 @@
+//! Algorithm 6 of the paper: `STopDown` — `TopDown` with computation shared
+//! across measure subspaces.
+
+use crate::common::{dominates_measures, partition_measures, AlgoParams, ConstraintCache};
+use crate::top_down::{demote_stored_tuple, skyline_cardinality_from_maximal};
+use crate::traits::Discovery;
+use sitfact_core::{
+    dominance, BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple,
+    TupleId,
+};
+use sitfact_storage::{MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats};
+use std::collections::VecDeque;
+
+/// `STopDown` runs the `TopDown` traversal once in the **full** measure space
+/// (`STopDownRoot`). Because that traversal visits *every* constraint of
+/// `C^t` and compares the new tuple with every stored skyline tuple it meets,
+/// the per-subspace dominance information derived from those comparisons
+/// (Proposition 4) is **complete**: for each proper subspace, the constraints
+/// left unpruned are exactly the skyline constraints of the new tuple. The
+/// per-subspace passes (`STopDownNode`) therefore skip all dominance checks
+/// against the new tuple — they only store it at its maximal skyline
+/// constraints and demote any tuples it dominates.
+#[derive(Debug)]
+pub struct STopDown<S: SkylineStore = MemorySkylineStore> {
+    params: AlgoParams,
+    store: S,
+    stats: WorkStats,
+    /// `pruned_matrix[subspace][mask]`, reused across tuples.
+    pruned_matrix: Vec<Vec<bool>>,
+}
+
+impl STopDown<MemorySkylineStore> {
+    /// Creates the algorithm with the default in-memory skyline store.
+    pub fn new(schema: &Schema, config: DiscoveryConfig) -> Self {
+        Self::with_store(schema, config, MemorySkylineStore::new())
+    }
+}
+
+impl<S: SkylineStore> STopDown<S> {
+    /// Creates the algorithm over a caller-provided skyline store backend.
+    pub fn with_store(schema: &Schema, config: DiscoveryConfig, store: S) -> Self {
+        let params = AlgoParams::new(schema, config);
+        let subspace_slots = 1usize << params.n_measures;
+        let flag_len = params.lattice.flag_len();
+        STopDown {
+            params,
+            store,
+            stats: WorkStats::default(),
+            pruned_matrix: vec![vec![false; flag_len]; subspace_slots],
+        }
+    }
+
+    /// Read access to the underlying store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The derived algorithm parameters.
+    pub fn params(&self) -> &AlgoParams {
+        &self.params
+    }
+
+    fn reset_matrix(&mut self) {
+        for row in &mut self.pruned_matrix {
+            row.iter_mut().for_each(|p| *p = false);
+        }
+    }
+
+    /// `STopDownRoot`: the `TopDown` pass over the full measure space, with
+    /// per-subspace pruning recorded for every comparison.
+    fn root_pass(
+        &mut self,
+        table: &Table,
+        cache: &ConstraintCache,
+        t: &Tuple,
+        t_id: TupleId,
+        out: &mut Vec<SkylinePair>,
+    ) {
+        let directions = self.params.directions.clone();
+        let full = self.params.full_space;
+        let report_full = self.params.reports_full_space();
+        let flag_len = self.params.lattice.flag_len();
+        let mut pruned = vec![false; flag_len];
+        let mut in_ances = vec![false; flag_len];
+        let mut enqueued = vec![false; flag_len];
+        let mut queue: VecDeque<BoundMask> = VecDeque::new();
+        queue.push_back(BoundMask::TOP);
+        enqueued[0] = true;
+        while let Some(mask) = queue.pop_front() {
+            self.stats.traversed_constraints += 1;
+            let constraint = cache.get(mask);
+            let entries = self.store.read(constraint, full);
+            self.stats.store_reads += 1;
+            for entry in entries.iter() {
+                self.stats.comparisons += 1;
+                let (better, worse) =
+                    partition_measures(t.measures(), &entry.measures, &directions);
+                let other = table.tuple(entry.id);
+                let agreement = BoundMask::agreement(t, other);
+                // Record, for every proper subspace where this stored tuple
+                // dominates the new one, the pruned constraint set C^{t,t'}.
+                for &subspace in &self.params.proper_subspaces {
+                    if crate::common::dominated_in(better, worse, subspace) {
+                        let row = &mut self.pruned_matrix[subspace.0 as usize];
+                        if !row[agreement.0 as usize] {
+                            for sub in agreement.submasks() {
+                                row[sub.0 as usize] = true;
+                            }
+                        }
+                    }
+                }
+                if crate::common::dominated_in(better, worse, full) {
+                    // `Dominated` in the full space.
+                    for sub in agreement.submasks() {
+                        pruned[sub.0 as usize] = true;
+                    }
+                    pruned[mask.0 as usize] = true;
+                } else if dominates_measures(t.measures(), &entry.measures, full, &directions) {
+                    demote_stored_tuple(
+                        &self.params,
+                        &mut self.store,
+                        &mut self.stats,
+                        table,
+                        t,
+                        mask,
+                        constraint,
+                        full,
+                        entry,
+                    );
+                }
+            }
+            if !pruned[mask.0 as usize] {
+                if report_full {
+                    out.push(SkylinePair::new(constraint.clone(), full));
+                }
+                if !in_ances[mask.0 as usize] {
+                    self.store
+                        .insert(constraint, full, StoredEntry::new(t_id, t.measures()));
+                    self.stats.store_writes += 1;
+                }
+            }
+            for child in self.params.lattice.children(mask) {
+                let idx = child.0 as usize;
+                if !pruned[mask.0 as usize] {
+                    in_ances[idx] = true;
+                }
+                if !enqueued[idx] {
+                    enqueued[idx] = true;
+                    queue.push_back(child);
+                }
+            }
+        }
+    }
+
+    /// `STopDownNode(M)`: visits the (already known) skyline constraints of
+    /// the new tuple in subspace `M`, storing the tuple at the maximal ones
+    /// and demoting stored tuples it dominates. No dominance check against
+    /// the new tuple is needed — the pruned matrix is complete.
+    fn node_pass(
+        &mut self,
+        table: &Table,
+        cache: &ConstraintCache,
+        t: &Tuple,
+        t_id: TupleId,
+        subspace: SubspaceMask,
+        out: &mut Vec<SkylinePair>,
+    ) {
+        let directions = self.params.directions.clone();
+        let flag_len = self.params.lattice.flag_len();
+        let mut in_ances = vec![false; flag_len];
+        let mut enqueued = vec![false; flag_len];
+        let mut queue: VecDeque<BoundMask> = VecDeque::new();
+        queue.push_back(BoundMask::TOP);
+        enqueued[0] = true;
+        while let Some(mask) = queue.pop_front() {
+            self.stats.traversed_constraints += 1;
+            let is_pruned = self.pruned_matrix[subspace.0 as usize][mask.0 as usize];
+            if !is_pruned {
+                let constraint = cache.get(mask);
+                out.push(SkylinePair::new(constraint.clone(), subspace));
+                let entries = self.store.read(constraint, subspace);
+                self.stats.store_reads += 1;
+                for entry in entries.iter() {
+                    self.stats.comparisons += 1;
+                    if dominates_measures(t.measures(), &entry.measures, subspace, &directions) {
+                        demote_stored_tuple(
+                            &self.params,
+                            &mut self.store,
+                            &mut self.stats,
+                            table,
+                            t,
+                            mask,
+                            constraint,
+                            subspace,
+                            entry,
+                        );
+                    }
+                }
+                if !in_ances[mask.0 as usize] {
+                    self.store
+                        .insert(constraint, subspace, StoredEntry::new(t_id, t.measures()));
+                    self.stats.store_writes += 1;
+                }
+            }
+            for child in self.params.lattice.children(mask) {
+                let idx = child.0 as usize;
+                if !is_pruned {
+                    in_ances[idx] = true;
+                }
+                if !enqueued[idx] {
+                    enqueued[idx] = true;
+                    queue.push_back(child);
+                }
+            }
+        }
+    }
+}
+
+impl<S: SkylineStore> Discovery for STopDown<S> {
+    fn name(&self) -> &'static str {
+        "STopDown"
+    }
+
+    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair> {
+        let t_id = table.next_id();
+        let cache = ConstraintCache::new(t, self.params.n_dims);
+        let mut out = Vec::new();
+        self.reset_matrix();
+        self.root_pass(table, &cache, t, t_id, &mut out);
+        let proper = self.params.proper_subspaces.clone();
+        for subspace in proper {
+            self.node_pass(table, &cache, t, t_id, subspace, &mut out);
+        }
+        self.store.flush();
+        out
+    }
+
+    fn work_stats(&self) -> WorkStats {
+        self.stats
+    }
+
+    fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    fn skyline_cardinality(
+        &mut self,
+        table: &Table,
+        constraint: &Constraint,
+        subspace: SubspaceMask,
+    ) -> usize {
+        let within_family = constraint.bound_count() <= self.params.lattice.max_bound()
+            && !subspace.is_empty()
+            && (subspace == self.params.full_space
+                || self.params.subspaces.iter().any(|&s| s == subspace));
+        if within_family {
+            skyline_cardinality_from_maximal(&mut self.store, table, constraint, subspace)
+        } else {
+            let directions = table.schema().directions();
+            dominance::skyline_of(table.context(constraint), subspace, directions).len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::BruteForce;
+    use crate::top_down::TopDown;
+    use sitfact_core::pair::canonical_sort;
+    use sitfact_core::{Direction, SchemaBuilder};
+
+    fn schema(m: usize) -> Schema {
+        let mut b = SchemaBuilder::new("s")
+            .dimension("d1")
+            .dimension("d2")
+            .dimension("d3");
+        for i in 0..m {
+            let dir = if i % 3 == 1 {
+                Direction::LowerIsBetter
+            } else {
+                Direction::HigherIsBetter
+            };
+            b = b.measure(format!("m{i}"), dir);
+        }
+        b.build().unwrap()
+    }
+
+    fn random_stream_check(m: usize, config: DiscoveryConfig, steps: usize, seed: u64) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = schema(m);
+        let mut table = Table::new(schema.clone());
+        let mut subject = STopDown::new(&schema, config);
+        let mut reference = BruteForce::new(&schema, config);
+        for _ in 0..steps {
+            let dims = vec![
+                rng.gen_range(0..3u32),
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..3u32),
+            ];
+            let measures = (0..m).map(|_| rng.gen_range(0..5) as f64).collect();
+            let t = Tuple::new(dims, measures);
+            let mut expected = reference.discover(&table, &t);
+            let mut actual = subject.discover(&table, &t);
+            canonical_sort(&mut expected);
+            canonical_sort(&mut actual);
+            assert_eq!(expected, actual, "diverged at tuple {}", table.len());
+            table.append(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_two_measures() {
+        random_stream_check(2, DiscoveryConfig::unrestricted(), 70, 211);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_three_measures() {
+        random_stream_check(3, DiscoveryConfig::unrestricted(), 50, 223);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_with_caps() {
+        random_stream_check(3, DiscoveryConfig::capped(2, 2), 50, 227);
+    }
+
+    /// Example 10 of the paper: after processing Table IV, STopDown stores t5
+    /// alongside t1 at ⟨a1,*,*⟩ in subspace {m2} and makes no change in {m1}.
+    #[test]
+    fn reproduces_example_10() {
+        let schema = SchemaBuilder::new("running")
+            .dimension("d1")
+            .dimension("d2")
+            .dimension("d3")
+            .measure("m1", Direction::HigherIsBetter)
+            .measure("m2", Direction::HigherIsBetter)
+            .build()
+            .unwrap();
+        let mut table = Table::new(schema.clone());
+        let mut algo = STopDown::new(&schema, DiscoveryConfig::unrestricted());
+        let rows: [([&str; 3], [f64; 2]); 5] = [
+            (["a1", "b2", "c2"], [10.0, 15.0]),
+            (["a1", "b1", "c1"], [15.0, 10.0]),
+            (["a2", "b1", "c2"], [17.0, 17.0]),
+            (["a2", "b1", "c1"], [20.0, 20.0]),
+            (["a1", "b1", "c1"], [11.0, 15.0]),
+        ];
+        for (dims, measures) in rows {
+            let ids = table.schema_mut().intern_dims(&dims).unwrap();
+            let t = Tuple::new(ids, measures.to_vec());
+            let _ = algo.discover(&table, &t);
+            table.append(t).unwrap();
+        }
+        let schema = table.schema();
+        let a1 = Constraint::parse(schema, &[("d1", "a1")]).unwrap();
+        let m1 = SubspaceMask::singleton(0);
+        let m2 = SubspaceMask::singleton(1);
+        let mut ids_in = |c: &Constraint, m: SubspaceMask| {
+            let mut ids: Vec<TupleId> = algo.store.read(c, m).iter().map(|e| e.id).collect();
+            ids.sort_unstable();
+            ids
+        };
+        // Fig. 6b: µ_{⟨a1⟩, {m2}} = {t1, t5}.
+        assert_eq!(ids_in(&a1, m2), vec![0, 4]);
+        // Fig. 5b: in {m1} the cell for ⟨a1⟩ still holds only t2.
+        assert_eq!(ids_in(&a1, m1), vec![1]);
+        // ⊤ holds t4 in both single-measure subspaces.
+        assert_eq!(ids_in(&Constraint::top(3), m1), vec![3]);
+        assert_eq!(ids_in(&Constraint::top(3), m2), vec![3]);
+    }
+
+    /// The stores of STopDown and TopDown must stay identical — they implement
+    /// the same Invariant 2 — while STopDown performs fewer comparisons.
+    #[test]
+    fn matches_top_down_storage_with_fewer_comparisons() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(229);
+        let schema = schema(3);
+        let config = DiscoveryConfig::unrestricted();
+        let mut table = Table::new(schema.clone());
+        let mut shared = STopDown::new(&schema, config);
+        let mut plain = TopDown::new(&schema, config);
+        for _ in 0..120 {
+            let dims = vec![
+                rng.gen_range(0..4u32),
+                rng.gen_range(0..4u32),
+                rng.gen_range(0..3u32),
+            ];
+            let measures = (0..3).map(|_| rng.gen_range(0..8) as f64).collect();
+            let t = Tuple::new(dims, measures);
+            let mut a = shared.discover(&table, &t);
+            let mut b = plain.discover(&table, &t);
+            canonical_sort(&mut a);
+            canonical_sort(&mut b);
+            assert_eq!(a, b);
+            table.append(t).unwrap();
+        }
+        assert_eq!(
+            shared.store_stats().stored_entries,
+            plain.store_stats().stored_entries
+        );
+        assert!(
+            shared.work_stats().comparisons < plain.work_stats().comparisons,
+            "sharing should reduce comparisons: {} vs {}",
+            shared.work_stats().comparisons,
+            plain.work_stats().comparisons
+        );
+    }
+
+    #[test]
+    fn skyline_cardinality_matches_ground_truth() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(233);
+        let schema = schema(2);
+        let mut table = Table::new(schema.clone());
+        let mut algo = STopDown::new(&schema, DiscoveryConfig::unrestricted());
+        for _ in 0..60 {
+            let dims = vec![
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..2u32),
+            ];
+            let measures = vec![rng.gen_range(0..4) as f64, rng.gen_range(0..4) as f64];
+            let t = Tuple::new(dims, measures);
+            let _ = algo.discover(&table, &t);
+            table.append(t).unwrap();
+        }
+        let directions = table.schema().directions().to_vec();
+        let sample = table.tuple(15).clone();
+        for mask in sitfact_core::ConstraintLattice::unrestricted(3).enumerate_top_down() {
+            let c = Constraint::from_tuple_mask(&sample, mask);
+            for m in SubspaceMask::enumerate(2, 2) {
+                let expected = dominance::skyline_of(table.context(&c), m, &directions).len();
+                assert_eq!(algo.skyline_cardinality(&table, &c, m), expected);
+            }
+        }
+    }
+
+    /// The file-backed instantiation (`FSTopDown`) produces identical results.
+    #[test]
+    fn file_backed_variant_agrees() {
+        use rand::prelude::*;
+        use sitfact_storage::FileSkylineStore;
+        let dir = std::env::temp_dir().join(format!("sitfact-fstd-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut rng = StdRng::seed_from_u64(239);
+        let schema = schema(2);
+        let config = DiscoveryConfig::unrestricted();
+        let mut table = Table::new(schema.clone());
+        let store = FileSkylineStore::new(&dir).unwrap();
+        let mut subject = STopDown::with_store(&schema, config, store);
+        let mut reference = BruteForce::new(&schema, config);
+        for _ in 0..40 {
+            let dims = vec![
+                rng.gen_range(0..3u32),
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..2u32),
+            ];
+            let measures = vec![rng.gen_range(0..5) as f64, rng.gen_range(0..5) as f64];
+            let t = Tuple::new(dims, measures);
+            let mut expected = reference.discover(&table, &t);
+            let mut actual = subject.discover(&table, &t);
+            canonical_sort(&mut expected);
+            canonical_sort(&mut actual);
+            assert_eq!(expected, actual);
+            table.append(t).unwrap();
+        }
+        assert!(subject.store_stats().file_writes > 0);
+        drop(subject);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,154 @@
+//! The [`Discovery`] trait implemented by every algorithm, plus the
+//! [`AlgorithmKind`] enumeration used by the experiment harness.
+
+use sitfact_core::{dominance, Constraint, SkylinePair, SubspaceMask, Tuple};
+use sitfact_storage::{StoreStats, Table, WorkStats};
+
+/// A situational-fact discovery algorithm.
+///
+/// ## Driving protocol
+///
+/// The caller owns the append-only [`Table`] and, for every arriving tuple
+/// `t`, performs:
+///
+/// 1. `let facts = algo.discover(&table, &t);` — `table` holds only the
+///    *historical* tuples; the algorithm updates whatever internal state it
+///    keeps (skyline stores, k-d tree, …) to account for `t`;
+/// 2. `table.append(t)` — the tuple becomes history.
+///
+/// [`Discovery::skyline_cardinality`] may be called *after* the append to
+/// support prominence ranking.
+pub trait Discovery {
+    /// Short, stable name used in reports (matches the paper's naming).
+    fn name(&self) -> &'static str;
+
+    /// Computes `S_t`: every constraint–measure pair for which the new tuple
+    /// `t` is a contextual skyline tuple, considering only constraints with at
+    /// most `d̂` bound attributes and subspaces with at most `m̂` measures.
+    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair>;
+
+    /// Cumulative work counters (comparisons, traversed constraints, …).
+    fn work_stats(&self) -> WorkStats;
+
+    /// Storage counters of the algorithm's internal state.
+    fn store_stats(&self) -> StoreStats;
+
+    /// `|λ_M(σ_C(R))|` — the number of contextual skyline tuples for
+    /// `(constraint, subspace)` according to the algorithm's current state.
+    ///
+    /// The default implementation recomputes the skyline from the table (the
+    /// ground truth, O(context²)); algorithms that materialise skylines
+    /// override it with a cheap lookup. Call after appending the tuple whose
+    /// facts are being ranked.
+    fn skyline_cardinality(
+        &mut self,
+        table: &Table,
+        constraint: &Constraint,
+        subspace: SubspaceMask,
+    ) -> usize {
+        let directions = table.schema().directions();
+        dominance::skyline_of(table.context(constraint), subspace, directions).len()
+    }
+}
+
+/// Enumeration of every implemented algorithm, used by benches and examples to
+/// construct them uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Algorithm 2 of the paper.
+    BruteForce,
+    /// Algorithm 3 of the paper.
+    BaselineSeq,
+    /// The k-d-tree baseline of Section IV.
+    BaselineIdx,
+    /// The per-context Compressed Skycube adaptation (Section II).
+    CCsc,
+    /// Algorithm 4 of the paper.
+    BottomUp,
+    /// Algorithm 5 of the paper.
+    TopDown,
+    /// BottomUp with sharing across measure subspaces (Section V-C).
+    SBottomUp,
+    /// Algorithm 6 of the paper.
+    STopDown,
+    /// SBottomUp over the file-backed store (Section VI-C).
+    FsBottomUp,
+    /// STopDown over the file-backed store (Section VI-C).
+    FsTopDown,
+}
+
+impl AlgorithmKind {
+    /// All in-memory algorithm kinds, in the order the paper introduces them.
+    pub const IN_MEMORY: [AlgorithmKind; 8] = [
+        AlgorithmKind::BruteForce,
+        AlgorithmKind::BaselineSeq,
+        AlgorithmKind::BaselineIdx,
+        AlgorithmKind::CCsc,
+        AlgorithmKind::BottomUp,
+        AlgorithmKind::TopDown,
+        AlgorithmKind::SBottomUp,
+        AlgorithmKind::STopDown,
+    ];
+
+    /// Stable display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::BruteForce => "BruteForce",
+            AlgorithmKind::BaselineSeq => "BaselineSeq",
+            AlgorithmKind::BaselineIdx => "BaselineIdx",
+            AlgorithmKind::CCsc => "C-CSC",
+            AlgorithmKind::BottomUp => "BottomUp",
+            AlgorithmKind::TopDown => "TopDown",
+            AlgorithmKind::SBottomUp => "SBottomUp",
+            AlgorithmKind::STopDown => "STopDown",
+            AlgorithmKind::FsBottomUp => "FSBottomUp",
+            AlgorithmKind::FsTopDown => "FSTopDown",
+        }
+    }
+
+    /// Whether the algorithm keeps skyline state that grows with the stream
+    /// (false only for the stateless baselines that re-derive everything from
+    /// the table).
+    pub fn is_incremental(self) -> bool {
+        !matches!(
+            self,
+            AlgorithmKind::BruteForce | AlgorithmKind::BaselineSeq
+        )
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = AlgorithmKind::IN_MEMORY.iter().map(|k| k.name()).collect();
+        names.push(AlgorithmKind::FsBottomUp.name());
+        names.push(AlgorithmKind::FsTopDown.name());
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+
+    #[test]
+    fn statefulness_classification() {
+        assert!(!AlgorithmKind::BruteForce.is_incremental());
+        assert!(!AlgorithmKind::BaselineSeq.is_incremental());
+        assert!(AlgorithmKind::BaselineIdx.is_incremental());
+        assert!(AlgorithmKind::BottomUp.is_incremental());
+        assert!(AlgorithmKind::FsTopDown.is_incremental());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(AlgorithmKind::STopDown.to_string(), "STopDown");
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 8: per-tuple execution time of C-CSC, BottomUp, TopDown, SBottomUp
+//! and STopDown on the NBA dataset — (a) varying n, (b) varying d, (c)
+//! varying m.
+//!
+//! Usage: `fig08_sharing [--n 10000] [--sweep-n 3000] [--seed S]`
+
+use sitfact_algos::AlgorithmKind;
+use sitfact_bench::params::{arg_value, D_SWEEP, M_SWEEP};
+use sitfact_bench::{
+    generate_rows, print_series_csv, print_table, run_stream, sweep_dimensions, sweep_measures,
+    DatasetKind, ExperimentParams, Series,
+};
+use sitfact_core::DiscoveryConfig;
+
+const ALGOS: [AlgorithmKind; 5] = [
+    AlgorithmKind::CCsc,
+    AlgorithmKind::BottomUp,
+    AlgorithmKind::TopDown,
+    AlgorithmKind::SBottomUp,
+    AlgorithmKind::STopDown,
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = arg_value(&args, "--n", 10_000);
+    let sweep_n: usize = arg_value(&args, "--sweep-n", 3_000);
+    let seed: u64 = arg_value(&args, "--seed", 20_140_331);
+
+    let params = ExperimentParams {
+        seed,
+        ..ExperimentParams::paper_default(n)
+    };
+    let (schema, rows) = generate_rows(DatasetKind::Nba, &params);
+    let discovery = DiscoveryConfig::capped(params.d_hat, params.m_hat);
+    let mut series = Vec::new();
+    for kind in ALGOS {
+        let outcome = run_stream(kind, &schema, &rows, discovery, params.sample_points, None);
+        eprintln!(
+            "  {} done in {:.1}s of discovery time",
+            kind.name(),
+            outcome.total_seconds
+        );
+        series.push(Series::from_outcome(&outcome));
+    }
+    print_table(
+        "Fig 8a: execution time per tuple, NBA, d=5 m=7, varying n",
+        "tuple id",
+        "µs per tuple",
+        &series,
+    );
+    print_series_csv("fig8a", &series);
+
+    let base = ExperimentParams {
+        seed,
+        ..ExperimentParams::paper_default(sweep_n)
+    };
+    let by_d = sweep_dimensions(DatasetKind::Nba, &ALGOS, base, &D_SWEEP, None);
+    let series: Vec<Series> = by_d
+        .iter()
+        .map(|(l, pts)| Series::new(l.clone(), pts.iter().map(|(d, y)| (*d as f64, *y)).collect()))
+        .collect();
+    print_table(
+        &format!("Fig 8b: execution time per tuple, NBA, n={sweep_n} m=7, varying d"),
+        "d",
+        "µs per tuple",
+        &series,
+    );
+    print_series_csv("fig8b", &series);
+
+    let by_m = sweep_measures(DatasetKind::Nba, &ALGOS, base, &M_SWEEP, None);
+    let series: Vec<Series> = by_m
+        .iter()
+        .map(|(l, pts)| Series::new(l.clone(), pts.iter().map(|(m, y)| (*m as f64, *y)).collect()))
+        .collect();
+    print_table(
+        &format!("Fig 8c: execution time per tuple, NBA, n={sweep_n} d=5, varying m"),
+        "m",
+        "µs per tuple",
+        &series,
+    );
+    print_series_csv("fig8c", &series);
+}

@@ -1,0 +1,49 @@
+//! Figure 9: per-tuple execution time on the (synthetic) weather dataset,
+//! varying n, d=5, m=7 — C-CSC, BottomUp, TopDown, SBottomUp, STopDown.
+//!
+//! Usage: `fig09_weather [--n 15000] [--seed S]`
+
+use sitfact_algos::AlgorithmKind;
+use sitfact_bench::params::arg_value;
+use sitfact_bench::{
+    generate_rows, print_series_csv, print_table, run_stream, DatasetKind, ExperimentParams,
+    Series,
+};
+use sitfact_core::DiscoveryConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = arg_value(&args, "--n", 15_000);
+    let seed: u64 = arg_value(&args, "--seed", 2_012);
+
+    let params = ExperimentParams {
+        seed,
+        ..ExperimentParams::paper_default(n)
+    };
+    let (schema, rows) = generate_rows(DatasetKind::Weather, &params);
+    let discovery = DiscoveryConfig::capped(params.d_hat, params.m_hat);
+    let algos = [
+        AlgorithmKind::CCsc,
+        AlgorithmKind::BottomUp,
+        AlgorithmKind::TopDown,
+        AlgorithmKind::SBottomUp,
+        AlgorithmKind::STopDown,
+    ];
+    let mut series = Vec::new();
+    for kind in algos {
+        let outcome = run_stream(kind, &schema, &rows, discovery, params.sample_points, None);
+        eprintln!(
+            "  {} done in {:.1}s of discovery time",
+            kind.name(),
+            outcome.total_seconds
+        );
+        series.push(Series::from_outcome(&outcome));
+    }
+    print_table(
+        "Fig 9: execution time per tuple, weather, d=5 m=7, varying n",
+        "tuple id",
+        "µs per tuple",
+        &series,
+    );
+    print_series_csv("fig9", &series);
+}

@@ -1,0 +1,75 @@
+//! Figure 10: memory consumption (a) and number of stored skyline tuples (b)
+//! of C-CSC, BottomUp, TopDown, SBottomUp and STopDown on the NBA dataset,
+//! varying n, d=5, m=7.
+//!
+//! Usage: `fig10_memory [--n 10000] [--seed S]`
+
+use sitfact_algos::AlgorithmKind;
+use sitfact_bench::params::arg_value;
+use sitfact_bench::{
+    generate_rows, print_series_csv, print_table, run_stream, DatasetKind, ExperimentParams,
+    Series,
+};
+use sitfact_core::DiscoveryConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = arg_value(&args, "--n", 10_000);
+    let seed: u64 = arg_value(&args, "--seed", 20_140_331);
+
+    let params = ExperimentParams {
+        seed,
+        ..ExperimentParams::paper_default(n)
+    };
+    let (schema, rows) = generate_rows(DatasetKind::Nba, &params);
+    let discovery = DiscoveryConfig::capped(params.d_hat, params.m_hat);
+    let algos = [
+        AlgorithmKind::CCsc,
+        AlgorithmKind::BottomUp,
+        AlgorithmKind::TopDown,
+        AlgorithmKind::SBottomUp,
+        AlgorithmKind::STopDown,
+    ];
+
+    let mut bytes_series = Vec::new();
+    let mut entries_series = Vec::new();
+    for kind in algos {
+        let outcome = run_stream(kind, &schema, &rows, discovery, params.sample_points, None);
+        bytes_series.push(Series::new(
+            kind.name(),
+            outcome
+                .points
+                .iter()
+                .map(|p| {
+                    (
+                        p.tuple_id as f64,
+                        p.store.approx_bytes as f64 / (1024.0 * 1024.0),
+                    )
+                })
+                .collect(),
+        ));
+        entries_series.push(Series::new(
+            kind.name(),
+            outcome
+                .points
+                .iter()
+                .map(|p| (p.tuple_id as f64, p.store.stored_entries as f64))
+                .collect(),
+        ));
+        eprintln!("  {} done", kind.name());
+    }
+    print_table(
+        "Fig 10a: size of consumed skyline-store memory, NBA, d=5 m=7",
+        "tuple id",
+        "MiB (approx)",
+        &bytes_series,
+    );
+    print_series_csv("fig10a", &bytes_series);
+    print_table(
+        "Fig 10b: number of skyline tuples stored, NBA, d=5 m=7",
+        "tuple id",
+        "stored entries",
+        &entries_series,
+    );
+    print_series_csv("fig10b", &entries_series);
+}

@@ -1,0 +1,69 @@
+//! Figure 11: cumulative work done by BottomUp, TopDown, SBottomUp and
+//! STopDown on the NBA dataset — (a) number of tuple comparisons, (b) number
+//! of traversed constraints — varying n, d=5, m=7.
+//!
+//! Usage: `fig11_work [--n 10000] [--seed S]`
+
+use sitfact_algos::AlgorithmKind;
+use sitfact_bench::params::arg_value;
+use sitfact_bench::{
+    generate_rows, print_series_csv, print_table, run_stream, DatasetKind, ExperimentParams,
+    Series,
+};
+use sitfact_core::DiscoveryConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = arg_value(&args, "--n", 10_000);
+    let seed: u64 = arg_value(&args, "--seed", 20_140_331);
+
+    let params = ExperimentParams {
+        seed,
+        ..ExperimentParams::paper_default(n)
+    };
+    let (schema, rows) = generate_rows(DatasetKind::Nba, &params);
+    let discovery = DiscoveryConfig::capped(params.d_hat, params.m_hat);
+    let algos = [
+        AlgorithmKind::BottomUp,
+        AlgorithmKind::TopDown,
+        AlgorithmKind::SBottomUp,
+        AlgorithmKind::STopDown,
+    ];
+
+    let mut comparisons = Vec::new();
+    let mut traversed = Vec::new();
+    for kind in algos {
+        let outcome = run_stream(kind, &schema, &rows, discovery, params.sample_points, None);
+        comparisons.push(Series::new(
+            kind.name(),
+            outcome
+                .points
+                .iter()
+                .map(|p| (p.tuple_id as f64, p.work.comparisons as f64))
+                .collect(),
+        ));
+        traversed.push(Series::new(
+            kind.name(),
+            outcome
+                .points
+                .iter()
+                .map(|p| (p.tuple_id as f64, p.work.traversed_constraints as f64))
+                .collect(),
+        ));
+        eprintln!("  {} done", kind.name());
+    }
+    print_table(
+        "Fig 11a: cumulative number of tuple comparisons, NBA, d=5 m=7",
+        "tuple id",
+        "comparisons",
+        &comparisons,
+    );
+    print_series_csv("fig11a", &comparisons);
+    print_table(
+        "Fig 11b: cumulative number of traversed constraints, NBA, d=5 m=7",
+        "tuple id",
+        "constraints",
+        &traversed,
+    );
+    print_series_csv("fig11b", &traversed);
+}

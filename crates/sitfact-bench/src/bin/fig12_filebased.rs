@@ -1,0 +1,99 @@
+//! Figure 12: per-tuple execution time of the file-based implementations
+//! FSBottomUp and FSTopDown on the NBA dataset — (a) varying n, (b) varying
+//! d, (c) varying m.
+//!
+//! Usage: `fig12_filebased [--n 1500] [--sweep-n 800] [--seed S]`
+
+use sitfact_algos::AlgorithmKind;
+use sitfact_bench::params::{arg_value, D_SWEEP, M_SWEEP};
+use sitfact_bench::{
+    generate_rows, print_series_csv, print_table, run_stream, sweep_dimensions, sweep_measures,
+    DatasetKind, ExperimentParams, Series,
+};
+use sitfact_core::DiscoveryConfig;
+
+const ALGOS: [AlgorithmKind; 2] = [AlgorithmKind::FsBottomUp, AlgorithmKind::FsTopDown];
+
+fn store_root(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sitfact-fig12-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = arg_value(&args, "--n", 1_500);
+    let sweep_n: usize = arg_value(&args, "--sweep-n", 800);
+    let seed: u64 = arg_value(&args, "--seed", 20_140_331);
+
+    // (a) varying n.
+    let params = ExperimentParams {
+        seed,
+        sample_points: 6,
+        ..ExperimentParams::paper_default(n)
+    };
+    let (schema, rows) = generate_rows(DatasetKind::Nba, &params);
+    let discovery = DiscoveryConfig::capped(params.d_hat, params.m_hat);
+    let mut series = Vec::new();
+    for kind in ALGOS {
+        let dir = store_root(kind.name());
+        let outcome = run_stream(
+            kind,
+            &schema,
+            &rows,
+            discovery,
+            params.sample_points,
+            Some(&dir),
+        );
+        eprintln!(
+            "  {} done in {:.1}s of discovery time",
+            kind.name(),
+            outcome.total_seconds
+        );
+        series.push(Series::from_outcome(&outcome));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    print_table(
+        "Fig 12a: execution time per tuple, file-based stores, NBA, d=5 m=7",
+        "tuple id",
+        "µs per tuple",
+        &series,
+    );
+    print_series_csv("fig12a", &series);
+
+    // (b) varying d and (c) varying m.
+    let base = ExperimentParams {
+        seed,
+        sample_points: 4,
+        ..ExperimentParams::paper_default(sweep_n)
+    };
+    let root = store_root("sweep-d");
+    let by_d = sweep_dimensions(DatasetKind::Nba, &ALGOS, base, &D_SWEEP, Some(&root));
+    let series: Vec<Series> = by_d
+        .iter()
+        .map(|(l, pts)| Series::new(l.clone(), pts.iter().map(|(d, y)| (*d as f64, *y)).collect()))
+        .collect();
+    print_table(
+        &format!("Fig 12b: file-based stores, NBA, n={sweep_n} m=7, varying d"),
+        "d",
+        "µs per tuple",
+        &series,
+    );
+    print_series_csv("fig12b", &series);
+    let _ = std::fs::remove_dir_all(&root);
+
+    let root = store_root("sweep-m");
+    let by_m = sweep_measures(DatasetKind::Nba, &ALGOS, base, &M_SWEEP, Some(&root));
+    let series: Vec<Series> = by_m
+        .iter()
+        .map(|(l, pts)| Series::new(l.clone(), pts.iter().map(|(m, y)| (*m as f64, *y)).collect()))
+        .collect();
+    print_table(
+        &format!("Fig 12c: file-based stores, NBA, n={sweep_n} d=5, varying m"),
+        "m",
+        "µs per tuple",
+        &series,
+    );
+    print_series_csv("fig12c", &series);
+    let _ = std::fs::remove_dir_all(&root);
+}

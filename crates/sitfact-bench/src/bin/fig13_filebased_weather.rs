@@ -1,0 +1,57 @@
+//! Figure 13: per-tuple execution time of FSBottomUp and FSTopDown on the
+//! (synthetic) weather dataset, varying n, d=5, m=7.
+//!
+//! Usage: `fig13_filebased_weather [--n 2000] [--seed S]`
+
+use sitfact_algos::AlgorithmKind;
+use sitfact_bench::params::arg_value;
+use sitfact_bench::{
+    generate_rows, print_series_csv, print_table, run_stream, DatasetKind, ExperimentParams,
+    Series,
+};
+use sitfact_core::DiscoveryConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = arg_value(&args, "--n", 2_000);
+    let seed: u64 = arg_value(&args, "--seed", 2_012);
+
+    let params = ExperimentParams {
+        seed,
+        sample_points: 6,
+        ..ExperimentParams::paper_default(n)
+    };
+    let (schema, rows) = generate_rows(DatasetKind::Weather, &params);
+    let discovery = DiscoveryConfig::capped(params.d_hat, params.m_hat);
+    let mut series = Vec::new();
+    for kind in [AlgorithmKind::FsBottomUp, AlgorithmKind::FsTopDown] {
+        let dir = std::env::temp_dir().join(format!(
+            "sitfact-fig13-{}-{}",
+            kind.name(),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let outcome = run_stream(
+            kind,
+            &schema,
+            &rows,
+            discovery,
+            params.sample_points,
+            Some(&dir),
+        );
+        eprintln!(
+            "  {} done in {:.1}s of discovery time",
+            kind.name(),
+            outcome.total_seconds
+        );
+        series.push(Series::from_outcome(&outcome));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    print_table(
+        "Fig 13: execution time per tuple, file-based stores, weather, d=5 m=7",
+        "tuple id",
+        "µs per tuple",
+        &series,
+    );
+    print_series_csv("fig13", &series);
+}

@@ -1,0 +1,120 @@
+//! Runs every figure binary in sequence with quick default parameters.
+//!
+//! Usage: `run_all [--quick]` — `--quick` shrinks stream lengths further so
+//! the whole suite finishes in a couple of minutes.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    let runs: Vec<(&str, Vec<String>)> = vec![
+        (
+            "fig07_baselines",
+            if quick {
+                vec!["--n", "2000", "--sweep-n", "800"]
+            } else {
+                vec![]
+            }
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        ),
+        (
+            "fig08_sharing",
+            if quick {
+                vec!["--n", "2000", "--sweep-n", "800"]
+            } else {
+                vec![]
+            }
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        ),
+        (
+            "fig09_weather",
+            if quick { vec!["--n", "3000"] } else { vec![] }
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        ),
+        (
+            "fig10_memory",
+            if quick { vec!["--n", "2000"] } else { vec![] }
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        ),
+        (
+            "fig11_work",
+            if quick { vec!["--n", "2000"] } else { vec![] }
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        ),
+        (
+            "fig12_filebased",
+            if quick {
+                vec!["--n", "500", "--sweep-n", "300"]
+            } else {
+                vec![]
+            }
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        ),
+        (
+            "fig13_filebased_weather",
+            if quick { vec!["--n", "600"] } else { vec![] }
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        ),
+        (
+            "fig14_prominent_rate",
+            if quick {
+                vec!["--n", "4000", "--tau", "20"]
+            } else {
+                vec![]
+            }
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        ),
+        (
+            "fig15_distribution",
+            if quick { vec!["--n", "4000"] } else { vec![] }
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        ),
+        (
+            "case_study",
+            if quick {
+                vec!["--n", "4000", "--tau", "30"]
+            } else {
+                vec![]
+            }
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        ),
+    ];
+
+    for (bin, extra) in runs {
+        println!("\n################ {bin} ################");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&extra)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-attribute string dictionary.
+//!
+//! Dimension attributes are categorical. Every distinct string value of an
+//! attribute is interned exactly once and afterwards referenced by a dense
+//! [`DimValueId`]; constraints, tuples and skyline stores only ever carry the
+//! ids, which keeps comparisons and hashing cheap and keeps the memory
+//! footprint of a multi-hundred-thousand-tuple stream small.
+
+use crate::hash::FxHashMap;
+use crate::value::DimValueId;
+
+/// An insertion-ordered interner mapping strings to dense [`DimValueId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    by_name: FxHashMap<String, DimValueId>,
+    by_id: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `value`, returning its id. Repeated calls with the same string
+    /// return the same id.
+    pub fn intern(&mut self, value: &str) -> DimValueId {
+        if let Some(&id) = self.by_name.get(value) {
+            return id;
+        }
+        let id = self.by_id.len() as DimValueId;
+        self.by_id.push(value.to_owned());
+        self.by_name.insert(value.to_owned(), id);
+        id
+    }
+
+    /// Looks up a previously interned value without interning it.
+    pub fn lookup(&self, value: &str) -> Option<DimValueId> {
+        self.by_name.get(value).copied()
+    }
+
+    /// Resolves an id back to its string, if it exists.
+    pub fn resolve(&self, id: DimValueId) -> Option<&str> {
+        self.by_id.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values interned so far (the attribute's active
+    /// domain size `|dom(d_i)|`).
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether no value has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over `(id, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (DimValueId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as DimValueId, s.as_str()))
+    }
+
+    /// Approximate heap usage in bytes (used by the memory experiments).
+    pub fn approx_heap_bytes(&self) -> usize {
+        let strings: usize = self.by_id.iter().map(|s| s.capacity() + 24).sum();
+        // Each map entry holds an owned copy of the key plus id and bucket
+        // metadata; estimate the copy at the same cost as the vec entry.
+        strings * 2 + self.by_id.capacity() * std::mem::size_of::<String>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("Celtics");
+        let b = d.intern("Nets");
+        let a2 = d.intern("Celtics");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolvable() {
+        let mut d = Dictionary::new();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            let id = d.intern(name);
+            assert_eq!(id as usize, i);
+        }
+        assert_eq!(d.resolve(2), Some("c"));
+        assert_eq!(d.resolve(99), None);
+        assert_eq!(d.lookup("b"), Some(1));
+        assert_eq!(d.lookup("zzz"), None);
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut d = Dictionary::new();
+        d.intern("x");
+        d.intern("y");
+        d.intern("z");
+        let names: Vec<&str> = d.iter().map(|(_, s)| s).collect();
+        assert_eq!(names, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.resolve(0), None);
+    }
+
+    #[test]
+    fn heap_estimate_grows() {
+        let mut d = Dictionary::new();
+        let empty = d.approx_heap_bytes();
+        for i in 0..100 {
+            d.intern(&format!("value-{i}"));
+        }
+        assert!(d.approx_heap_bytes() > empty);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the `sitfact` crates.
+pub type Result<T> = std::result::Result<T, SitFactError>;
+
+/// Errors produced while building schemas, ingesting tuples or running the
+/// discovery algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SitFactError {
+    /// A schema was declared with no dimension or no measure attributes, with
+    /// duplicate attribute names, or with more attributes than the bitmask
+    /// representations support.
+    InvalidSchema(String),
+    /// A tuple's arity or value domain does not match the schema it is being
+    /// appended under (wrong number of dimensions/measures, NaN measure, …).
+    InvalidTuple(String),
+    /// A constraint refers to an attribute or value that does not exist.
+    InvalidConstraint(String),
+    /// A measure subspace refers to measure indexes outside the schema.
+    InvalidSubspace(String),
+    /// Discovery configuration (`d̂`, `m̂`) is inconsistent with the schema.
+    InvalidConfig(String),
+    /// The file-backed skyline store hit an I/O problem.
+    Io(String),
+    /// Input data (CSV, …) could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for SitFactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SitFactError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            SitFactError::InvalidTuple(msg) => write!(f, "invalid tuple: {msg}"),
+            SitFactError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
+            SitFactError::InvalidSubspace(msg) => write!(f, "invalid measure subspace: {msg}"),
+            SitFactError::InvalidConfig(msg) => write!(f, "invalid discovery config: {msg}"),
+            SitFactError::Io(msg) => write!(f, "I/O error: {msg}"),
+            SitFactError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SitFactError {}
+
+impl From<std::io::Error> for SitFactError {
+    fn from(err: std::io::Error) -> Self {
+        SitFactError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let err = SitFactError::InvalidSchema("no measures".into());
+        assert_eq!(err.to_string(), "invalid schema: no measures");
+        let err = SitFactError::Io("disk full".into());
+        assert!(err.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: SitFactError = io.into();
+        assert!(matches!(err, SitFactError::Io(_)));
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SitFactError::Parse("x".into()),
+            SitFactError::Parse("x".into())
+        );
+        assert_ne!(
+            SitFactError::Parse("x".into()),
+            SitFactError::Io("x".into())
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! A fast, non-cryptographic hasher for small integer-ish keys.
+//!
+//! The discovery algorithms key hash maps by constraint keys (short arrays of
+//! `u32`) and `(constraint, subspace)` pairs, millions of times per tuple
+//! stream. The standard library's SipHash is collision-resistant but slow for
+//! such keys; this module provides an FxHash-style multiply-xor hasher (the
+//! same family rustc uses) implemented locally so the workspace does not need
+//! an extra dependency.
+//!
+//! HashDoS resistance is irrelevant here: keys are derived from
+//! dictionary-encoded attribute values under our own control, never from
+//! untrusted network input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier (a large odd constant close to 2^64 / φ).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Multiply-xor hasher in the FxHash family.
+///
+/// Each ingested word is rotated into the running state and multiplied by a
+/// fixed odd constant. Quality is sufficient for power-of-two-sized tables
+/// keyed by low-entropy integers, and throughput is far higher than SipHash.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix in the length so "ab" and "ab\0" differ.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`]. Drop-in replacement for
+/// `std::collections::HashMap` in hot paths.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        let builder = FxBuildHasher::default();
+        let mut hasher = builder.build_hasher();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(&42u32), hash_one(&42u32));
+        assert_eq!(hash_one(&"abc"), hash_one(&"abc"));
+        assert_eq!(hash_one(&vec![1u32, 2, 3]), hash_one(&vec![1u32, 2, 3]));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+        assert_ne!(hash_one(&[1u32, 2]), hash_one(&[2u32, 1]));
+        assert_ne!(hash_one(&"ab"), hash_one(&"ab\0"));
+    }
+
+    #[test]
+    fn distinguishes_partial_words() {
+        // Byte streams shorter than a word must still mix in their length.
+        assert_ne!(hash_one(&b"a".to_vec()), hash_one(&b"a\0".to_vec()));
+    }
+
+    #[test]
+    fn usable_as_map() {
+        let mut map: FxHashMap<Vec<u32>, usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert(vec![i, i * 2], i as usize);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map.get(&vec![10, 20]), Some(&10));
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        set.insert(7);
+        assert!(set.contains(&7));
+    }
+
+    #[test]
+    fn collision_rate_is_reasonable() {
+        // Hash 10k small composite keys and ensure buckets spread out.
+        let mut seen = FxHashSet::default();
+        for a in 0..100u32 {
+            for b in 0..100u32 {
+                seen.insert(hash_one(&(a, b)));
+            }
+        }
+        // Allow a tiny number of collisions but not systematic ones.
+        assert!(seen.len() > 9_950, "too many collisions: {}", seen.len());
+    }
+}

@@ -1,0 +1,172 @@
+//! Tuples of the append-only relation.
+
+use crate::error::{Result, SitFactError};
+use crate::schema::Schema;
+use crate::value::DimValueId;
+
+/// Position of a tuple in the append-only table (also its arrival timestamp:
+/// tuple `i` arrived before tuple `j` iff `i < j`).
+pub type TupleId = u32;
+
+/// A single row: dictionary-encoded dimension values plus raw measure values.
+///
+/// Tuples are deliberately plain data — all semantics (directions, which
+/// attributes are dimensions vs. measures) live in the [`Schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    dims: Vec<DimValueId>,
+    measures: Vec<f64>,
+}
+
+impl Tuple {
+    /// Creates a tuple from encoded dimension ids and measure values.
+    ///
+    /// Use [`Tuple::validated`] when the tuple comes from external input and
+    /// should be checked against a schema.
+    pub fn new(dims: Vec<DimValueId>, measures: Vec<f64>) -> Self {
+        Self { dims, measures }
+    }
+
+    /// Creates a tuple and validates it against `schema`: arity must match and
+    /// measures must be finite.
+    pub fn validated(dims: Vec<DimValueId>, measures: Vec<f64>, schema: &Schema) -> Result<Self> {
+        if dims.len() != schema.num_dimensions() {
+            return Err(SitFactError::InvalidTuple(format!(
+                "expected {} dimension values, got {}",
+                schema.num_dimensions(),
+                dims.len()
+            )));
+        }
+        if measures.len() != schema.num_measures() {
+            return Err(SitFactError::InvalidTuple(format!(
+                "expected {} measure values, got {}",
+                schema.num_measures(),
+                measures.len()
+            )));
+        }
+        if let Some(idx) = measures.iter().position(|m| !m.is_finite()) {
+            return Err(SitFactError::InvalidTuple(format!(
+                "measure `{}` is not a finite number",
+                schema.measures()[idx].name
+            )));
+        }
+        Ok(Self { dims, measures })
+    }
+
+    /// The dictionary-encoded dimension values.
+    #[inline]
+    pub fn dims(&self) -> &[DimValueId] {
+        &self.dims
+    }
+
+    /// The measure values.
+    #[inline]
+    pub fn measures(&self) -> &[f64] {
+        &self.measures
+    }
+
+    /// Value of dimension attribute `i`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> DimValueId {
+        self.dims[i]
+    }
+
+    /// Value of measure attribute `i`.
+    #[inline]
+    pub fn measure(&self, i: usize) -> f64 {
+        self.measures[i]
+    }
+
+    /// Number of dimension attributes in this tuple.
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of measure attributes in this tuple.
+    pub fn num_measures(&self) -> usize {
+        self.measures.len()
+    }
+
+    /// Renders the tuple with resolved dimension strings, for logs and fact
+    /// narration.
+    pub fn display(&self, schema: &Schema) -> String {
+        let dims: Vec<String> = self
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                format!(
+                    "{}={}",
+                    schema.dimension_names()[i],
+                    schema.resolve_dim(i, id).unwrap_or("?")
+                )
+            })
+            .collect();
+        let measures: Vec<String> = self
+            .measures
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("{}={}", schema.measures()[i].name, v))
+            .collect();
+        format!("[{} | {}]", dims.join(", "), measures.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::Direction;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("t")
+            .dimension("a")
+            .dimension("b")
+            .measure("m1", Direction::HigherIsBetter)
+            .measure("m2", Direction::LowerIsBetter)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Tuple::new(vec![1, 2], vec![10.0, 3.0]);
+        assert_eq!(t.dims(), &[1, 2]);
+        assert_eq!(t.measures(), &[10.0, 3.0]);
+        assert_eq!(t.dim(1), 2);
+        assert_eq!(t.measure(0), 10.0);
+        assert_eq!(t.num_dims(), 2);
+        assert_eq!(t.num_measures(), 2);
+    }
+
+    #[test]
+    fn validation_accepts_matching_tuple() {
+        let s = schema();
+        assert!(Tuple::validated(vec![0, 0], vec![1.0, 2.0], &s).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_arity() {
+        let s = schema();
+        assert!(Tuple::validated(vec![0], vec![1.0, 2.0], &s).is_err());
+        assert!(Tuple::validated(vec![0, 0], vec![1.0], &s).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_measures() {
+        let s = schema();
+        assert!(Tuple::validated(vec![0, 0], vec![f64::NAN, 2.0], &s).is_err());
+        assert!(Tuple::validated(vec![0, 0], vec![1.0, f64::INFINITY], &s).is_err());
+    }
+
+    #[test]
+    fn display_resolves_dictionary_values() {
+        let mut s = schema();
+        let ids = s.intern_dims(&["Wesley", "Celtics"]).unwrap();
+        let t = Tuple::new(ids, vec![12.0, 1.0]);
+        let rendered = t.display(&s);
+        assert!(rendered.contains("a=Wesley"));
+        assert!(rendered.contains("b=Celtics"));
+        assert!(rendered.contains("m1=12"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Small sampling helpers built on `rand`'s uniform primitives (the workspace
+//! deliberately avoids a separate distributions crate).
+
+use rand::Rng;
+
+/// Samples a standard-normal variate via the Box–Muller transform.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Samples a Poisson variate with rate `lambda` (Knuth's method; adequate for
+/// the small rates used by the generators).
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // Safety valve for absurd rates.
+        }
+    }
+}
+
+/// A Zipf-like sampler over `0..n`: index `i` is drawn with probability
+/// proportional to `1 / (i + 1)^exponent`. Used to skew dimension-value
+/// popularity (a few star players appear in many box scores).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` items with the given exponent.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "ZipfSampler requires at least one item");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Draws an index in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has no items (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// Clamps and rounds a sampled value into a non-negative integer-valued
+/// measure (box-score statistics are small non-negative integers).
+pub fn clamp_round(value: f64, max: f64) -> f64 {
+    value.max(0.0).min(max).round()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn normal_has_roughly_correct_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_has_roughly_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<u64> = (0..20_000).map(|_| poisson(&mut rng, 2.5)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean {mean}");
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampler = ZipfSampler::new(100, 1.0);
+        assert_eq!(sampler.len(), 100);
+        assert!(!sampler.is_empty());
+        let mut counts = vec![0u64; 100];
+        for _ in 0..50_000 {
+            let i = sampler.sample(&mut rng);
+            assert!(i < 100);
+            counts[i] += 1;
+        }
+        // The most popular item must be drawn far more often than the median one.
+        assert!(counts[0] > counts[50] * 5);
+    }
+
+    #[test]
+    fn clamp_round_bounds() {
+        assert_eq!(clamp_round(-3.2, 100.0), 0.0);
+        assert_eq!(clamp_round(12.6, 100.0), 13.0);
+        assert_eq!(clamp_round(400.0, 100.0), 100.0);
+    }
+}

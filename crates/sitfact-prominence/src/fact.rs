@@ -1,0 +1,111 @@
+//! Ranked situational facts and per-arrival reports.
+
+use serde::{Deserialize, Serialize};
+use sitfact_core::{Schema, SkylinePair, TupleId};
+
+/// A situational fact together with the quantities behind its prominence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedFact {
+    /// The constraint–measure pair.
+    pub pair: SkylinePair,
+    /// `|σ_C(R)|`: number of tuples in the context (including the new tuple).
+    pub context_size: u64,
+    /// `|λ_M(σ_C(R))|`: number of contextual skyline tuples.
+    pub skyline_size: u64,
+}
+
+impl RankedFact {
+    /// The prominence value `|σ_C(R)| / |λ_M(σ_C(R))|` (≥ 1 whenever the
+    /// context is non-empty; larger is rarer and therefore more newsworthy).
+    pub fn prominence(&self) -> f64 {
+        if self.skyline_size == 0 {
+            // Cannot happen for facts pertinent to the new tuple (it is itself
+            // a skyline tuple), but keep the ratio well defined.
+            return 0.0;
+        }
+        self.context_size as f64 / self.skyline_size as f64
+    }
+
+    /// Human-readable rendering including the prominence value.
+    pub fn display(&self, schema: &Schema) -> String {
+        format!(
+            "{} [prominence {:.1} = {}/{}]",
+            self.pair.display(schema),
+            self.prominence(),
+            self.context_size,
+            self.skyline_size
+        )
+    }
+}
+
+/// Everything discovered about one arriving tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalReport {
+    /// Id assigned to the tuple in the append-only table.
+    pub tuple_id: TupleId,
+    /// Every fact of `S_t`, ranked by descending prominence.
+    pub facts: Vec<RankedFact>,
+    /// Number of facts whose prominence equals the maximum **and** clears the
+    /// monitor's threshold `τ` — the paper's "prominent facts pertinent to t".
+    /// They are the first `prominent_count` entries of `facts`.
+    pub prominent_count: usize,
+}
+
+impl ArrivalReport {
+    /// The prominent facts (highest prominence, above threshold).
+    pub fn prominent(&self) -> &[RankedFact] {
+        &self.facts[..self.prominent_count]
+    }
+
+    /// The top-k facts by prominence (fewer if the arrival produced fewer).
+    pub fn top_k(&self, k: usize) -> &[RankedFact] {
+        &self.facts[..k.min(self.facts.len())]
+    }
+
+    /// The highest prominence value among the facts, if any.
+    pub fn max_prominence(&self) -> Option<f64> {
+        self.facts.first().map(RankedFact::prominence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitfact_core::{Constraint, SubspaceMask};
+
+    fn fact(context: u64, skyline: u64) -> RankedFact {
+        RankedFact {
+            pair: SkylinePair::new(Constraint::top(2), SubspaceMask(0b01)),
+            context_size: context,
+            skyline_size: skyline,
+        }
+    }
+
+    #[test]
+    fn prominence_is_the_cardinality_ratio() {
+        // The paper's Section VII example: 5 tuples, 2 skyline tuples -> 5/2.
+        assert_eq!(fact(5, 2).prominence(), 2.5);
+        assert_eq!(fact(3, 2).prominence(), 1.5);
+        assert_eq!(fact(0, 0).prominence(), 0.0);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = ArrivalReport {
+            tuple_id: 7,
+            facts: vec![fact(100, 1), fact(100, 1), fact(10, 2)],
+            prominent_count: 2,
+        };
+        assert_eq!(report.prominent().len(), 2);
+        assert_eq!(report.top_k(1).len(), 1);
+        assert_eq!(report.top_k(99).len(), 3);
+        assert_eq!(report.max_prominence(), Some(100.0));
+        let empty = ArrivalReport {
+            tuple_id: 0,
+            facts: vec![],
+            prominent_count: 0,
+        };
+        assert_eq!(empty.max_prominence(), None);
+        assert!(empty.prominent().is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # sitfact-prominence
+//!
+//! Prominence ranking and reporting of situational facts (Section VII of the
+//! paper).
+//!
+//! A newly arrived tuple may enter the contextual skylines of hundreds of
+//! constraint–measure pairs; reporting all of them buries the newsworthy ones.
+//! The paper measures the **prominence** of a fact `(C, M)` as
+//! `|σ_C(R)| / |λ_M(σ_C(R))|` — how many tuples the context holds per skyline
+//! tuple — ranks the facts of each arrival in descending prominence, and calls
+//! *prominent* those that attain the maximum and clear a threshold `τ`.
+//!
+//! The central type is [`FactMonitor`]: it owns the append-only table, a
+//! [`ContextCounter`], and any [`Discovery`] algorithm, and turns a stream of
+//! raw tuples into a stream of [`ArrivalReport`]s. [`DistributionStats`]
+//! accumulates the figures of the paper's case study (Figs. 14–15), and
+//! [`narrate`] renders facts as English sentences in the style of the paper's
+//! examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod fact;
+pub mod monitor;
+pub mod narrate;
+
+pub use distribution::DistributionStats;
+pub use fact::{ArrivalReport, RankedFact};
+pub use monitor::{FactMonitor, MonitorConfig};
+pub use narrate::narrate;

@@ -1,0 +1,306 @@
+//! The [`FactMonitor`]: turn a stream of tuples into ranked situational facts.
+
+use crate::fact::{ArrivalReport, RankedFact};
+use sitfact_core::{DiscoveryConfig, Result, Schema, Tuple};
+use sitfact_algos::Discovery;
+use sitfact_storage::{ContextCounter, Table};
+
+/// Configuration of a [`FactMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorConfig {
+    /// The `d̂` / `m̂` caps forwarded to the discovery algorithm.
+    pub discovery: DiscoveryConfig,
+    /// Prominence threshold `τ`: a fact is *prominent* only if its prominence
+    /// is at least this value (and is maximal among the arrival's facts).
+    pub tau: f64,
+    /// Retain at most this many ranked facts per arrival in the report (the
+    /// full set is still used to determine the maximum). `None` keeps all.
+    pub keep_top: Option<usize>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            discovery: DiscoveryConfig::unrestricted(),
+            tau: 1.0,
+            keep_top: None,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// The configuration of the paper's case study: `d̂ = 3`, `m̂ = 3`,
+    /// `τ = 500`.
+    pub fn case_study() -> Self {
+        MonitorConfig {
+            discovery: DiscoveryConfig::capped(3, 3),
+            tau: 500.0,
+            keep_top: Some(32),
+        }
+    }
+
+    /// Builder-style setter for `τ`.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        self.tau = tau;
+        self
+    }
+
+    /// Builder-style setter for the discovery caps.
+    pub fn with_discovery(mut self, discovery: DiscoveryConfig) -> Self {
+        self.discovery = discovery;
+        self
+    }
+
+    /// Builder-style setter for the per-arrival fact retention limit.
+    pub fn with_keep_top(mut self, keep: usize) -> Self {
+        self.keep_top = Some(keep);
+        self
+    }
+}
+
+/// Owns the table, the context-cardinality counter and a discovery algorithm,
+/// and produces one [`ArrivalReport`] per ingested tuple.
+///
+/// ```
+/// use sitfact_core::{Direction, SchemaBuilder, DiscoveryConfig};
+/// use sitfact_algos::SBottomUp;
+/// use sitfact_prominence::{FactMonitor, MonitorConfig};
+///
+/// let schema = SchemaBuilder::new("gamelog")
+///     .dimension("player").dimension("team")
+///     .measure("points", Direction::HigherIsBetter)
+///     .measure("assists", Direction::HigherIsBetter)
+///     .build().unwrap();
+/// let algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
+/// let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default().with_tau(2.0));
+/// monitor.ingest_raw(&["Wesley", "Celtics"], vec![12.0, 13.0]).unwrap();
+/// let report = monitor.ingest_raw(&["Sherman", "Celtics"], vec![13.0, 5.0]).unwrap();
+/// assert!(!report.facts.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct FactMonitor<A: Discovery> {
+    table: Table,
+    counter: ContextCounter,
+    algorithm: A,
+    config: MonitorConfig,
+}
+
+impl<A: Discovery> FactMonitor<A> {
+    /// Creates a monitor over an empty table.
+    pub fn new(schema: Schema, algorithm: A, config: MonitorConfig) -> Self {
+        let d_hat = config.discovery.effective_d_hat(&schema);
+        let counter = ContextCounter::new(schema.num_dimensions(), d_hat);
+        FactMonitor {
+            table: Table::new(schema),
+            counter,
+            algorithm,
+            config,
+        }
+    }
+
+    /// The underlying table (read access).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The underlying algorithm (read access, e.g. for statistics).
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    /// The monitor configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Ingests a tuple given as raw dimension strings plus measures.
+    pub fn ingest_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<ArrivalReport> {
+        let ids = self.table.schema_mut().intern_dims(dims)?;
+        let tuple = Tuple::validated(ids, measures, self.table.schema())?;
+        self.ingest(tuple)
+    }
+
+    /// Ingests an already-encoded tuple: discovers its facts, appends it to
+    /// the table, and ranks the facts by prominence.
+    pub fn ingest(&mut self, tuple: Tuple) -> Result<ArrivalReport> {
+        let pairs = self.algorithm.discover(&self.table, &tuple);
+        let tuple_id = self.table.append(tuple)?;
+        let appended = self.table.tuple(tuple_id).clone();
+        self.counter.observe(&appended);
+
+        let mut facts: Vec<RankedFact> = Vec::with_capacity(pairs.len());
+        for pair in pairs {
+            let context_size = self.counter.cardinality(&pair.constraint);
+            let skyline_size =
+                self.algorithm
+                    .skyline_cardinality(&self.table, &pair.constraint, pair.subspace)
+                    as u64;
+            facts.push(RankedFact {
+                pair,
+                context_size,
+                skyline_size,
+            });
+        }
+        facts.sort_by(|a, b| {
+            b.prominence()
+                .partial_cmp(&a.prominence())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let max = facts.first().map(RankedFact::prominence).unwrap_or(0.0);
+        let prominent_count = if max >= self.config.tau {
+            facts
+                .iter()
+                .take_while(|f| (f.prominence() - max).abs() < f64::EPSILON)
+                .count()
+        } else {
+            0
+        };
+        if let Some(keep) = self.config.keep_top {
+            facts.truncate(keep.max(prominent_count));
+        }
+        Ok(ArrivalReport {
+            tuple_id,
+            facts,
+            prominent_count,
+        })
+    }
+
+    /// Ingests a whole batch, returning one report per tuple.
+    pub fn ingest_all<I: IntoIterator<Item = Tuple>>(
+        &mut self,
+        tuples: I,
+    ) -> Result<Vec<ArrivalReport>> {
+        tuples.into_iter().map(|t| self.ingest(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitfact_algos::{BottomUp, SBottomUp, STopDown};
+    use sitfact_core::{Direction, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("gamelog")
+            .dimension("player")
+            .dimension("team")
+            .measure("points", Direction::HigherIsBetter)
+            .measure("assists", Direction::HigherIsBetter)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn first_tuple_is_maximally_prominent_everywhere() {
+        let schema = schema();
+        let algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default());
+        let report = monitor
+            .ingest_raw(&["Wesley", "Celtics"], vec![10.0, 5.0])
+            .unwrap();
+        // 4 constraints × 3 subspaces, all with context = skyline = 1.
+        assert_eq!(report.facts.len(), 12);
+        assert!(report.facts.iter().all(|f| f.prominence() == 1.0));
+        assert_eq!(report.prominent_count, 12);
+    }
+
+    #[test]
+    fn prominence_matches_hand_computation() {
+        let schema = schema();
+        let algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default().with_tau(2.0));
+        monitor.ingest_raw(&["A", "X"], vec![10.0, 1.0]).unwrap();
+        monitor.ingest_raw(&["B", "X"], vec![8.0, 2.0]).unwrap();
+        monitor.ingest_raw(&["C", "X"], vec![6.0, 3.0]).unwrap();
+        // The fourth tuple tops everyone on both measures within team X.
+        let report = monitor.ingest_raw(&["D", "X"], vec![12.0, 4.0]).unwrap();
+        // Constraint team=X, full space: context 4 tuples, skyline {D} -> 4.
+        let team_x = sitfact_core::Constraint::parse(monitor.table().schema(), &[("team", "X")])
+            .unwrap();
+        let full = sitfact_core::SubspaceMask::full(2);
+        let fact = report
+            .facts
+            .iter()
+            .find(|f| f.pair.constraint == team_x && f.pair.subspace == full)
+            .expect("fact for (team=X, full space)");
+        assert_eq!(fact.context_size, 4);
+        assert_eq!(fact.skyline_size, 1);
+        assert_eq!(fact.prominence(), 4.0);
+        // That is also the maximal prominence, and 4 ≥ τ=2, so it is prominent.
+        assert!(report.prominent_count >= 1);
+        assert_eq!(report.max_prominence(), Some(4.0));
+    }
+
+    #[test]
+    fn threshold_filters_prominent_facts() {
+        let schema = schema();
+        let algo = BottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        let mut monitor =
+            FactMonitor::new(schema, algo, MonitorConfig::default().with_tau(1000.0));
+        monitor.ingest_raw(&["A", "X"], vec![1.0, 1.0]).unwrap();
+        let report = monitor.ingest_raw(&["B", "X"], vec![2.0, 2.0]).unwrap();
+        // Max prominence is 2 (context {A,B}, skyline {B}), far below τ=1000.
+        assert_eq!(report.prominent_count, 0);
+        assert!(report.max_prominence().unwrap() <= 2.0);
+    }
+
+    #[test]
+    fn keep_top_truncates_but_preserves_prominent() {
+        let schema = schema();
+        let algo = STopDown::new(&schema, DiscoveryConfig::unrestricted());
+        let mut monitor = FactMonitor::new(
+            schema,
+            algo,
+            MonitorConfig::default().with_tau(1.0).with_keep_top(2),
+        );
+        monitor.ingest_raw(&["A", "X"], vec![1.0, 5.0]).unwrap();
+        let report = monitor.ingest_raw(&["B", "Y"], vec![5.0, 1.0]).unwrap();
+        assert!(report.facts.len() >= 2);
+        assert!(report.facts.len() <= report.prominent_count.max(2));
+    }
+
+    #[test]
+    fn reports_agree_across_algorithms() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(99);
+        let schema = schema();
+        let config = MonitorConfig::default().with_tau(2.0);
+        let mut bu = FactMonitor::new(
+            schema.clone(),
+            SBottomUp::new(&schema, config.discovery),
+            config,
+        );
+        let mut td = FactMonitor::new(
+            schema.clone(),
+            STopDown::new(&schema, config.discovery),
+            config,
+        );
+        for _ in 0..60 {
+            let dims = vec![rng.gen_range(0..4u32), rng.gen_range(0..3u32)];
+            let measures = vec![rng.gen_range(0..6) as f64, rng.gen_range(0..6) as f64];
+            let a = bu.ingest(Tuple::new(dims.clone(), measures.clone())).unwrap();
+            let b = td.ingest(Tuple::new(dims, measures)).unwrap();
+            // Same fact count, same maximum prominence, same prominent count —
+            // regardless of the storage scheme underneath.
+            assert_eq!(a.facts.len(), b.facts.len());
+            assert_eq!(a.prominent_count, b.prominent_count);
+            match (a.max_prominence(), b.max_prominence()) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+                (x, y) => assert_eq!(x.is_none(), y.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_config_builders() {
+        let c = MonitorConfig::case_study();
+        assert_eq!(c.tau, 500.0);
+        assert_eq!(c.discovery, DiscoveryConfig::capped(3, 3));
+        let c = MonitorConfig::default()
+            .with_tau(7.0)
+            .with_keep_top(3)
+            .with_discovery(DiscoveryConfig::capped(2, 2));
+        assert_eq!(c.tau, 7.0);
+        assert_eq!(c.keep_top, Some(3));
+    }
+}

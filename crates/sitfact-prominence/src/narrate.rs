@@ -1,0 +1,105 @@
+//! Rendering situational facts as English sentences, in the spirit of the
+//! paper's motivating examples ("the first Pacers player with a 20/10/5 game
+//! against the Bulls since …").
+
+use crate::fact::RankedFact;
+use sitfact_core::{Schema, Tuple};
+
+/// Narrates one ranked fact about `tuple` as a sentence.
+///
+/// The sentence lists the tuple's values on the fact's measure subspace, the
+/// context it stands out in, and how selective the fact is, e.g.:
+///
+/// > `points=38, assists=16 — undominated among the 1,204 tuples where
+/// > player=Iverson ∧ month=Apr (one of 2 skyline tuples; prominence 602.0)`
+pub fn narrate(schema: &Schema, tuple: &Tuple, fact: &RankedFact) -> String {
+    let measures: Vec<String> = fact
+        .pair
+        .subspace
+        .indices()
+        .map(|i| {
+            format!(
+                "{}={}",
+                schema.measures()[i].name,
+                format_number(tuple.measure(i))
+            )
+        })
+        .collect();
+    let context = if fact.pair.constraint.is_top() {
+        "all tuples".to_string()
+    } else {
+        format!("the tuples where {}", fact.pair.constraint.display(schema))
+    };
+    let skyline_phrase = if fact.skyline_size <= 1 {
+        "the only skyline tuple".to_string()
+    } else {
+        format!("one of {} skyline tuples", fact.skyline_size)
+    };
+    format!(
+        "{} — undominated among the {} in {} ({}; prominence {:.1})",
+        measures.join(", "),
+        format!("{} tuple(s)", fact.context_size),
+        context,
+        skyline_phrase,
+        fact.prominence()
+    )
+}
+
+fn format_number(x: f64) -> String {
+    if (x.fract()).abs() < 1e-9 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitfact_core::{Constraint, Direction, SchemaBuilder, SkylinePair, SubspaceMask};
+
+    #[test]
+    fn narration_mentions_measures_context_and_prominence() {
+        let mut schema = SchemaBuilder::new("gamelog")
+            .dimension("player")
+            .dimension("team")
+            .measure("points", Direction::HigherIsBetter)
+            .measure("assists", Direction::HigherIsBetter)
+            .build()
+            .unwrap();
+        let dims = schema.intern_dims(&["Iverson", "Sixers"]).unwrap();
+        let tuple = Tuple::new(dims, vec![38.0, 16.5]);
+        let constraint = Constraint::parse(&schema, &[("player", "Iverson")]).unwrap();
+        let fact = RankedFact {
+            pair: SkylinePair::new(constraint, SubspaceMask::full(2)),
+            context_size: 1204,
+            skyline_size: 2,
+        };
+        let text = narrate(&schema, &tuple, &fact);
+        assert!(text.contains("points=38"));
+        assert!(text.contains("assists=16.50"));
+        assert!(text.contains("player=Iverson"));
+        assert!(text.contains("1204 tuple(s)"));
+        assert!(text.contains("one of 2 skyline tuples"));
+        assert!(text.contains("602.0"));
+    }
+
+    #[test]
+    fn top_constraint_and_singleton_skyline_phrasing() {
+        let schema = SchemaBuilder::new("s")
+            .dimension("d")
+            .measure("m", Direction::HigherIsBetter)
+            .build()
+            .unwrap();
+        let tuple = Tuple::new(vec![0], vec![54.0]);
+        let fact = RankedFact {
+            pair: SkylinePair::new(Constraint::top(1), SubspaceMask::full(1)),
+            context_size: 317,
+            skyline_size: 1,
+        };
+        let text = narrate(&schema, &tuple, &fact);
+        assert!(text.contains("all tuples"));
+        assert!(text.contains("the only skyline tuple"));
+        assert!(text.contains("m=54"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Incremental maintenance of context cardinalities `|σ_C(R)|`.
+//!
+//! The prominence measure of Section VII divides the context size by the
+//! skyline size, and a context contributes a prominent fact only when it holds
+//! at least `τ` tuples. Scanning the table per reported fact would dwarf the
+//! discovery cost, so the counter below maintains, for every constraint that
+//! any tuple has ever satisfied (capped at `d̂` bound attributes), the number
+//! of tuples in its context — one hash-map update per constraint per arriving
+//! tuple.
+
+use sitfact_core::{BoundMask, Constraint, ConstraintLattice, FxHashMap, Tuple};
+
+/// Incremental counter of `|σ_C(R)|` for every observed constraint.
+#[derive(Debug, Clone)]
+pub struct ContextCounter {
+    lattice: ConstraintLattice,
+    counts: FxHashMap<Constraint, u64>,
+    observed_tuples: u64,
+}
+
+impl ContextCounter {
+    /// Creates a counter for schemas with `n_dims` dimension attributes,
+    /// counting constraints with at most `max_bound` bound attributes.
+    pub fn new(n_dims: usize, max_bound: usize) -> Self {
+        ContextCounter {
+            lattice: ConstraintLattice::new(n_dims, max_bound),
+            counts: FxHashMap::default(),
+            observed_tuples: 0,
+        }
+    }
+
+    /// Registers an arriving tuple: every constraint of `C^t` (up to the `d̂`
+    /// cap) has its context cardinality incremented.
+    pub fn observe(&mut self, tuple: &Tuple) {
+        debug_assert_eq!(tuple.num_dims(), self.lattice.n_dims());
+        for mask in self.lattice.enumerate_top_down() {
+            let constraint = Constraint::from_tuple_mask(tuple, mask);
+            *self.counts.entry(constraint).or_insert(0) += 1;
+        }
+        self.observed_tuples += 1;
+    }
+
+    /// The number of observed tuples satisfying `constraint`, i.e.
+    /// `|σ_C(R)|`. Constraints never observed have cardinality 0; constraints
+    /// with more than `d̂` bound attributes are not tracked and also report 0.
+    pub fn cardinality(&self, constraint: &Constraint) -> u64 {
+        if constraint.is_top() {
+            return self.observed_tuples;
+        }
+        self.counts.get(constraint).copied().unwrap_or(0)
+    }
+
+    /// Cardinality for a constraint expressed as a tuple + bound mask, the
+    /// form the discovery algorithms naturally produce.
+    pub fn cardinality_for(&self, tuple: &Tuple, mask: BoundMask) -> u64 {
+        if mask.is_top() {
+            return self.observed_tuples;
+        }
+        self.cardinality(&Constraint::from_tuple_mask(tuple, mask))
+    }
+
+    /// Total number of tuples observed so far.
+    pub fn observed_tuples(&self) -> u64 {
+        self.observed_tuples
+    }
+
+    /// Number of distinct constraints tracked.
+    pub fn tracked_constraints(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Approximate heap bytes consumed by the counter.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.counts.len() * (self.lattice.n_dims() * 4 + 8 + 48)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use sitfact_core::{Direction, SchemaBuilder};
+
+    fn sample_table() -> Table {
+        let schema = SchemaBuilder::new("gamelog")
+            .dimension("player")
+            .dimension("team")
+            .dimension("month")
+            .measure("points", Direction::HigherIsBetter)
+            .build()
+            .unwrap();
+        let mut table = Table::new(schema);
+        let rows: [(&str, &str, &str); 5] = [
+            ("Wesley", "Celtics", "Feb"),
+            ("Wesley", "Celtics", "Mar"),
+            ("Sherman", "Celtics", "Feb"),
+            ("Bogues", "Hornets", "Feb"),
+            ("Wesley", "Celtics", "Feb"),
+        ];
+        for (p, t, m) in rows {
+            table.append_raw(&[p, t, m], vec![1.0]).unwrap();
+        }
+        table
+    }
+
+    #[test]
+    fn counts_match_table_scans() {
+        let table = sample_table();
+        let mut counter = ContextCounter::new(3, 3);
+        for (_, tuple) in table.iter() {
+            counter.observe(tuple);
+        }
+        assert_eq!(counter.observed_tuples(), 5);
+        // Compare against ground-truth scans for several constraints.
+        for bindings in [
+            vec![("team", "Celtics")],
+            vec![("player", "Wesley")],
+            vec![("player", "Wesley"), ("month", "Feb")],
+            vec![("team", "Hornets"), ("month", "Feb")],
+            vec![("player", "Sherman"), ("team", "Celtics"), ("month", "Feb")],
+        ] {
+            let c = Constraint::parse(table.schema(), &bindings).unwrap();
+            assert_eq!(
+                counter.cardinality(&c),
+                table.context_cardinality(&c) as u64,
+                "constraint {bindings:?}"
+            );
+        }
+        // The top constraint covers every tuple.
+        let top = Constraint::top(3);
+        assert_eq!(counter.cardinality(&top), 5);
+    }
+
+    #[test]
+    fn unseen_constraints_have_zero_cardinality() {
+        let table = sample_table();
+        let mut counter = ContextCounter::new(3, 3);
+        for (_, tuple) in table.iter() {
+            counter.observe(tuple);
+        }
+        let c = Constraint::parse(table.schema(), &[("player", "Bogues"), ("team", "Celtics")])
+            .unwrap();
+        assert_eq!(counter.cardinality(&c), 0);
+    }
+
+    #[test]
+    fn cap_limits_tracked_constraints() {
+        let table = sample_table();
+        let mut capped = ContextCounter::new(3, 1);
+        let mut full = ContextCounter::new(3, 3);
+        for (_, tuple) in table.iter() {
+            capped.observe(tuple);
+            full.observe(tuple);
+        }
+        assert!(capped.tracked_constraints() < full.tracked_constraints());
+        // Single-attribute constraints are still exact under the cap.
+        let c = Constraint::parse(table.schema(), &[("team", "Celtics")]).unwrap();
+        assert_eq!(capped.cardinality(&c), 4);
+    }
+
+    #[test]
+    fn cardinality_for_mask_form() {
+        let table = sample_table();
+        let mut counter = ContextCounter::new(3, 3);
+        for (_, tuple) in table.iter() {
+            counter.observe(tuple);
+        }
+        let t = table.tuple(0); // Wesley, Celtics, Feb
+        assert_eq!(counter.cardinality_for(t, BoundMask::TOP), 5);
+        // player=Wesley ∧ team=Celtics -> 3 tuples.
+        assert_eq!(counter.cardinality_for(t, BoundMask::from_indices([0, 1])), 3);
+        // month=Feb -> 4 tuples.
+        assert_eq!(counter.cardinality_for(t, BoundMask::from_indices([2])), 4);
+    }
+
+    #[test]
+    fn heap_estimate_is_positive_after_observation() {
+        let mut counter = ContextCounter::new(3, 2);
+        assert_eq!(counter.approx_heap_bytes(), 0);
+        counter.observe(&Tuple::new(vec![0, 1, 2], vec![1.0]));
+        assert!(counter.approx_heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,421 @@
+//! File-backed skyline store (the paper's Section VI-C).
+//!
+//! Every non-empty `µ_{C,M}` cell is stored as one small binary file. When an
+//! algorithm visits a cell, the file is read into an in-memory buffer;
+//! insertions and deletions are applied to the buffer; when the algorithm
+//! moves on to another cell (or the store is flushed), a dirty buffer is
+//! written back, overwriting the file. The store keeps a lightweight index of
+//! non-empty cells so that visiting an empty cell costs no I/O at all — the
+//! property that makes `FSTopDown` beat `FSBottomUp` in the paper.
+
+use crate::stats::StoreStats;
+use crate::store::{SkylineStore, StoredEntry};
+use bytes::{Buf, BufMut, BytesMut};
+use sitfact_core::{Constraint, FxHashMap, SubspaceMask, TupleId, UNBOUND};
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CellKey {
+    constraint: Constraint,
+    subspace: SubspaceMask,
+}
+
+#[derive(Debug)]
+struct CellBuffer {
+    key: CellKey,
+    entries: Vec<StoredEntry>,
+    dirty: bool,
+}
+
+/// File-backed implementation of [`SkylineStore`].
+#[derive(Debug)]
+pub struct FileSkylineStore {
+    dir: PathBuf,
+    /// Entry counts of the non-empty cells (the index the paper implicitly
+    /// maintains to know which pairs have a file at all).
+    index: FxHashMap<CellKey, u32>,
+    /// Single-cell write-back buffer: the cell currently being processed.
+    buffer: Option<CellBuffer>,
+    file_reads: u64,
+    file_writes: u64,
+    bytes_on_disk: u64,
+}
+
+impl FileSkylineStore {
+    /// Creates a store rooted at `dir` (created if missing; existing cell
+    /// files from a previous run are ignored).
+    pub fn new(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(FileSkylineStore {
+            dir,
+            index: FxHashMap::default(),
+            buffer: None,
+            file_reads: 0,
+            file_writes: 0,
+            bytes_on_disk: 0,
+        })
+    }
+
+    /// Directory holding the cell files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn key(constraint: &Constraint, subspace: SubspaceMask) -> CellKey {
+        CellKey {
+            constraint: constraint.clone(),
+            subspace,
+        }
+    }
+
+    fn file_name(key: &CellKey) -> String {
+        let mut name = String::with_capacity(key.constraint.num_dims() * 9 + 12);
+        for &v in key.constraint.values() {
+            if v == UNBOUND {
+                name.push('x');
+            } else {
+                name.push_str(&format!("{v:x}"));
+            }
+            name.push('-');
+        }
+        name.push_str(&format!("m{:x}.sky", key.subspace.0));
+        name
+    }
+
+    fn path_for(&self, key: &CellKey) -> PathBuf {
+        self.dir.join(Self::file_name(key))
+    }
+
+    fn encode(entries: &[StoredEntry]) -> BytesMut {
+        let measures = entries.first().map_or(0, |e| e.measures.len());
+        let mut buf = BytesMut::with_capacity(8 + entries.len() * (4 + measures * 8));
+        buf.put_u32_le(entries.len() as u32);
+        buf.put_u32_le(measures as u32);
+        for e in entries {
+            buf.put_u32_le(e.id);
+            for &m in e.measures.iter() {
+                buf.put_f64_le(m);
+            }
+        }
+        buf
+    }
+
+    fn decode(mut data: &[u8]) -> Vec<StoredEntry> {
+        if data.len() < 8 {
+            return Vec::new();
+        }
+        let count = data.get_u32_le() as usize;
+        let measures = data.get_u32_le() as usize;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            if data.remaining() < 4 + measures * 8 {
+                break;
+            }
+            let id = data.get_u32_le();
+            let mut values = Vec::with_capacity(measures);
+            for _ in 0..measures {
+                values.push(data.get_f64_le());
+            }
+            out.push(StoredEntry {
+                id,
+                measures: values.into(),
+            });
+        }
+        out
+    }
+
+    /// Loads a cell into the write-back buffer, flushing any previously
+    /// buffered cell first.
+    fn load(&mut self, key: CellKey) {
+        if let Some(buffer) = &self.buffer {
+            if buffer.key == key {
+                return;
+            }
+        }
+        self.flush_buffer();
+        let entries = if self.index.contains_key(&key) {
+            let path = self.path_for(&key);
+            match fs::File::open(&path) {
+                Ok(mut file) => {
+                    let mut data = Vec::new();
+                    if file.read_to_end(&mut data).is_ok() {
+                        self.file_reads += 1;
+                        Self::decode(&data)
+                    } else {
+                        Vec::new()
+                    }
+                }
+                Err(_) => Vec::new(),
+            }
+        } else {
+            Vec::new()
+        };
+        self.buffer = Some(CellBuffer {
+            key,
+            entries,
+            dirty: false,
+        });
+    }
+
+    fn flush_buffer(&mut self) {
+        let Some(buffer) = self.buffer.take() else {
+            return;
+        };
+        if !buffer.dirty {
+            return;
+        }
+        let path = self.path_for(&buffer.key);
+        if buffer.entries.is_empty() {
+            if self.index.remove(&buffer.key).is_some() {
+                let _ = fs::remove_file(&path);
+                self.file_writes += 1;
+            }
+            return;
+        }
+        let data = Self::encode(&buffer.entries);
+        if let Ok(mut file) = fs::File::create(&path) {
+            if file.write_all(&data).is_ok() {
+                self.file_writes += 1;
+                self.bytes_on_disk = self
+                    .bytes_on_disk
+                    .saturating_add(data.len() as u64)
+                    .saturating_sub(
+                        self.index
+                            .get(&buffer.key)
+                            .map(|&c| 8 + c as u64 * (4 + buffer.entries.first().map_or(0, |e| e.measures.len() as u64) * 8))
+                            .unwrap_or(0),
+                    );
+                self.index
+                    .insert(buffer.key.clone(), buffer.entries.len() as u32);
+            }
+        }
+    }
+
+    /// Writes back any dirty buffered cell. Also called on drop.
+    pub fn flush(&mut self) {
+        self.flush_buffer();
+    }
+
+    /// Total number of cell files currently on disk.
+    pub fn file_count(&self) -> usize {
+        self.index.len()
+    }
+}
+
+impl Drop for FileSkylineStore {
+    fn drop(&mut self) {
+        self.flush_buffer();
+    }
+}
+
+impl SkylineStore for FileSkylineStore {
+    fn read(&mut self, constraint: &Constraint, subspace: SubspaceMask) -> std::sync::Arc<Vec<StoredEntry>> {
+        let key = Self::key(constraint, subspace);
+        self.load(key);
+        std::sync::Arc::new(
+            self.buffer
+                .as_ref()
+                .map(|b| b.entries.clone())
+                .unwrap_or_default(),
+        )
+    }
+
+    fn insert(&mut self, constraint: &Constraint, subspace: SubspaceMask, entry: StoredEntry) {
+        let key = Self::key(constraint, subspace);
+        self.load(key);
+        if let Some(buffer) = &mut self.buffer {
+            buffer.entries.push(entry);
+            buffer.dirty = true;
+        }
+    }
+
+    fn remove(&mut self, constraint: &Constraint, subspace: SubspaceMask, id: TupleId) -> bool {
+        let key = Self::key(constraint, subspace);
+        self.load(key);
+        if let Some(buffer) = &mut self.buffer {
+            if let Some(pos) = buffer.entries.iter().position(|e| e.id == id) {
+                buffer.entries.swap_remove(pos);
+                buffer.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn contains(&mut self, constraint: &Constraint, subspace: SubspaceMask, id: TupleId) -> bool {
+        let key = Self::key(constraint, subspace);
+        self.load(key);
+        self.buffer
+            .as_ref()
+            .is_some_and(|b| b.entries.iter().any(|e| e.id == id))
+    }
+
+    fn stats(&self) -> StoreStats {
+        let stored_entries: u64 = self.index.values().map(|&c| c as u64).sum::<u64>()
+            + self
+                .buffer
+                .as_ref()
+                .map(|b| {
+                    let indexed = self.index.get(&b.key).copied().unwrap_or(0) as i64;
+                    (b.entries.len() as i64 - indexed).max(0) as u64
+                })
+                .unwrap_or(0);
+        StoreStats {
+            stored_entries,
+            non_empty_cells: self.index.len() as u64,
+            approx_bytes: self.bytes_on_disk,
+            file_reads: self.file_reads,
+            file_writes: self.file_writes,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.buffer = None;
+        for key in self.index.keys() {
+            let _ = fs::remove_file(self.dir.join(Self::file_name(key)));
+        }
+        self.index.clear();
+        self.bytes_on_disk = 0;
+    }
+
+    fn flush(&mut self) {
+        FileSkylineStore::flush(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sitfact-filestore-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn constraint(values: Vec<u32>) -> Constraint {
+        Constraint::from_values(values)
+    }
+
+    #[test]
+    fn round_trip_through_files() {
+        let dir = temp_dir("roundtrip");
+        let mut store = FileSkylineStore::new(&dir).unwrap();
+        let c = constraint(vec![1, UNBOUND]);
+        let m = SubspaceMask(0b11);
+        store.insert(&c, m, StoredEntry::new(0, &[1.0, 2.0]));
+        store.insert(&c, m, StoredEntry::new(1, &[3.0, 4.0]));
+        // Force the buffer out to disk, then read it back.
+        store.flush();
+        assert_eq!(store.file_count(), 1);
+        let entries = store.read(&c, m);
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().any(|e| e.id == 0 && &*e.measures == [1.0, 2.0]));
+        assert!(entries.iter().any(|e| e.id == 1 && &*e.measures == [3.0, 4.0]));
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persists_across_buffer_eviction() {
+        let dir = temp_dir("evict");
+        let mut store = FileSkylineStore::new(&dir).unwrap();
+        let c1 = constraint(vec![1]);
+        let c2 = constraint(vec![2]);
+        store.insert(&c1, SubspaceMask(1), StoredEntry::new(0, &[1.0]));
+        // Touching another cell evicts (and persists) the first one.
+        store.insert(&c2, SubspaceMask(1), StoredEntry::new(1, &[2.0]));
+        assert_eq!(store.read(&c1, SubspaceMask(1)).len(), 1);
+        assert_eq!(store.read(&c2, SubspaceMask(1)).len(), 1);
+        let stats = store.stats();
+        assert!(stats.file_writes >= 1);
+        assert!(stats.file_reads >= 1);
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let dir = temp_dir("remove");
+        let mut store = FileSkylineStore::new(&dir).unwrap();
+        let c = constraint(vec![7, 8]);
+        let m = SubspaceMask(0b01);
+        store.insert(&c, m, StoredEntry::new(5, &[9.0]));
+        assert!(store.contains(&c, m, 5));
+        assert!(!store.contains(&c, m, 6));
+        assert!(store.remove(&c, m, 5));
+        assert!(!store.remove(&c, m, 5));
+        store.flush();
+        // The now-empty cell's file must be gone.
+        assert_eq!(store.file_count(), 0);
+        assert!(store.read(&c, m).is_empty());
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_cells_cost_no_reads() {
+        let dir = temp_dir("noreads");
+        let mut store = FileSkylineStore::new(&dir).unwrap();
+        let c = constraint(vec![1]);
+        for i in 0..50u32 {
+            let other = constraint(vec![100 + i]);
+            let _ = store.read(&other, SubspaceMask(1));
+        }
+        assert_eq!(store.stats().file_reads, 0);
+        store.insert(&c, SubspaceMask(1), StoredEntry::new(0, &[1.0]));
+        store.flush();
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_count_entries_including_buffer() {
+        let dir = temp_dir("stats");
+        let mut store = FileSkylineStore::new(&dir).unwrap();
+        let c = constraint(vec![1]);
+        store.insert(&c, SubspaceMask(1), StoredEntry::new(0, &[1.0]));
+        store.insert(&c, SubspaceMask(1), StoredEntry::new(1, &[2.0]));
+        // Not yet flushed: entries still counted.
+        assert_eq!(store.stats().stored_entries, 2);
+        store.flush();
+        assert_eq!(store.stats().stored_entries, 2);
+        assert_eq!(store.stats().non_empty_cells, 1);
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_files() {
+        let dir = temp_dir("clear");
+        let mut store = FileSkylineStore::new(&dir).unwrap();
+        let c = constraint(vec![1]);
+        store.insert(&c, SubspaceMask(1), StoredEntry::new(0, &[1.0]));
+        store.flush();
+        assert_eq!(store.file_count(), 1);
+        store.clear();
+        assert_eq!(store.file_count(), 0);
+        assert!(store.read(&c, SubspaceMask(1)).is_empty());
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn encode_decode_is_lossless() {
+        let entries = vec![
+            StoredEntry::new(1, &[1.5, -2.25, 0.0]),
+            StoredEntry::new(42, &[7.0, 8.0, 9.0]),
+        ];
+        let encoded = FileSkylineStore::encode(&entries);
+        let decoded = FileSkylineStore::decode(&encoded);
+        assert_eq!(entries, decoded);
+        assert!(FileSkylineStore::decode(&[]).is_empty());
+        assert!(FileSkylineStore::decode(&[1, 2, 3]).is_empty());
+    }
+}

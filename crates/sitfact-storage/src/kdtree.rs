@@ -1,0 +1,286 @@
+//! k-d tree over the measure space.
+//!
+//! `BaselineIdx` (Section IV of the paper) avoids scanning the whole table by
+//! asking, for each measure subspace `M`, the one-sided range query
+//! `⋀_{m_i ∈ M} (m_i ≥ t.m_i)`: which historical tuples are at least as good
+//! as the new tuple on every attribute of `M`? Those are the only tuples that
+//! can dominate `t` in `M`. The tree indexes the *canonical* measure vectors
+//! (lower-is-better attributes negated) so "better" is always "greater or
+//! equal".
+
+use sitfact_core::{Direction, SubspaceMask, Tuple, TupleId};
+
+#[derive(Debug, Clone)]
+struct Node {
+    point: Box<[f64]>,
+    id: TupleId,
+    left: Option<u32>,
+    right: Option<u32>,
+}
+
+/// A k-d tree keyed by canonical measure vectors, supporting insertion and
+/// one-sided ("at least as good on these attributes") range queries.
+///
+/// Points are inserted in arrival order without rebalancing — adequate for the
+/// streaming workloads of the paper, where the tree is only a baseline
+/// substrate.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    dims: usize,
+    directions: Vec<Direction>,
+    nodes: Vec<Node>,
+    root: Option<u32>,
+}
+
+impl KdTree {
+    /// Creates an empty tree over measures with the given directions.
+    pub fn new(directions: &[Direction]) -> Self {
+        KdTree {
+            dims: directions.len(),
+            directions: directions.to_vec(),
+            nodes: Vec::new(),
+            root: None,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn canonical(&self, tuple: &Tuple) -> Box<[f64]> {
+        (0..self.dims)
+            .map(|i| self.directions[i].canonical(tuple.measure(i)))
+            .collect()
+    }
+
+    /// Inserts a tuple's measures under its id.
+    pub fn insert(&mut self, id: TupleId, tuple: &Tuple) {
+        debug_assert_eq!(tuple.num_measures(), self.dims);
+        let point = self.canonical(tuple);
+        let new_index = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            point,
+            id,
+            left: None,
+            right: None,
+        });
+        let Some(mut current) = self.root else {
+            self.root = Some(new_index);
+            return;
+        };
+        let mut depth = 0usize;
+        loop {
+            let axis = depth % self.dims;
+            let go_left = self.nodes[new_index as usize].point[axis]
+                < self.nodes[current as usize].point[axis];
+            let next = if go_left {
+                self.nodes[current as usize].left
+            } else {
+                self.nodes[current as usize].right
+            };
+            match next {
+                Some(child) => {
+                    current = child;
+                    depth += 1;
+                }
+                None => {
+                    if go_left {
+                        self.nodes[current as usize].left = Some(new_index);
+                    } else {
+                        self.nodes[current as usize].right = Some(new_index);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Returns the ids of all indexed tuples whose canonical measures are
+    /// greater than or equal to `query`'s on **every** attribute of
+    /// `subspace` — the candidate dominators of `query` in that subspace.
+    ///
+    /// Callers still need a strictness check (a candidate equal to the query
+    /// on every attribute of the subspace does not dominate it).
+    pub fn candidates_at_least(&self, query: &Tuple, subspace: SubspaceMask) -> Vec<TupleId> {
+        let q = self.canonical(query);
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.collect(root, 0, &q, subspace, &mut out);
+        }
+        out
+    }
+
+    fn collect(
+        &self,
+        node_index: u32,
+        depth: usize,
+        query: &[f64],
+        subspace: SubspaceMask,
+        out: &mut Vec<TupleId>,
+    ) {
+        let node = &self.nodes[node_index as usize];
+        let satisfies = subspace.indices().all(|i| node.point[i] >= query[i]);
+        if satisfies {
+            out.push(node.id);
+        }
+        let axis = depth % self.dims;
+        // The left subtree only holds points whose coordinate on `axis` is
+        // strictly below this node's; if the query demands at least
+        // `query[axis]` on a constrained axis and this node is already below
+        // that, nothing on the left can qualify.
+        let skip_left = subspace.contains(axis) && node.point[axis] < query[axis];
+        if !skip_left {
+            if let Some(left) = node.left {
+                self.collect(left, depth + 1, query, subspace, out);
+            }
+        }
+        if let Some(right) = node.right {
+            self.collect(right, depth + 1, query, subspace, out);
+        }
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.nodes.len() * (self.dims * 8 + std::mem::size_of::<Node>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(measures: &[f64]) -> Tuple {
+        Tuple::new(vec![0], measures.to_vec())
+    }
+
+    fn higher(n: usize) -> Vec<Direction> {
+        vec![Direction::HigherIsBetter; n]
+    }
+
+    /// Brute-force reference for the one-sided query.
+    fn reference(
+        points: &[(TupleId, Tuple)],
+        query: &Tuple,
+        subspace: SubspaceMask,
+        dirs: &[Direction],
+    ) -> Vec<TupleId> {
+        let mut out: Vec<TupleId> = points
+            .iter()
+            .filter(|(_, p)| {
+                subspace
+                    .indices()
+                    .all(|i| dirs[i].better_or_equal(p.measure(i), query.measure(i)))
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let tree = KdTree::new(&higher(2));
+        assert!(tree.is_empty());
+        assert!(tree
+            .candidates_at_least(&tuple(&[0.0, 0.0]), SubspaceMask::full(2))
+            .is_empty());
+    }
+
+    #[test]
+    fn finds_dominating_candidates() {
+        let dirs = higher(3);
+        let mut tree = KdTree::new(&dirs);
+        let points = [
+            [10.0, 15.0, 1.0],
+            [15.0, 10.0, 2.0],
+            [17.0, 17.0, 3.0],
+            [20.0, 20.0, 4.0],
+            [11.0, 15.0, 0.5],
+        ];
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(i as TupleId, &tuple(p));
+        }
+        assert_eq!(tree.len(), 5);
+        // Who is at least (11, 15, *) on {m0, m1}? -> t0 fails m0? t0=(10,..) fails.
+        let q = tuple(&[11.0, 15.0, 0.0]);
+        let mut found = tree.candidates_at_least(&q, SubspaceMask::from_indices([0, 1]));
+        found.sort_unstable();
+        assert_eq!(found, vec![2, 3, 4]);
+        // Full-space query from the origin returns everything.
+        let all = tree.candidates_at_least(&tuple(&[0.0, 0.0, 0.0]), SubspaceMask::full(3));
+        assert_eq!(all.len(), 5);
+        // A query above everything returns nothing.
+        let none = tree.candidates_at_least(&tuple(&[99.0, 99.0, 99.0]), SubspaceMask::full(3));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn respects_lower_is_better_directions() {
+        let dirs = vec![Direction::HigherIsBetter, Direction::LowerIsBetter];
+        let mut tree = KdTree::new(&dirs);
+        // (points, fouls): fewer fouls is better.
+        tree.insert(0, &tuple(&[20.0, 5.0]));
+        tree.insert(1, &tuple(&[20.0, 1.0]));
+        tree.insert(2, &tuple(&[10.0, 1.0]));
+        let q = tuple(&[15.0, 3.0]);
+        let mut found = tree.candidates_at_least(&q, SubspaceMask::full(2));
+        found.sort_unstable();
+        // Only t1 has >= points and <= fouls.
+        assert_eq!(found, vec![1]);
+    }
+
+    #[test]
+    fn matches_reference_on_random_data() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        let dirs = vec![
+            Direction::HigherIsBetter,
+            Direction::LowerIsBetter,
+            Direction::HigherIsBetter,
+            Direction::HigherIsBetter,
+        ];
+        let mut tree = KdTree::new(&dirs);
+        let mut points = Vec::new();
+        for i in 0..300u32 {
+            let t = tuple(&[
+                rng.gen_range(0..20) as f64,
+                rng.gen_range(0..20) as f64,
+                rng.gen_range(0..20) as f64,
+                rng.gen_range(0..20) as f64,
+            ]);
+            tree.insert(i, &t);
+            points.push((i, t));
+        }
+        for _ in 0..50 {
+            let q = tuple(&[
+                rng.gen_range(0..20) as f64,
+                rng.gen_range(0..20) as f64,
+                rng.gen_range(0..20) as f64,
+                rng.gen_range(0..20) as f64,
+            ]);
+            for mask in [0b1111u32, 0b0011, 0b1010, 0b0100, 0b0001] {
+                let subspace = SubspaceMask(mask);
+                let mut found = tree.candidates_at_least(&q, subspace);
+                found.sort_unstable();
+                let expected = reference(&points, &q, subspace, &dirs);
+                assert_eq!(found, expected, "mask {mask:04b} query {:?}", q.measures());
+            }
+        }
+    }
+
+    #[test]
+    fn heap_estimate_grows() {
+        let mut tree = KdTree::new(&higher(2));
+        let empty = tree.approx_heap_bytes();
+        for i in 0..100 {
+            tree.insert(i, &tuple(&[i as f64, 1.0]));
+        }
+        assert!(tree.approx_heap_bytes() > empty);
+    }
+}

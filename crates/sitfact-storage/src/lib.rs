@@ -1,0 +1,34 @@
+//! # sitfact-storage
+//!
+//! Storage substrates for incremental situational-fact discovery:
+//!
+//! * [`Table`] — the append-only relation `R` holding the historical tuples;
+//! * [`ContextCounter`] — incremental maintenance of the context cardinalities
+//!   `|σ_C(R)|` needed by the prominence measure;
+//! * [`SkylineStore`] — the `µ_{C,M}` abstraction of the paper (one cell of
+//!   skyline tuples per constraint–measure pair) with an in-memory backend
+//!   ([`MemorySkylineStore`]) and a file-backed backend ([`FileSkylineStore`],
+//!   Section VI-C of the paper);
+//! * [`KdTree`] — the k-d tree used by the `BaselineIdx` algorithm for
+//!   one-sided ("who dominates me") range queries over the measure space;
+//! * [`WorkStats`] / [`StoreStats`] — the counters behind the paper's
+//!   work/memory experiments (Figs. 10–11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod file_store;
+pub mod kdtree;
+pub mod memory_store;
+pub mod stats;
+pub mod store;
+pub mod table;
+
+pub use context::ContextCounter;
+pub use file_store::FileSkylineStore;
+pub use kdtree::KdTree;
+pub use memory_store::MemorySkylineStore;
+pub use stats::{StoreStats, WorkStats};
+pub use store::{SkylineStore, StoredEntry};
+pub use table::Table;

@@ -1,0 +1,254 @@
+//! In-memory skyline store: nested hash maps from constraint to subspace to a
+//! copy-on-write vector of entries.
+
+use crate::stats::StoreStats;
+use crate::store::{SkylineStore, StoredEntry};
+use sitfact_core::{Constraint, FxHashMap, SubspaceMask, TupleId};
+use std::sync::Arc;
+
+/// In-memory implementation of [`SkylineStore`].
+///
+/// Cells are created lazily on first insert; empty cells are removed so that
+/// the map size tracks the number of *non-empty* cells (which is what the
+/// file-backed variant pays I/O for and what the memory experiment reports).
+///
+/// Cell contents are `Arc<Vec<_>>`: a read is a reference-count bump (the
+/// discovery algorithms read a cell once per visited constraint per subspace,
+/// which is by far the hottest operation), and mutations copy-on-write only
+/// when a snapshot of the same cell is still alive.
+#[derive(Debug)]
+pub struct MemorySkylineStore {
+    cells: FxHashMap<Constraint, FxHashMap<SubspaceMask, Arc<Vec<StoredEntry>>>>,
+    stored_entries: u64,
+    non_empty_cells: u64,
+    empty: Arc<Vec<StoredEntry>>,
+}
+
+impl Default for MemorySkylineStore {
+    fn default() -> Self {
+        MemorySkylineStore {
+            cells: FxHashMap::default(),
+            stored_entries: 0,
+            non_empty_cells: 0,
+            empty: Arc::new(Vec::new()),
+        }
+    }
+}
+
+impl MemorySkylineStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Iterates over all non-empty cells (used by prominence queries and by
+    /// tests asserting the paper's invariants).
+    pub fn iter_cells(
+        &self,
+    ) -> impl Iterator<Item = (&Constraint, SubspaceMask, &[StoredEntry])> {
+        self.cells.iter().flat_map(|(constraint, by_subspace)| {
+            by_subspace
+                .iter()
+                .map(move |(&subspace, entries)| (constraint, subspace, entries.as_slice()))
+        })
+    }
+
+    /// Number of entries stored in a specific cell without copying them.
+    pub fn cell_len(&self, constraint: &Constraint, subspace: SubspaceMask) -> usize {
+        self.cells
+            .get(constraint)
+            .and_then(|by_subspace| by_subspace.get(&subspace))
+            .map_or(0, |entries| entries.len())
+    }
+}
+
+impl SkylineStore for MemorySkylineStore {
+    fn read(&mut self, constraint: &Constraint, subspace: SubspaceMask) -> Arc<Vec<StoredEntry>> {
+        self.cells
+            .get(constraint)
+            .and_then(|by_subspace| by_subspace.get(&subspace))
+            .cloned()
+            .unwrap_or_else(|| Arc::clone(&self.empty))
+    }
+
+    fn insert(&mut self, constraint: &Constraint, subspace: SubspaceMask, entry: StoredEntry) {
+        let by_subspace = self.cells.entry(constraint.clone()).or_default();
+        let cell = by_subspace.entry(subspace).or_default();
+        if cell.is_empty() {
+            self.non_empty_cells += 1;
+        }
+        Arc::make_mut(cell).push(entry);
+        self.stored_entries += 1;
+    }
+
+    fn remove(&mut self, constraint: &Constraint, subspace: SubspaceMask, id: TupleId) -> bool {
+        let Some(by_subspace) = self.cells.get_mut(constraint) else {
+            return false;
+        };
+        let Some(cell) = by_subspace.get_mut(&subspace) else {
+            return false;
+        };
+        let Some(pos) = cell.iter().position(|e| e.id == id) else {
+            return false;
+        };
+        Arc::make_mut(cell).swap_remove(pos);
+        self.stored_entries -= 1;
+        if cell.is_empty() {
+            by_subspace.remove(&subspace);
+            self.non_empty_cells -= 1;
+            if by_subspace.is_empty() {
+                self.cells.remove(constraint);
+            }
+        }
+        true
+    }
+
+    fn contains(&mut self, constraint: &Constraint, subspace: SubspaceMask, id: TupleId) -> bool {
+        self.cells
+            .get(constraint)
+            .and_then(|by_subspace| by_subspace.get(&subspace))
+            .is_some_and(|cell| cell.iter().any(|e| e.id == id))
+    }
+
+    fn stats(&self) -> StoreStats {
+        // Estimate bytes: per entry an id + shared measures; per cell the key
+        // (constraint values + mask) plus Vec and map-bucket overhead.
+        let mut bytes = 0u64;
+        for (constraint, by_subspace) in &self.cells {
+            bytes += (constraint.num_dims() * 4 + 48) as u64;
+            for cell in by_subspace.values() {
+                let measures = cell.first().map_or(0, |e| e.measures.len());
+                let per_entry = 8 + 16 + measures * 8;
+                bytes += 32 + (cell.len() * per_entry) as u64;
+            }
+        }
+        StoreStats {
+            stored_entries: self.stored_entries,
+            non_empty_cells: self.non_empty_cells,
+            approx_bytes: bytes,
+            file_reads: 0,
+            file_writes: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.cells.clear();
+        self.stored_entries = 0;
+        self.non_empty_cells = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constraint(values: Vec<u32>) -> Constraint {
+        Constraint::from_values(values)
+    }
+
+    #[test]
+    fn insert_read_remove_cycle() {
+        let mut store = MemorySkylineStore::new();
+        let c = constraint(vec![1, u32::MAX]);
+        let m = SubspaceMask(0b11);
+        assert!(store.read(&c, m).is_empty());
+
+        store.insert(&c, m, StoredEntry::new(0, &[1.0, 2.0]));
+        store.insert(&c, m, StoredEntry::new(1, &[3.0, 4.0]));
+        assert_eq!(store.read(&c, m).len(), 2);
+        assert!(store.contains(&c, m, 0));
+        assert!(store.contains(&c, m, 1));
+        assert!(!store.contains(&c, m, 2));
+        assert_eq!(store.cell_len(&c, m), 2);
+
+        assert!(store.remove(&c, m, 0));
+        assert!(!store.remove(&c, m, 0));
+        assert_eq!(store.read(&c, m).len(), 1);
+        assert_eq!(store.read(&c, m)[0].id, 1);
+    }
+
+    #[test]
+    fn read_snapshots_survive_mutation() {
+        // The algorithms read a cell and keep iterating the snapshot while
+        // removing entries from the same cell; copy-on-write must keep the
+        // snapshot intact.
+        let mut store = MemorySkylineStore::new();
+        let c = constraint(vec![5]);
+        let m = SubspaceMask(0b1);
+        store.insert(&c, m, StoredEntry::new(0, &[1.0]));
+        store.insert(&c, m, StoredEntry::new(1, &[2.0]));
+        let snapshot = store.read(&c, m);
+        assert!(store.remove(&c, m, 0));
+        store.insert(&c, m, StoredEntry::new(2, &[3.0]));
+        assert_eq!(snapshot.len(), 2, "snapshot must be unaffected");
+        assert_eq!(store.cell_len(&c, m), 2);
+        assert!(store.contains(&c, m, 2));
+        assert!(!store.contains(&c, m, 0));
+    }
+
+    #[test]
+    fn cells_are_independent() {
+        let mut store = MemorySkylineStore::new();
+        let c1 = constraint(vec![1, u32::MAX]);
+        let c2 = constraint(vec![u32::MAX, 2]);
+        store.insert(&c1, SubspaceMask(0b01), StoredEntry::new(0, &[1.0]));
+        store.insert(&c1, SubspaceMask(0b10), StoredEntry::new(0, &[1.0]));
+        store.insert(&c2, SubspaceMask(0b01), StoredEntry::new(1, &[2.0]));
+        assert_eq!(store.read(&c1, SubspaceMask(0b01)).len(), 1);
+        assert_eq!(store.read(&c1, SubspaceMask(0b10)).len(), 1);
+        assert_eq!(store.read(&c2, SubspaceMask(0b01)).len(), 1);
+        assert_eq!(store.read(&c2, SubspaceMask(0b10)).len(), 0);
+        assert_eq!(store.stats().stored_entries, 3);
+        assert_eq!(store.stats().non_empty_cells, 3);
+    }
+
+    #[test]
+    fn stats_track_entries_and_bytes() {
+        let mut store = MemorySkylineStore::new();
+        let c = constraint(vec![0]);
+        assert_eq!(store.stats().approx_bytes, 0);
+        for i in 0..10 {
+            store.insert(&c, SubspaceMask(1), StoredEntry::new(i, &[i as f64]));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.stored_entries, 10);
+        assert_eq!(stats.non_empty_cells, 1);
+        assert!(stats.approx_bytes > 0);
+        assert_eq!(stats.file_reads, 0);
+        assert_eq!(stats.file_writes, 0);
+    }
+
+    #[test]
+    fn removing_last_entry_removes_the_cell() {
+        let mut store = MemorySkylineStore::new();
+        let c = constraint(vec![0]);
+        store.insert(&c, SubspaceMask(1), StoredEntry::new(0, &[1.0]));
+        assert_eq!(store.stats().non_empty_cells, 1);
+        store.remove(&c, SubspaceMask(1), 0);
+        assert_eq!(store.stats().non_empty_cells, 0);
+        assert_eq!(store.stats().stored_entries, 0);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut store = MemorySkylineStore::new();
+        let c = constraint(vec![0]);
+        store.insert(&c, SubspaceMask(1), StoredEntry::new(0, &[1.0]));
+        store.clear();
+        assert_eq!(store.stats(), StoreStats::default());
+        assert!(store.read(&c, SubspaceMask(1)).is_empty());
+    }
+
+    #[test]
+    fn iter_cells_visits_all() {
+        let mut store = MemorySkylineStore::new();
+        let c1 = constraint(vec![1]);
+        let c2 = constraint(vec![2]);
+        store.insert(&c1, SubspaceMask(1), StoredEntry::new(0, &[1.0]));
+        store.insert(&c2, SubspaceMask(1), StoredEntry::new(1, &[2.0]));
+        let cells: Vec<_> = store.iter_cells().collect();
+        assert_eq!(cells.len(), 2);
+        let total: usize = cells.iter().map(|(_, _, entries)| entries.len()).sum();
+        assert_eq!(total, 2);
+    }
+}

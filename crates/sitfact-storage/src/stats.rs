@@ -1,0 +1,83 @@
+//! Counters behind the paper's work and memory experiments.
+
+/// Work performed by a discovery algorithm, accumulated across all processed
+/// tuples (Fig. 11 of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkStats {
+    /// Number of tuple-vs-tuple dominance comparisons (Fig. 11a).
+    pub comparisons: u64,
+    /// Number of constraint lattice nodes visited across all measure
+    /// subspaces (Fig. 11b).
+    pub traversed_constraints: u64,
+    /// Number of `µ_{C,M}` cells read from the skyline store.
+    pub store_reads: u64,
+    /// Number of `µ_{C,M}` cell mutations (inserts + removes).
+    pub store_writes: u64,
+}
+
+impl WorkStats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = WorkStats::default();
+    }
+
+    /// Adds another stats record into this one.
+    pub fn merge(&mut self, other: &WorkStats) {
+        self.comparisons += other.comparisons;
+        self.traversed_constraints += other.traversed_constraints;
+        self.store_reads += other.store_reads;
+        self.store_writes += other.store_writes;
+    }
+}
+
+/// Storage consumed by a skyline store (Fig. 10 of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total number of skyline tuples stored across all `(C, M)` cells —
+    /// the y-axis of Fig. 10b. A tuple stored in k cells counts k times.
+    pub stored_entries: u64,
+    /// Number of non-empty `(C, M)` cells.
+    pub non_empty_cells: u64,
+    /// Approximate heap (or file) bytes consumed — the y-axis of Fig. 10a.
+    pub approx_bytes: u64,
+    /// File read operations performed (0 for the in-memory backend).
+    pub file_reads: u64,
+    /// File write operations performed (0 for the in-memory backend).
+    pub file_writes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_stats_merge_and_reset() {
+        let mut a = WorkStats {
+            comparisons: 10,
+            traversed_constraints: 5,
+            store_reads: 2,
+            store_writes: 1,
+        };
+        let b = WorkStats {
+            comparisons: 1,
+            traversed_constraints: 2,
+            store_reads: 3,
+            store_writes: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.comparisons, 11);
+        assert_eq!(a.traversed_constraints, 7);
+        assert_eq!(a.store_reads, 5);
+        assert_eq!(a.store_writes, 5);
+        a.reset();
+        assert_eq!(a, WorkStats::default());
+    }
+
+    #[test]
+    fn store_stats_default_is_zero() {
+        let s = StoreStats::default();
+        assert_eq!(s.stored_entries, 0);
+        assert_eq!(s.approx_bytes, 0);
+        assert_eq!(s.file_reads, 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! The append-only relation `R(D; M)`.
+
+use sitfact_core::{Constraint, Result, Schema, SitFactError, Tuple, TupleId};
+
+/// An append-only table of tuples under a fixed [`Schema`].
+///
+/// The table owns the schema (and therefore the dimension dictionaries), so
+/// raw string records can be ingested with [`Table::append_raw`]; already
+/// encoded tuples are appended with [`Table::append`]. Tuples are never
+/// updated or deleted — the paper's model is an ever-growing relation whose
+/// appends correspond to real-world events.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Creates an empty table with pre-allocated capacity.
+    pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
+        Table {
+            schema,
+            tuples: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Mutable access to the schema (needed to intern new dictionary values
+    /// when tuples are produced outside [`Table::append_raw`]).
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// Number of tuples currently stored.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The id that the *next* appended tuple will receive.
+    pub fn next_id(&self) -> TupleId {
+        self.tuples.len() as TupleId
+    }
+
+    /// Appends an already-encoded tuple after validating it against the
+    /// schema. Returns the assigned [`TupleId`].
+    pub fn append(&mut self, tuple: Tuple) -> Result<TupleId> {
+        let tuple = Tuple::validated(tuple.dims().to_vec(), tuple.measures().to_vec(), &self.schema)?;
+        let id = self.next_id();
+        self.tuples.push(tuple);
+        Ok(id)
+    }
+
+    /// Interns the dimension strings, validates the measures and appends the
+    /// resulting tuple.
+    pub fn append_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<TupleId> {
+        let ids = self.schema.intern_dims(dims)?;
+        let tuple = Tuple::validated(ids, measures, &self.schema)?;
+        let id = self.next_id();
+        self.tuples.push(tuple);
+        Ok(id)
+    }
+
+    /// The tuple with the given id, if it exists.
+    pub fn get(&self, id: TupleId) -> Option<&Tuple> {
+        self.tuples.get(id as usize)
+    }
+
+    /// The tuple with the given id; panics when out of range.
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id as usize]
+    }
+
+    /// Iterates `(id, tuple)` pairs in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TupleId, t))
+    }
+
+    /// Iterates only the tuples that satisfy `constraint` — the context
+    /// `σ_C(R)` of the paper.
+    pub fn context<'a>(
+        &'a self,
+        constraint: &'a Constraint,
+    ) -> impl Iterator<Item = (TupleId, &'a Tuple)> + 'a {
+        self.iter().filter(move |(_, t)| constraint.matches(t))
+    }
+
+    /// Number of tuples satisfying `constraint` (`|σ_C(R)|`), computed by a
+    /// scan. The incremental [`ContextCounter`](crate::ContextCounter) should
+    /// be preferred on hot paths; this method is the ground truth for tests.
+    pub fn context_cardinality(&self, constraint: &Constraint) -> usize {
+        self.context(constraint).count()
+    }
+
+    /// Approximate heap usage of the stored tuples plus dictionaries, used by
+    /// the memory experiment (Fig. 10a).
+    pub fn approx_heap_bytes(&self) -> usize {
+        let per_tuple = self.schema.num_dimensions() * std::mem::size_of::<u32>()
+            + self.schema.num_measures() * std::mem::size_of::<f64>()
+            + 2 * std::mem::size_of::<Vec<u8>>();
+        self.tuples.len() * per_tuple + self.schema.approx_heap_bytes()
+    }
+
+    /// Validation helper: returns an error when `id` does not exist.
+    pub fn require(&self, id: TupleId) -> Result<&Tuple> {
+        self.get(id)
+            .ok_or_else(|| SitFactError::InvalidTuple(format!("tuple id {id} out of range")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitfact_core::{Direction, SchemaBuilder, UNBOUND};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("gamelog")
+            .dimension("player")
+            .dimension("team")
+            .measure("points", Direction::HigherIsBetter)
+            .measure("assists", Direction::HigherIsBetter)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn append_assigns_sequential_ids() {
+        let mut t = Table::new(schema());
+        assert!(t.is_empty());
+        let a = t.append_raw(&["Wesley", "Celtics"], vec![12.0, 13.0]).unwrap();
+        let b = t.append_raw(&["Bogues", "Hornets"], vec![4.0, 12.0]).unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.next_id(), 2);
+        assert_eq!(t.tuple(0).measures(), &[12.0, 13.0]);
+        assert!(t.get(5).is_none());
+        assert!(t.require(5).is_err());
+        assert!(t.require(1).is_ok());
+    }
+
+    #[test]
+    fn append_validates_against_schema() {
+        let mut t = Table::new(schema());
+        assert!(t.append_raw(&["Wesley"], vec![12.0, 13.0]).is_err());
+        assert!(t
+            .append_raw(&["Wesley", "Celtics"], vec![f64::NAN, 1.0])
+            .is_err());
+        let bad = Tuple::new(vec![0, 0, 0], vec![1.0, 2.0]);
+        assert!(t.append(bad).is_err());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn context_selection_matches_constraint() {
+        let mut t = Table::new(schema());
+        t.append_raw(&["Wesley", "Celtics"], vec![2.0, 5.0]).unwrap();
+        t.append_raw(&["Wesley", "Celtics"], vec![3.0, 5.0]).unwrap();
+        t.append_raw(&["Sherman", "Celtics"], vec![13.0, 13.0]).unwrap();
+        t.append_raw(&["Strickland", "Blazers"], vec![27.0, 18.0]).unwrap();
+
+        let celtics = Constraint::parse(t.schema(), &[("team", "Celtics")]).unwrap();
+        assert_eq!(t.context_cardinality(&celtics), 3);
+        let wesley_celtics =
+            Constraint::parse(t.schema(), &[("player", "Wesley"), ("team", "Celtics")]).unwrap();
+        assert_eq!(t.context_cardinality(&wesley_celtics), 2);
+        let ids: Vec<TupleId> = t.context(&wesley_celtics).map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        // The top constraint selects everything.
+        let top = Constraint::from_values(vec![UNBOUND, UNBOUND]);
+        assert_eq!(t.context_cardinality(&top), 4);
+    }
+
+    #[test]
+    fn iteration_is_in_arrival_order() {
+        let mut t = Table::new(schema());
+        for i in 0..10 {
+            t.append_raw(&["p", "t"], vec![i as f64, 0.0]).unwrap();
+        }
+        let ids: Vec<TupleId> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heap_estimate_grows_with_rows() {
+        let mut t = Table::new(schema());
+        let before = t.approx_heap_bytes();
+        for _ in 0..100 {
+            t.append_raw(&["p", "t"], vec![1.0, 2.0]).unwrap();
+        }
+        assert!(t.approx_heap_bytes() > before);
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: discover situational facts on the paper's mini-world of
+//! basketball gamelogs (Table I) and print them ranked by prominence.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use situational_facts::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Declare the relation: dimension attributes describe the situation,
+    //    measure attributes are compared by dominance.
+    let schema = SchemaBuilder::new("gamelog")
+        .dimension("player")
+        .dimension("month")
+        .dimension("season")
+        .dimension("team")
+        .dimension("opp_team")
+        .measure("points", Direction::HigherIsBetter)
+        .measure("assists", Direction::HigherIsBetter)
+        .measure("rebounds", Direction::HigherIsBetter)
+        .build()?;
+
+    // 2. Pick a discovery algorithm (STopDown = Algorithm 6, the most
+    //    scalable one) and wrap it in a FactMonitor that ranks facts by
+    //    prominence |σ_C(R)| / |λ_M(σ_C(R))|.
+    let algo = STopDown::new(&schema, DiscoveryConfig::unrestricted());
+    let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default().with_tau(2.0));
+
+    // 3. Stream the historical tuples t1..t6 of Table I.
+    let history: [(&str, &str, &str, &str, &str, [f64; 3]); 6] = [
+        ("Bogues", "Feb", "1991-92", "Hornets", "Hawks", [4.0, 12.0, 5.0]),
+        ("Seikaly", "Feb", "1991-92", "Heat", "Hawks", [24.0, 5.0, 15.0]),
+        ("Sherman", "Dec", "1993-94", "Celtics", "Nets", [13.0, 13.0, 5.0]),
+        ("Wesley", "Feb", "1994-95", "Celtics", "Nets", [2.0, 5.0, 2.0]),
+        ("Wesley", "Feb", "1994-95", "Celtics", "Timberwolves", [3.0, 5.0, 3.0]),
+        ("Strickland", "Jan", "1995-96", "Blazers", "Celtics", [27.0, 18.0, 8.0]),
+    ];
+    for (player, month, season, team, opp, stats) in history {
+        monitor.ingest_raw(&[player, month, season, team, opp], stats.to_vec())?;
+    }
+
+    // 4. The new arrival t7: Wesley's 12/13/5 game for the Celtics vs the Nets.
+    let report = monitor.ingest_raw(
+        &["Wesley", "Feb", "1995-96", "Celtics", "Nets"],
+        vec![12.0, 13.0, 5.0],
+    )?;
+
+    let schema = monitor.table().schema();
+    println!(
+        "t7 enters {} contextual skylines; highest prominence {:.1}",
+        report.facts.len(),
+        report.max_prominence().unwrap_or(0.0)
+    );
+    println!("\nTop facts:");
+    let new_tuple = monitor.table().tuple(report.tuple_id);
+    for fact in report.top_k(5) {
+        println!("  • {}", fact.display(schema));
+        println!("    {}", narrate(schema, new_tuple, fact));
+    }
+    println!(
+        "\nProminent facts (ties at the maximum, τ = {}): {}",
+        monitor.config().tau,
+        report.prominent_count
+    );
+    Ok(())
+}

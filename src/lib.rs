@@ -1,0 +1,77 @@
+//! # situational-facts
+//!
+//! A Rust implementation of **incremental discovery of prominent situational
+//! facts** (Sultana, Hassan, Li, Yang, Yu — ICDE 2014): watch an append-only
+//! table and, for every arriving tuple, find the contexts and measure
+//! combinations in which it stands out against all of history, ranked by how
+//! rare such a standing is.
+//!
+//! This facade crate re-exports the whole public API of the workspace:
+//!
+//! * [`core`] — schemas, tuples, constraints, measure subspaces, dominance;
+//! * [`storage`] — the append-only table, skyline stores and k-d tree;
+//! * [`algos`] — the discovery algorithms (`BottomUp`, `TopDown`, shared and
+//!   file-backed variants, plus the paper's baselines);
+//! * [`prominence`] — prominence ranking, thresholds and narration;
+//! * [`datagen`] — synthetic NBA / weather / stock workloads and CSV IO.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use situational_facts::prelude::*;
+//!
+//! // A table of basketball box scores: who did what, against whom.
+//! let schema = SchemaBuilder::new("gamelog")
+//!     .dimension("player")
+//!     .dimension("team")
+//!     .dimension("opp_team")
+//!     .measure("points", Direction::HigherIsBetter)
+//!     .measure("assists", Direction::HigherIsBetter)
+//!     .measure("rebounds", Direction::HigherIsBetter)
+//!     .build()
+//!     .unwrap();
+//!
+//! // STopDown is the paper's most scalable algorithm; the monitor ranks the
+//! // discovered facts by prominence.
+//! let algo = STopDown::new(&schema, DiscoveryConfig::unrestricted());
+//! let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default().with_tau(2.0));
+//!
+//! monitor.ingest_raw(&["Bogues", "Hornets", "Hawks"], vec![4.0, 12.0, 5.0]).unwrap();
+//! monitor.ingest_raw(&["Seikaly", "Heat", "Hawks"], vec![24.0, 5.0, 15.0]).unwrap();
+//! let report = monitor
+//!     .ingest_raw(&["Wesley", "Celtics", "Nets"], vec![12.0, 13.0, 5.0])
+//!     .unwrap();
+//! assert!(!report.facts.is_empty());
+//! for fact in report.top_k(3) {
+//!     println!("{}", fact.display(monitor.table().schema()));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sitfact_algos as algos;
+pub use sitfact_core as core;
+pub use sitfact_datagen as datagen;
+pub use sitfact_prominence as prominence;
+pub use sitfact_storage as storage;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use sitfact_algos::{
+        AlgorithmKind, BaselineIdx, BaselineSeq, BottomUp, BruteForce, CCsc, Discovery,
+        FsBottomUp, FsTopDown, SBottomUp, STopDown, TopDown,
+    };
+    pub use sitfact_core::{
+        BoundMask, Constraint, ConstraintLattice, Dictionary, DiscoveryConfig, Direction,
+        Schema, SchemaBuilder, SkylinePair, SubspaceMask, Tuple, TupleId,
+    };
+    pub use sitfact_datagen::{DataGenerator, Row};
+    pub use sitfact_prominence::{
+        narrate, ArrivalReport, DistributionStats, FactMonitor, MonitorConfig, RankedFact,
+    };
+    pub use sitfact_storage::{
+        ContextCounter, FileSkylineStore, KdTree, MemorySkylineStore, SkylineStore, StoreStats,
+        Table, WorkStats,
+    };
+}

@@ -1,0 +1,167 @@
+//! Property-based tests (proptest) for the core invariants the algorithms
+//! rely on: the dominance relation is a strict partial order, Proposition 4's
+//! partition agrees with direct dominance in every subspace, constraint
+//! subsumption mirrors the bound-mask lattice, skyline constraints are
+//! downward-closed, and the incremental algorithms match the brute-force
+//! reference on arbitrary streams.
+
+use proptest::prelude::*;
+use situational_facts::prelude::*;
+use sitfact_core::dominance::{self, DominancePartition};
+use sitfact_core::pair::canonical_sort;
+
+const DIRS: [Direction; 3] = [
+    Direction::HigherIsBetter,
+    Direction::LowerIsBetter,
+    Direction::HigherIsBetter,
+];
+
+fn tuple_strategy() -> impl Strategy<Value = Tuple> {
+    (
+        prop::collection::vec(0u32..4, 3),
+        prop::collection::vec(0i32..6, 3),
+    )
+        .prop_map(|(dims, measures)| {
+            Tuple::new(dims, measures.into_iter().map(|m| m as f64).collect())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Dominance is irreflexive and asymmetric in every subspace.
+    #[test]
+    fn dominance_is_a_strict_partial_order(a in tuple_strategy(), b in tuple_strategy(), c in tuple_strategy()) {
+        for m in SubspaceMask::enumerate(3, 3) {
+            prop_assert!(!dominance::dominates(&a, &a, m, &DIRS));
+            if dominance::dominates(&a, &b, m, &DIRS) {
+                prop_assert!(!dominance::dominates(&b, &a, m, &DIRS));
+            }
+            // Transitivity.
+            if dominance::dominates(&a, &b, m, &DIRS) && dominance::dominates(&b, &c, m, &DIRS) {
+                prop_assert!(dominance::dominates(&a, &c, m, &DIRS));
+            }
+        }
+    }
+
+    /// Proposition 4: the full-space partition decides dominance in every
+    /// subspace exactly.
+    #[test]
+    fn partition_agrees_with_direct_dominance(a in tuple_strategy(), b in tuple_strategy()) {
+        let p = DominancePartition::compute(&a, &b, &DIRS);
+        for m in SubspaceMask::enumerate(3, 3) {
+            prop_assert_eq!(p.left_dominates_in(m), dominance::dominates(&a, &b, m, &DIRS));
+            prop_assert_eq!(p.left_dominated_in(m), dominance::dominates(&b, &a, m, &DIRS));
+        }
+        // The three masks partition the measure space.
+        let union = p.better.union(p.worse).union(p.equal);
+        prop_assert_eq!(union, SubspaceMask::full(3));
+        prop_assert!(p.better.intersect(p.worse).is_empty());
+        prop_assert!(p.better.intersect(p.equal).is_empty());
+    }
+
+    /// For constraints derived from the same tuple, subsumption is exactly the
+    /// submask relation, and σ_C monotonically shrinks as constraints bind
+    /// more attributes.
+    #[test]
+    fn subsumption_mirrors_bound_masks(t in tuple_strategy(), other in tuple_strategy(), a in 0u32..8, b in 0u32..8) {
+        let ca = Constraint::from_tuple_mask(&t, BoundMask(a));
+        let cb = Constraint::from_tuple_mask(&t, BoundMask(b));
+        prop_assert_eq!(ca.is_subsumed_by(&cb), BoundMask(b).is_submask_of(BoundMask(a)));
+        // Subsumption implies context containment for arbitrary tuples.
+        if ca.is_subsumed_by(&cb) && ca.matches(&other) {
+            prop_assert!(cb.matches(&other));
+        }
+        // The agreement mask is exactly the set of constraints of C^t that the
+        // other tuple satisfies.
+        let agreement = BoundMask::agreement(&t, &other);
+        for mask in 0u32..8 {
+            let c = Constraint::from_tuple_mask(&t, BoundMask(mask));
+            prop_assert_eq!(c.matches(&other), BoundMask(mask).is_submask_of(agreement));
+        }
+    }
+
+    /// Skyline constraints are downward-closed: if the new tuple is in the
+    /// contextual skyline at C, it is also in the skyline at every descendant
+    /// of C it satisfies.
+    #[test]
+    fn skyline_constraints_are_downward_closed(
+        history in prop::collection::vec(tuple_strategy(), 1..40),
+        t in tuple_strategy(),
+    ) {
+        let schema = SchemaBuilder::new("p")
+            .dimension("d0").dimension("d1").dimension("d2")
+            .measure("m0", DIRS[0])
+            .measure("m1", DIRS[1])
+            .measure("m2", DIRS[2])
+            .build().unwrap();
+        let mut table = Table::new(schema.clone());
+        for h in &history {
+            table.append(h.clone()).unwrap();
+        }
+        let mut algo = BruteForce::new(&schema, DiscoveryConfig::unrestricted());
+        let facts = algo.discover(&table, &t);
+        let lattice = ConstraintLattice::unrestricted(3);
+        for fact in &facts {
+            let mask = fact.constraint.bound_mask();
+            for descendant in lattice.descendants(mask) {
+                let child = Constraint::from_tuple_mask(&t, descendant);
+                prop_assert!(
+                    facts.iter().any(|f| f.subspace == fact.subspace && f.constraint == child),
+                    "skyline at {:?} but not at descendant {:?}", mask, descendant
+                );
+            }
+        }
+    }
+
+    /// The flagship incremental algorithm (STopDown) matches BruteForce on
+    /// arbitrary random streams — a property-based restatement of the
+    /// equivalence tests with proptest-driven inputs and shrinking.
+    #[test]
+    fn stopdown_matches_bruteforce_on_arbitrary_streams(
+        stream in prop::collection::vec(tuple_strategy(), 1..30),
+    ) {
+        let schema = SchemaBuilder::new("p")
+            .dimension("d0").dimension("d1").dimension("d2")
+            .measure("m0", DIRS[0])
+            .measure("m1", DIRS[1])
+            .measure("m2", DIRS[2])
+            .build().unwrap();
+        let config = DiscoveryConfig::unrestricted();
+        let mut table = Table::new(schema.clone());
+        let mut subject = STopDown::new(&schema, config);
+        let mut reference = BruteForce::new(&schema, config);
+        for t in stream {
+            let mut expected = reference.discover(&table, &t);
+            let mut actual = subject.discover(&table, &t);
+            canonical_sort(&mut expected);
+            canonical_sort(&mut actual);
+            prop_assert_eq!(expected, actual);
+            table.append(t).unwrap();
+        }
+    }
+
+    /// Prominence is always ≥ 1 for facts pertinent to the newly added tuple,
+    /// and the context is never smaller than its skyline.
+    #[test]
+    fn prominence_is_at_least_one(
+        stream in prop::collection::vec(tuple_strategy(), 1..25),
+    ) {
+        let schema = SchemaBuilder::new("p")
+            .dimension("d0").dimension("d1").dimension("d2")
+            .measure("m0", DIRS[0])
+            .measure("m1", DIRS[1])
+            .measure("m2", DIRS[2])
+            .build().unwrap();
+        let algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default());
+        for t in stream {
+            let report = monitor.ingest(t).unwrap();
+            for fact in &report.facts {
+                prop_assert!(fact.skyline_size >= 1);
+                prop_assert!(fact.context_size >= fact.skyline_size);
+                prop_assert!(fact.prominence() >= 1.0);
+            }
+        }
+    }
+}
