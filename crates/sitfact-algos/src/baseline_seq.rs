@@ -145,8 +145,7 @@ mod tests {
         // Example 1: with constraint month=Feb and the full measure space, t7
         // is a contextual skyline tuple.
         let schema = table.schema();
-        let month_feb =
-            sitfact_core::Constraint::parse(schema, &[("month", "Feb")]).unwrap();
+        let month_feb = sitfact_core::Constraint::parse(schema, &[("month", "Feb")]).unwrap();
         let full = sitfact_core::SubspaceMask::full(3);
         assert!(facts
             .iter()

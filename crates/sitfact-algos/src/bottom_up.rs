@@ -6,7 +6,9 @@ use sitfact_core::{
     dominance, BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple,
     TupleId,
 };
-use sitfact_storage::{MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats};
+use sitfact_storage::{
+    MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats,
+};
 use std::collections::VecDeque;
 
 /// `BottomUp` stores every contextual skyline tuple in **every** cell
@@ -59,6 +61,9 @@ impl<S: SkylineStore> BottomUp<S> {
     /// Processes one subspace: the core of Algorithm 4. Shared with
     /// [`SBottomUp`](crate::SBottomUp), which seeds `pruned` from its
     /// full-space pass.
+    // One parameter per piece of Algorithm 4 state; bundling them into a
+    // struct would just move the argument list one level down.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn traverse_subspace(
         params: &AlgoParams,
         store: &mut S,
@@ -171,7 +176,14 @@ impl<S: SkylineStore> Discovery for BottomUp<S> {
         // Invariant 1: µ_{C,M} holds exactly λ_M(σ_C(R)) — a cell read is the
         // answer, provided the pair lies inside the maintained family.
         let within_family = constraint.bound_count() <= self.params.lattice.max_bound()
-            && subspace.len() <= self.params.subspaces.iter().map(|s| s.len()).max().unwrap_or(0)
+            && subspace.len()
+                <= self
+                    .params
+                    .subspaces
+                    .iter()
+                    .map(|s| s.len())
+                    .max()
+                    .unwrap_or(0)
             && !subspace.is_empty();
         if within_family {
             self.store.read(constraint, subspace).len()
@@ -226,12 +238,7 @@ mod tests {
         // Fig. 3b: µ for ⟨a1,*,*⟩ = {t2, t5}, ⟨a1,b1,c1⟩ = {t2, t5},
         // ⊤ = {t4}, ⟨*,b1,c1⟩ = {t4}.
         let mut cell = |c: &Constraint| {
-            let mut ids: Vec<TupleId> = algo
-                .store
-                .read(c, full)
-                .iter()
-                .map(|e| e.id)
-                .collect();
+            let mut ids: Vec<TupleId> = algo.store.read(c, full).iter().map(|e| e.id).collect();
             ids.sort_unstable();
             ids
         };
@@ -330,8 +337,7 @@ mod tests {
         for mask in sitfact_core::ConstraintLattice::unrestricted(3).enumerate_top_down() {
             let c = Constraint::from_tuple_mask(&sample, mask);
             for m in SubspaceMask::enumerate(2, 2) {
-                let expected =
-                    dominance::skyline_of(table.context(&c), m, &directions).len();
+                let expected = dominance::skyline_of(table.context(&c), m, &directions).len();
                 assert_eq!(algo.skyline_cardinality(&table, &c, m), expected);
             }
         }

@@ -85,11 +85,19 @@ mod tests {
             .build()
             .unwrap();
         let mut table = Table::new(schema);
-        table.append_raw(&["a1", "b2", "c2"], vec![10.0, 15.0]).unwrap(); // t1
-        table.append_raw(&["a1", "b1", "c1"], vec![15.0, 10.0]).unwrap(); // t2
-        table.append_raw(&["a2", "b1", "c2"], vec![17.0, 17.0]).unwrap(); // t3
-        table.append_raw(&["a2", "b1", "c1"], vec![20.0, 20.0]).unwrap(); // t4
-        // t5 = (a1, b1, c1, 11, 15) is the new arrival of the paper's examples.
+        table
+            .append_raw(&["a1", "b2", "c2"], vec![10.0, 15.0])
+            .unwrap(); // t1
+        table
+            .append_raw(&["a1", "b1", "c1"], vec![15.0, 10.0])
+            .unwrap(); // t2
+        table
+            .append_raw(&["a2", "b1", "c2"], vec![17.0, 17.0])
+            .unwrap(); // t3
+        table
+            .append_raw(&["a2", "b1", "c1"], vec![20.0, 20.0])
+            .unwrap(); // t4
+                       // t5 = (a1, b1, c1, 11, 15) is the new arrival of the paper's examples.
         let dims = table.schema_mut().intern_dims(&["a1", "b1", "c1"]).unwrap();
         let t5 = Tuple::new(dims, vec![11.0, 15.0]);
         (table, t5)
@@ -120,13 +128,17 @@ mod tests {
         ];
         for c in &expect_in {
             assert!(
-                facts.iter().any(|f| f.subspace == full && &f.constraint == c),
+                facts
+                    .iter()
+                    .any(|f| f.subspace == full && &f.constraint == c),
                 "missing {c:?}"
             );
         }
         for c in &expect_out {
             assert!(
-                !facts.iter().any(|f| f.subspace == full && &f.constraint == c),
+                !facts
+                    .iter()
+                    .any(|f| f.subspace == full && &f.constraint == c),
                 "unexpected {c:?}"
             );
         }

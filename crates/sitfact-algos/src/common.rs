@@ -3,7 +3,7 @@
 //! from a schema + [`DiscoveryConfig`].
 
 use sitfact_core::{
-    BoundMask, Constraint, ConstraintLattice, DiscoveryConfig, Direction, Schema, SubspaceMask,
+    BoundMask, Constraint, ConstraintLattice, Direction, DiscoveryConfig, Schema, SubspaceMask,
     Tuple,
 };
 

@@ -14,7 +14,7 @@
 use crate::common::{partition_measures, AlgoParams, ConstraintCache};
 use crate::traits::Discovery;
 use sitfact_core::{
-    Constraint, DiscoveryConfig, Direction, FxHashMap, Schema, SkylinePair, SubspaceMask, Tuple,
+    Constraint, Direction, DiscoveryConfig, FxHashMap, Schema, SkylinePair, SubspaceMask, Tuple,
     TupleId,
 };
 use sitfact_storage::{StoreStats, StoredEntry, Table, WorkStats};
@@ -81,10 +81,7 @@ fn dominated_profile<'a>(
 
 /// The minimal elements (by set inclusion) of the non-dominated family
 /// subspaces.
-fn minimal_skyline_subspaces(
-    dominated: &[bool],
-    family: &[SubspaceMask],
-) -> Vec<SubspaceMask> {
+fn minimal_skyline_subspaces(dominated: &[bool], family: &[SubspaceMask]) -> Vec<SubspaceMask> {
     let mut in_set = vec![false; dominated.len()];
     for &s in family {
         if !dominated[s.0 as usize] {
@@ -284,10 +281,10 @@ mod tests {
         // Non-dominated: {m1}, {m0,m1}; minimal: {m1} only.
         assert_eq!(minimal, vec![SubspaceMask(0b10)]);
         // Nothing dominated -> the two singletons are the minimal subspaces.
-        let minimal = minimal_skyline_subspaces(&vec![false; 4], &family);
+        let minimal = minimal_skyline_subspaces(&[false; 4], &family);
         assert_eq!(minimal, vec![SubspaceMask(0b01), SubspaceMask(0b10)]);
         // Everything dominated -> stored nowhere.
-        let minimal = minimal_skyline_subspaces(&vec![true; 4], &family);
+        let minimal = minimal_skyline_subspaces(&[true; 4], &family);
         assert!(minimal.is_empty());
     }
 

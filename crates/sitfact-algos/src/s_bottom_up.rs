@@ -7,7 +7,9 @@ use crate::traits::Discovery;
 use sitfact_core::{
     dominance, BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple,
 };
-use sitfact_storage::{MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats};
+use sitfact_storage::{
+    MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats,
+};
 use std::collections::VecDeque;
 
 /// `SBottomUp` first traverses the lattice in the **full** measure space.
@@ -201,8 +203,7 @@ impl<S: SkylineStore> Discovery for SBottomUp<S> {
     ) -> usize {
         let within_family = constraint.bound_count() <= self.params.lattice.max_bound()
             && !subspace.is_empty()
-            && (subspace == self.params.full_space
-                || self.params.subspaces.iter().any(|&s| s == subspace));
+            && (subspace == self.params.full_space || self.params.subspaces.contains(&subspace));
         if within_family {
             self.store.read(constraint, subspace).len()
         } else {

@@ -8,7 +8,9 @@ use sitfact_core::{
     dominance, BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple,
     TupleId,
 };
-use sitfact_storage::{MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats};
+use sitfact_storage::{
+    MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats,
+};
 use std::collections::VecDeque;
 
 /// `STopDown` runs the `TopDown` traversal once in the **full** measure space
@@ -251,8 +253,7 @@ impl<S: SkylineStore> Discovery for STopDown<S> {
     ) -> usize {
         let within_family = constraint.bound_count() <= self.params.lattice.max_bound()
             && !subspace.is_empty()
-            && (subspace == self.params.full_space
-                || self.params.subspaces.iter().any(|&s| s == subspace));
+            && (subspace == self.params.full_space || self.params.subspaces.contains(&subspace));
         if within_family {
             skyline_cardinality_from_maximal(&mut self.store, table, constraint, subspace)
         } else {

@@ -6,7 +6,9 @@ use sitfact_core::{
     dominance, BoundMask, Constraint, DiscoveryConfig, FxHashSet, Schema, SkylinePair,
     SubspaceMask, Tuple, TupleId,
 };
-use sitfact_storage::{MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats};
+use sitfact_storage::{
+    MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats,
+};
 use std::collections::VecDeque;
 
 /// `TopDown` stores a tuple only at its **maximal** skyline constraints
@@ -126,7 +128,13 @@ pub(crate) fn skyline_cardinality_from_maximal<S: SkylineStore>(
                 .values()
                 .iter()
                 .enumerate()
-                .map(|(i, &v)| if mask.is_bound(i) { v } else { sitfact_core::UNBOUND })
+                .map(|(i, &v)| {
+                    if mask.is_bound(i) {
+                        v
+                    } else {
+                        sitfact_core::UNBOUND
+                    }
+                })
                 .collect(),
         );
         for entry in store.read(&ancestor, subspace).iter() {
@@ -203,8 +211,11 @@ impl<S: SkylineStore> Discovery for TopDown<S> {
                 if !pruned[mask.0 as usize] {
                     out.push(SkylinePair::new(constraint.clone(), subspace));
                     if !in_ances[mask.0 as usize] {
-                        self.store
-                            .insert(constraint, subspace, StoredEntry::new(t_id, t.measures()));
+                        self.store.insert(
+                            constraint,
+                            subspace,
+                            StoredEntry::new(t_id, t.measures()),
+                        );
                         self.stats.store_writes += 1;
                     }
                 }

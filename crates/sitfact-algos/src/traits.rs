@@ -110,10 +110,7 @@ impl AlgorithmKind {
     /// (false only for the stateless baselines that re-derive everything from
     /// the table).
     pub fn is_incremental(self) -> bool {
-        !matches!(
-            self,
-            AlgorithmKind::BruteForce | AlgorithmKind::BaselineSeq
-        )
+        !matches!(self, AlgorithmKind::BruteForce | AlgorithmKind::BaselineSeq)
     }
 }
 

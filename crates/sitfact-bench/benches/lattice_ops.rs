@@ -85,7 +85,10 @@ fn bench_kdtree(c: &mut Criterion) {
     let mut group = c.benchmark_group("kdtree");
     quick(&mut group);
     group.bench_function("kdtree_dominator_query_20k_points", |b| {
-        b.iter(|| tree.candidates_at_least(&probe, SubspaceMask::full(7)).len())
+        b.iter(|| {
+            tree.candidates_at_least(&probe, SubspaceMask::full(7))
+                .len()
+        })
     });
     group.finish();
 }
@@ -99,7 +102,11 @@ fn bench_store(c: &mut Criterion) {
             let subspace = SubspaceMask::full(4);
             for i in 0..200u32 {
                 let constraint = Constraint::from_values(vec![i % 8, u32::MAX, i % 3]);
-                store.insert(&constraint, subspace, StoredEntry::new(i, &[1.0, 2.0, 3.0, 4.0]));
+                store.insert(
+                    &constraint,
+                    subspace,
+                    StoredEntry::new(i, &[1.0, 2.0, 3.0, 4.0]),
+                );
             }
             let mut total = 0usize;
             for i in 0..200u32 {
@@ -113,5 +120,11 @@ fn bench_store(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lattice, bench_dominance, bench_kdtree, bench_store);
+criterion_group!(
+    benches,
+    bench_lattice,
+    bench_dominance,
+    bench_kdtree,
+    bench_store
+);
 criterion_main!(benches);

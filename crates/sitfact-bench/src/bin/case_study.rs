@@ -26,7 +26,10 @@ fn main() {
     println!("prominent facts discovered: {total}");
     println!("per 1K-tuple window:        {:?}", study.per_window);
     println!("by bound(C):                {:?}", study.by_bound[0]);
-    println!("by |M|:                     {:?}\n", study.by_measure_dims[0]);
+    println!(
+        "by |M|:                     {:?}\n",
+        study.by_measure_dims[0]
+    );
     println!("Narrated prominent facts (cf. the paper's Lamar Odom / Allen Iverson / Damon Stoudamire examples):");
     for example in &study.examples {
         println!("  • {example}");

@@ -57,7 +57,12 @@ fn main() {
     let by_d = sweep_dimensions(DatasetKind::Nba, &ALGOS, base, &D_SWEEP, None);
     let series: Vec<Series> = by_d
         .iter()
-        .map(|(l, pts)| Series::new(l.clone(), pts.iter().map(|(d, y)| (*d as f64, *y)).collect()))
+        .map(|(l, pts)| {
+            Series::new(
+                l.clone(),
+                pts.iter().map(|(d, y)| (*d as f64, *y)).collect(),
+            )
+        })
         .collect();
     print_table(
         &format!("Fig 8b: execution time per tuple, NBA, n={sweep_n} m=7, varying d"),
@@ -70,7 +75,12 @@ fn main() {
     let by_m = sweep_measures(DatasetKind::Nba, &ALGOS, base, &M_SWEEP, None);
     let series: Vec<Series> = by_m
         .iter()
-        .map(|(l, pts)| Series::new(l.clone(), pts.iter().map(|(m, y)| (*m as f64, *y)).collect()))
+        .map(|(l, pts)| {
+            Series::new(
+                l.clone(),
+                pts.iter().map(|(m, y)| (*m as f64, *y)).collect(),
+            )
+        })
         .collect();
     print_table(
         &format!("Fig 8c: execution time per tuple, NBA, n={sweep_n} d=5, varying m"),

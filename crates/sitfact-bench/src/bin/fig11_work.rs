@@ -7,8 +7,7 @@
 use sitfact_algos::AlgorithmKind;
 use sitfact_bench::params::arg_value;
 use sitfact_bench::{
-    generate_rows, print_series_csv, print_table, run_stream, DatasetKind, ExperimentParams,
-    Series,
+    generate_rows, print_series_csv, print_table, run_stream, DatasetKind, ExperimentParams, Series,
 };
 use sitfact_core::DiscoveryConfig;
 

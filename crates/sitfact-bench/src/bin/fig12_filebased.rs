@@ -71,7 +71,12 @@ fn main() {
     let by_d = sweep_dimensions(DatasetKind::Nba, &ALGOS, base, &D_SWEEP, Some(&root));
     let series: Vec<Series> = by_d
         .iter()
-        .map(|(l, pts)| Series::new(l.clone(), pts.iter().map(|(d, y)| (*d as f64, *y)).collect()))
+        .map(|(l, pts)| {
+            Series::new(
+                l.clone(),
+                pts.iter().map(|(d, y)| (*d as f64, *y)).collect(),
+            )
+        })
         .collect();
     print_table(
         &format!("Fig 12b: file-based stores, NBA, n={sweep_n} m=7, varying d"),
@@ -86,7 +91,12 @@ fn main() {
     let by_m = sweep_measures(DatasetKind::Nba, &ALGOS, base, &M_SWEEP, Some(&root));
     let series: Vec<Series> = by_m
         .iter()
-        .map(|(l, pts)| Series::new(l.clone(), pts.iter().map(|(m, y)| (*m as f64, *y)).collect()))
+        .map(|(l, pts)| {
+            Series::new(
+                l.clone(),
+                pts.iter().map(|(m, y)| (*m as f64, *y)).collect(),
+            )
+        })
         .collect();
     print_table(
         &format!("Fig 12c: file-based stores, NBA, n={sweep_n} d=5, varying m"),

@@ -8,7 +8,9 @@
 //! Usage: `fig14_prominent_rate [--n 15000] [--tau 50] [--window 1000]`
 
 use sitfact_bench::params::arg_value;
-use sitfact_bench::{print_series_csv, print_table, run_prominence_study, ExperimentParams, Series};
+use sitfact_bench::{
+    print_series_csv, print_table, run_prominence_study, ExperimentParams, Series,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

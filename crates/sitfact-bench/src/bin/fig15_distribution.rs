@@ -5,7 +5,9 @@
 //! Usage: `fig15_distribution [--n 15000] [--tau-lo 10] [--tau-mid 50] [--tau-hi 250]`
 
 use sitfact_bench::params::arg_value;
-use sitfact_bench::{print_series_csv, print_table, run_prominence_study, ExperimentParams, Series};
+use sitfact_bench::{
+    print_series_csv, print_table, run_prominence_study, ExperimentParams, Series,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -417,7 +417,10 @@ mod tests {
         assert_eq!(by_d.len(), 2);
         assert_eq!(by_d[0].1.len(), 2);
         let by_m = sweep_measures(DatasetKind::Nba, &kinds, params, &[3, 4], None);
-        assert_eq!(by_m[1].1.iter().map(|(m, _)| *m).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(
+            by_m[1].1.iter().map(|(m, _)| *m).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
     }
 
     #[test]

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn with_setters_adjust_caps() {
-        let p = ExperimentParams::paper_default(1_000).with_d(4).with_m(5).with_n(99);
+        let p = ExperimentParams::paper_default(1_000)
+            .with_d(4)
+            .with_m(5)
+            .with_n(99);
         assert_eq!(p.d, 4);
         assert_eq!(p.d_hat, 4);
         assert_eq!(p.m, 5);

@@ -363,7 +363,10 @@ mod tests {
         let m = BoundMask(0b011);
         let mut anc = m.ancestors();
         anc.sort();
-        assert_eq!(anc, vec![BoundMask(0b000), BoundMask(0b001), BoundMask(0b010)]);
+        assert_eq!(
+            anc,
+            vec![BoundMask(0b000), BoundMask(0b001), BoundMask(0b010)]
+        );
         assert!(BoundMask::TOP.ancestors().is_empty());
     }
 

@@ -306,14 +306,18 @@ mod tests {
     #[test]
     fn skyline_of_reference() {
         let dirs = [Direction::HigherIsBetter, Direction::HigherIsBetter];
-        let tuples = vec![
+        let tuples = [
             Tuple::new(vec![], vec![10.0, 15.0]),
             Tuple::new(vec![], vec![15.0, 10.0]),
             Tuple::new(vec![], vec![17.0, 17.0]),
             Tuple::new(vec![], vec![20.0, 20.0]),
             Tuple::new(vec![], vec![11.0, 15.0]),
         ];
-        let ids: Vec<(u32, &Tuple)> = tuples.iter().enumerate().map(|(i, t)| (i as u32, t)).collect();
+        let ids: Vec<(u32, &Tuple)> = tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t))
+            .collect();
         let sky = skyline_of(ids, SubspaceMask::full(2), &dirs);
         // Only t4 = (20, 20) is undominated (running example, Example 3).
         assert_eq!(sky.len(), 1);

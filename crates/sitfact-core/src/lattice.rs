@@ -275,7 +275,11 @@ mod tests {
                 let mut dedup = generated.clone();
                 dedup.sort();
                 dedup.dedup();
-                assert_eq!(generated.len(), dedup.len(), "duplicates for n={n} cap={cap}");
+                assert_eq!(
+                    generated.len(),
+                    dedup.len(),
+                    "duplicates for n={n} cap={cap}"
+                );
                 let mut expected = l.enumerate_top_down();
                 expected.sort();
                 assert_eq!(dedup, expected, "wrong set for n={n} cap={cap}");
@@ -344,7 +348,7 @@ mod tests {
         assert!(desc.iter().all(|d| mask.is_submask_of(*d) && *d != mask));
         let anc = l.ancestors(mask);
         assert_eq!(anc.len(), 3); // 0000, 0001, 0010
-        // With a cap, deep descendants disappear.
+                                  // With a cap, deep descendants disappear.
         let capped = ConstraintLattice::new(4, 3);
         assert_eq!(capped.descendants(mask).len(), 2);
     }

@@ -74,8 +74,14 @@ mod tests {
 
     #[test]
     fn canonical_sort_is_deterministic() {
-        let a = SkylinePair::new(Constraint::from_values(vec![1, UNBOUND]), SubspaceMask(0b01));
-        let b = SkylinePair::new(Constraint::from_values(vec![1, UNBOUND]), SubspaceMask(0b10));
+        let a = SkylinePair::new(
+            Constraint::from_values(vec![1, UNBOUND]),
+            SubspaceMask(0b01),
+        );
+        let b = SkylinePair::new(
+            Constraint::from_values(vec![1, UNBOUND]),
+            SubspaceMask(0b10),
+        );
         let c = SkylinePair::new(Constraint::from_values(vec![0, 3]), SubspaceMask(0b01));
         let mut v1 = vec![b.clone(), a.clone(), c.clone()];
         let mut v2 = vec![c.clone(), b.clone(), a.clone()];

@@ -78,7 +78,10 @@ pub fn read_csv_rows(schema: &Schema, path: impl AsRef<Path>) -> Result<Vec<Row>
                 fields.len()
             )));
         }
-        let dims = fields[..n_dims].iter().map(|s| s.trim().to_string()).collect();
+        let dims = fields[..n_dims]
+            .iter()
+            .map(|s| s.trim().to_string())
+            .collect();
         let measures = fields[n_dims..]
             .iter()
             .map(|s| {
@@ -131,14 +134,21 @@ mod tests {
     fn round_trip() {
         let path = temp_path("roundtrip");
         let mut table = Table::new(schema());
-        table.append_raw(&["Wesley", "Celtics"], vec![12.0, 13.5]).unwrap();
-        table.append_raw(&["Bogues", "Hornets"], vec![4.0, 12.0]).unwrap();
+        table
+            .append_raw(&["Wesley", "Celtics"], vec![12.0, 13.5])
+            .unwrap();
+        table
+            .append_raw(&["Bogues", "Hornets"], vec![4.0, 12.0])
+            .unwrap();
         write_csv(&table, &path).unwrap();
 
         let loaded = read_csv(&schema(), &path).unwrap();
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded.tuple(0).measures(), &[12.0, 13.5]);
-        assert_eq!(loaded.schema().resolve_dim(0, loaded.tuple(1).dim(0)), Some("Bogues"));
+        assert_eq!(
+            loaded.schema().resolve_dim(0, loaded.tuple(1).dim(0)),
+            Some("Bogues")
+        );
         let _ = std::fs::remove_file(&path);
     }
 

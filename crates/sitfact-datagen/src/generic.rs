@@ -85,7 +85,11 @@ impl GenericGenerator {
             Correlation::Correlated => {
                 let base: f64 = self.rng.gen_range(0.0..1000.0);
                 (0..m)
-                    .map(|_| (base + normal(&mut self.rng, 0.0, 50.0)).clamp(0.0, 1000.0).round())
+                    .map(|_| {
+                        (base + normal(&mut self.rng, 0.0, 50.0))
+                            .clamp(0.0, 1000.0)
+                            .round()
+                    })
                     .collect()
             }
             Correlation::AntiCorrelated => {
@@ -95,10 +99,9 @@ impl GenericGenerator {
                 let sum: f64 = values.iter().sum();
                 let scale = if sum > 0.0 { 1000.0 / sum } else { 0.0 };
                 for v in &mut values {
-                    *v = (*v * scale * (m as f64) / 2.0
-                        + normal(&mut self.rng, 0.0, 20.0))
-                    .clamp(0.0, 2000.0)
-                    .round();
+                    *v = (*v * scale * (m as f64) / 2.0 + normal(&mut self.rng, 0.0, 20.0))
+                        .clamp(0.0, 2000.0)
+                        .round();
                 }
                 values
             }

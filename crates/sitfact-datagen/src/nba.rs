@@ -172,7 +172,11 @@ impl NbaGenerator {
         let minutes_factor: f64 = rng.gen_range(0.4..1.0);
         let points = clamp_round(normal(rng, 11.0 * skill * minutes_factor, 6.0), 81.0);
         let rebounds = clamp_round(
-            normal(rng, (2.5 + position as f64 * 1.4) * minutes_factor * skill.sqrt(), 2.5),
+            normal(
+                rng,
+                (2.5 + position as f64 * 1.4) * minutes_factor * skill.sqrt(),
+                2.5,
+            ),
             35.0,
         );
         let assists = clamp_round(
@@ -281,7 +285,10 @@ mod tests {
         let schema = table.schema();
         // player, season, month, team, opp_team cardinalities.
         assert!(schema.dictionary(0).len() <= 200);
-        assert!(schema.dictionary(0).len() > 50, "expected many distinct players");
+        assert!(
+            schema.dictionary(0).len() > 50,
+            "expected many distinct players"
+        );
         assert_eq!(schema.dictionary(1).len(), 3); // seasons span the stream
         assert!(schema.dictionary(2).len() <= 8);
         assert!(schema.dictionary(3).len() <= 29);

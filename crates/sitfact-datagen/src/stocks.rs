@@ -31,7 +31,14 @@ impl Default for StockConfig {
 }
 
 const SECTORS: [&str; 8] = [
-    "Tech", "Finance", "Energy", "Health", "Retail", "Industrial", "Utilities", "Media",
+    "Tech",
+    "Finance",
+    "Energy",
+    "Health",
+    "Retail",
+    "Industrial",
+    "Utilities",
+    "Media",
 ];
 const EXCHANGES: [&str; 3] = ["NYSE", "NASDAQ", "LSE"];
 const QUARTERS: [&str; 4] = ["Q1", "Q2", "Q3", "Q4"];

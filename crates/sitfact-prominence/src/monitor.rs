@@ -1,8 +1,8 @@
 //! The [`FactMonitor`]: turn a stream of tuples into ranked situational facts.
 
 use crate::fact::{ArrivalReport, RankedFact};
-use sitfact_core::{DiscoveryConfig, Result, Schema, Tuple};
 use sitfact_algos::Discovery;
+use sitfact_core::{DiscoveryConfig, Result, Schema, Tuple};
 use sitfact_storage::{ContextCounter, Table};
 
 /// Configuration of a [`FactMonitor`].
@@ -215,8 +215,8 @@ mod tests {
         // The fourth tuple tops everyone on both measures within team X.
         let report = monitor.ingest_raw(&["D", "X"], vec![12.0, 4.0]).unwrap();
         // Constraint team=X, full space: context 4 tuples, skyline {D} -> 4.
-        let team_x = sitfact_core::Constraint::parse(monitor.table().schema(), &[("team", "X")])
-            .unwrap();
+        let team_x =
+            sitfact_core::Constraint::parse(monitor.table().schema(), &[("team", "X")]).unwrap();
         let full = sitfact_core::SubspaceMask::full(2);
         let fact = report
             .facts
@@ -235,8 +235,7 @@ mod tests {
     fn threshold_filters_prominent_facts() {
         let schema = schema();
         let algo = BottomUp::new(&schema, DiscoveryConfig::unrestricted());
-        let mut monitor =
-            FactMonitor::new(schema, algo, MonitorConfig::default().with_tau(1000.0));
+        let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default().with_tau(1000.0));
         monitor.ingest_raw(&["A", "X"], vec![1.0, 1.0]).unwrap();
         let report = monitor.ingest_raw(&["B", "X"], vec![2.0, 2.0]).unwrap();
         // Max prominence is 2 (context {A,B}, skyline {B}), far below τ=1000.
@@ -278,7 +277,9 @@ mod tests {
         for _ in 0..60 {
             let dims = vec![rng.gen_range(0..4u32), rng.gen_range(0..3u32)];
             let measures = vec![rng.gen_range(0..6) as f64, rng.gen_range(0..6) as f64];
-            let a = bu.ingest(Tuple::new(dims.clone(), measures.clone())).unwrap();
+            let a = bu
+                .ingest(Tuple::new(dims.clone(), measures.clone()))
+                .unwrap();
             let b = td.ingest(Tuple::new(dims, measures)).unwrap();
             // Same fact count, same maximum prominence, same prominent count —
             // regardless of the storage scheme underneath.

@@ -36,9 +36,9 @@ pub fn narrate(schema: &Schema, tuple: &Tuple, fact: &RankedFact) -> String {
         format!("one of {} skyline tuples", fact.skyline_size)
     };
     format!(
-        "{} — undominated among the {} in {} ({}; prominence {:.1})",
+        "{} — undominated among the {} tuple(s) in {} ({}; prominence {:.1})",
         measures.join(", "),
-        format!("{} tuple(s)", fact.context_size),
+        fact.context_size,
         context,
         skyline_phrase,
         fact.prominence()

@@ -168,7 +168,10 @@ mod tests {
         let t = table.tuple(0); // Wesley, Celtics, Feb
         assert_eq!(counter.cardinality_for(t, BoundMask::TOP), 5);
         // player=Wesley ∧ team=Celtics -> 3 tuples.
-        assert_eq!(counter.cardinality_for(t, BoundMask::from_indices([0, 1])), 3);
+        assert_eq!(
+            counter.cardinality_for(t, BoundMask::from_indices([0, 1])),
+            3
+        );
         // month=Feb -> 4 tuples.
         assert_eq!(counter.cardinality_for(t, BoundMask::from_indices([2])), 4);
     }

@@ -185,7 +185,14 @@ impl FileSkylineStore {
                     .saturating_sub(
                         self.index
                             .get(&buffer.key)
-                            .map(|&c| 8 + c as u64 * (4 + buffer.entries.first().map_or(0, |e| e.measures.len() as u64) * 8))
+                            .map(|&c| {
+                                8 + c as u64
+                                    * (4 + buffer
+                                        .entries
+                                        .first()
+                                        .map_or(0, |e| e.measures.len() as u64)
+                                        * 8)
+                            })
                             .unwrap_or(0),
                     );
                 self.index
@@ -212,7 +219,11 @@ impl Drop for FileSkylineStore {
 }
 
 impl SkylineStore for FileSkylineStore {
-    fn read(&mut self, constraint: &Constraint, subspace: SubspaceMask) -> std::sync::Arc<Vec<StoredEntry>> {
+    fn read(
+        &mut self,
+        constraint: &Constraint,
+        subspace: SubspaceMask,
+    ) -> std::sync::Arc<Vec<StoredEntry>> {
         let key = Self::key(constraint, subspace);
         self.load(key);
         std::sync::Arc::new(
@@ -291,10 +302,8 @@ mod tests {
     use super::*;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "sitfact-filestore-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("sitfact-filestore-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -316,8 +325,12 @@ mod tests {
         assert_eq!(store.file_count(), 1);
         let entries = store.read(&c, m);
         assert_eq!(entries.len(), 2);
-        assert!(entries.iter().any(|e| e.id == 0 && &*e.measures == [1.0, 2.0]));
-        assert!(entries.iter().any(|e| e.id == 1 && &*e.measures == [3.0, 4.0]));
+        assert!(entries
+            .iter()
+            .any(|e| e.id == 0 && *e.measures == [1.0, 2.0]));
+        assert!(entries
+            .iter()
+            .any(|e| e.id == 1 && *e.measures == [3.0, 4.0]));
         drop(store);
         let _ = fs::remove_dir_all(&dir);
     }

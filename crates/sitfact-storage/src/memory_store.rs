@@ -43,9 +43,7 @@ impl MemorySkylineStore {
 
     /// Iterates over all non-empty cells (used by prominence queries and by
     /// tests asserting the paper's invariants).
-    pub fn iter_cells(
-        &self,
-    ) -> impl Iterator<Item = (&Constraint, SubspaceMask, &[StoredEntry])> {
+    pub fn iter_cells(&self) -> impl Iterator<Item = (&Constraint, SubspaceMask, &[StoredEntry])> {
         self.cells.iter().flat_map(|(constraint, by_subspace)| {
             by_subspace
                 .iter()

@@ -61,7 +61,11 @@ impl Table {
     /// Appends an already-encoded tuple after validating it against the
     /// schema. Returns the assigned [`TupleId`].
     pub fn append(&mut self, tuple: Tuple) -> Result<TupleId> {
-        let tuple = Tuple::validated(tuple.dims().to_vec(), tuple.measures().to_vec(), &self.schema)?;
+        let tuple = Tuple::validated(
+            tuple.dims().to_vec(),
+            tuple.measures().to_vec(),
+            &self.schema,
+        )?;
         let id = self.next_id();
         self.tuples.push(tuple);
         Ok(id)
@@ -146,8 +150,12 @@ mod tests {
     fn append_assigns_sequential_ids() {
         let mut t = Table::new(schema());
         assert!(t.is_empty());
-        let a = t.append_raw(&["Wesley", "Celtics"], vec![12.0, 13.0]).unwrap();
-        let b = t.append_raw(&["Bogues", "Hornets"], vec![4.0, 12.0]).unwrap();
+        let a = t
+            .append_raw(&["Wesley", "Celtics"], vec![12.0, 13.0])
+            .unwrap();
+        let b = t
+            .append_raw(&["Bogues", "Hornets"], vec![4.0, 12.0])
+            .unwrap();
         assert_eq!((a, b), (0, 1));
         assert_eq!(t.len(), 2);
         assert_eq!(t.next_id(), 2);
@@ -172,10 +180,14 @@ mod tests {
     #[test]
     fn context_selection_matches_constraint() {
         let mut t = Table::new(schema());
-        t.append_raw(&["Wesley", "Celtics"], vec![2.0, 5.0]).unwrap();
-        t.append_raw(&["Wesley", "Celtics"], vec![3.0, 5.0]).unwrap();
-        t.append_raw(&["Sherman", "Celtics"], vec![13.0, 13.0]).unwrap();
-        t.append_raw(&["Strickland", "Blazers"], vec![27.0, 18.0]).unwrap();
+        t.append_raw(&["Wesley", "Celtics"], vec![2.0, 5.0])
+            .unwrap();
+        t.append_raw(&["Wesley", "Celtics"], vec![3.0, 5.0])
+            .unwrap();
+        t.append_raw(&["Sherman", "Celtics"], vec![13.0, 13.0])
+            .unwrap();
+        t.append_raw(&["Strickland", "Blazers"], vec![27.0, 18.0])
+            .unwrap();
 
         let celtics = Constraint::parse(t.schema(), &[("team", "Celtics")]).unwrap();
         assert_eq!(t.context_cardinality(&celtics), 3);

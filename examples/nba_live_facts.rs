@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --release --example nba_live_facts [-- n_tuples tau]`.
 
-use situational_facts::datagen::nba::{NbaConfig, NbaGenerator};
 use situational_facts::datagen::encode_row;
+use situational_facts::datagen::nba::{NbaConfig, NbaGenerator};
 use situational_facts::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         distribution.mean_per_window()
     );
     println!("by bound(C):             {:?}", distribution.by_bound);
-    println!("by |M|:                  {:?}", distribution.by_measure_dims);
+    println!(
+        "by |M|:                  {:?}",
+        distribution.by_measure_dims
+    );
 
     // Ensure unused helper does not bit-rot: encode_row is the lower-level
     // path examples can use when they keep their own Table.

@@ -5,6 +5,10 @@
 
 use situational_facts::prelude::*;
 
+/// One gamelog row of Table I: player, month, season, team, opponent, then
+/// (points, assists, rebounds).
+type BoxScore<'a> = (&'a str, &'a str, &'a str, &'a str, &'a str, [f64; 3]);
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Declare the relation: dimension attributes describe the situation,
     //    measure attributes are compared by dominance.
@@ -26,13 +30,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default().with_tau(2.0));
 
     // 3. Stream the historical tuples t1..t6 of Table I.
-    let history: [(&str, &str, &str, &str, &str, [f64; 3]); 6] = [
-        ("Bogues", "Feb", "1991-92", "Hornets", "Hawks", [4.0, 12.0, 5.0]),
-        ("Seikaly", "Feb", "1991-92", "Heat", "Hawks", [24.0, 5.0, 15.0]),
-        ("Sherman", "Dec", "1993-94", "Celtics", "Nets", [13.0, 13.0, 5.0]),
-        ("Wesley", "Feb", "1994-95", "Celtics", "Nets", [2.0, 5.0, 2.0]),
-        ("Wesley", "Feb", "1994-95", "Celtics", "Timberwolves", [3.0, 5.0, 3.0]),
-        ("Strickland", "Jan", "1995-96", "Blazers", "Celtics", [27.0, 18.0, 8.0]),
+    let history: [BoxScore; 6] = [
+        (
+            "Bogues",
+            "Feb",
+            "1991-92",
+            "Hornets",
+            "Hawks",
+            [4.0, 12.0, 5.0],
+        ),
+        (
+            "Seikaly",
+            "Feb",
+            "1991-92",
+            "Heat",
+            "Hawks",
+            [24.0, 5.0, 15.0],
+        ),
+        (
+            "Sherman",
+            "Dec",
+            "1993-94",
+            "Celtics",
+            "Nets",
+            [13.0, 13.0, 5.0],
+        ),
+        (
+            "Wesley",
+            "Feb",
+            "1994-95",
+            "Celtics",
+            "Nets",
+            [2.0, 5.0, 2.0],
+        ),
+        (
+            "Wesley",
+            "Feb",
+            "1994-95",
+            "Celtics",
+            "Timberwolves",
+            [3.0, 5.0, 3.0],
+        ),
+        (
+            "Strickland",
+            "Jan",
+            "1995-96",
+            "Blazers",
+            "Celtics",
+            [27.0, 18.0, 8.0],
+        ),
     ];
     for (player, month, season, team, opp, stats) in history {
         monitor.ingest_raw(&[player, month, season, team, opp], stats.to_vec())?;

@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== store summary (file-backed) ===");
     println!("skyline entries stored: {}", store_stats.stored_entries);
     println!("non-empty (C, M) cells: {}", store_stats.non_empty_cells);
-    println!("file reads / writes:    {} / {}", store_stats.file_reads, store_stats.file_writes);
+    println!(
+        "file reads / writes:    {} / {}",
+        store_stats.file_reads, store_stats.file_writes
+    );
     let _ = std::fs::remove_dir_all(&store_dir);
     Ok(())
 }

@@ -17,7 +17,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         locations: 250,
         records_per_day: 250,
         seed: 2012,
-        ..WeatherConfig::default()
     });
     let schema = generator.schema().clone();
     let discovery = DiscoveryConfig::capped(2, 2);
@@ -49,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("\nprocessed {} forecasts, raised {alerts} alerts (capped at 15 shown)", n);
+    println!(
+        "\nprocessed {} forecasts, raised {alerts} alerts (capped at 15 shown)",
+        n
+    );
 
     let stats = monitor.algorithm().work_stats();
     println!(

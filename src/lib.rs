@@ -59,12 +59,12 @@ pub use sitfact_storage as storage;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use sitfact_algos::{
-        AlgorithmKind, BaselineIdx, BaselineSeq, BottomUp, BruteForce, CCsc, Discovery,
-        FsBottomUp, FsTopDown, SBottomUp, STopDown, TopDown,
+        AlgorithmKind, BaselineIdx, BaselineSeq, BottomUp, BruteForce, CCsc, Discovery, FsBottomUp,
+        FsTopDown, SBottomUp, STopDown, TopDown,
     };
     pub use sitfact_core::{
-        BoundMask, Constraint, ConstraintLattice, Dictionary, DiscoveryConfig, Direction,
-        Schema, SchemaBuilder, SkylinePair, SubspaceMask, Tuple, TupleId,
+        BoundMask, Constraint, ConstraintLattice, Dictionary, Direction, DiscoveryConfig, Schema,
+        SchemaBuilder, SkylinePair, SubspaceMask, Tuple, TupleId,
     };
     pub use sitfact_datagen::{DataGenerator, Row};
     pub use sitfact_prominence::{

@@ -2,12 +2,12 @@
 //! same fact stream as the brute-force reference on realistic generated
 //! workloads (NBA, weather, and generic anti-correlated data).
 
+use sitfact_core::pair::canonical_sort;
 use situational_facts::datagen::generic::{Correlation, GenericConfig, GenericGenerator};
 use situational_facts::datagen::nba::{NbaConfig, NbaGenerator};
 use situational_facts::datagen::weather::{WeatherConfig, WeatherGenerator};
 use situational_facts::datagen::{encode_row, DataGenerator};
 use situational_facts::prelude::*;
-use sitfact_core::pair::canonical_sort;
 
 /// Streams `n` rows from `generator` through every algorithm and asserts that
 /// each produces exactly the brute-force fact set at every arrival.

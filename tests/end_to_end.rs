@@ -26,7 +26,9 @@ fn monitor_reports_are_internally_consistent() {
     let mut monitor = FactMonitor::new(
         schema,
         algo,
-        MonitorConfig::default().with_discovery(discovery).with_tau(5.0),
+        MonitorConfig::default()
+            .with_discovery(discovery)
+            .with_tau(5.0),
     );
     let mut distribution = DistributionStats::new(100, 3, 3);
 
@@ -121,13 +123,15 @@ fn csv_round_trip_preserves_discovery_results() {
     assert_eq!(a.len(), b.len());
     // Constraint value ids can differ between dictionaries; compare rendered
     // forms, which are id-independent.
-    let rendered =
-        |facts: &[SkylinePair], schema: &Schema| -> Vec<String> {
-            let mut v: Vec<String> = facts.iter().map(|f| f.display(schema)).collect();
-            v.sort();
-            v
-        };
-    assert_eq!(rendered(&a, table.schema()), rendered(&b, reloaded.schema()));
+    let rendered = |facts: &[SkylinePair], schema: &Schema| -> Vec<String> {
+        let mut v: Vec<String> = facts.iter().map(|f| f.display(schema)).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        rendered(&a, table.schema()),
+        rendered(&b, reloaded.schema())
+    );
     let _ = std::fs::remove_file(&path);
 }
 
@@ -143,7 +147,9 @@ fn file_backed_monitor_survives_many_tuples() {
     let mut monitor = FactMonitor::new(
         schema,
         algo,
-        MonitorConfig::default().with_discovery(discovery).with_tau(10.0),
+        MonitorConfig::default()
+            .with_discovery(discovery)
+            .with_tau(10.0),
     );
     for _ in 0..400 {
         let row = generator.next_row();

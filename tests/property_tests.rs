@@ -6,9 +6,9 @@
 //! reference on arbitrary streams.
 
 use proptest::prelude::*;
-use situational_facts::prelude::*;
 use sitfact_core::dominance::{self, DominancePartition};
 use sitfact_core::pair::canonical_sort;
+use situational_facts::prelude::*;
 
 const DIRS: [Direction; 3] = [
     Direction::HigherIsBetter,

@@ -1,0 +1,203 @@
+//! Offline stand-in for [`bytes`](https://crates.io/crates/bytes).
+//!
+//! Provides [`BytesMut`] as a thin growable byte buffer plus the [`Buf`] /
+//! [`BufMut`] traits with the little-endian accessors the file-backed skyline
+//! store uses to encode cell files. Semantics match the upstream crate for
+//! this subset (including `Buf for &[u8]` advancing the slice in place);
+//! zero-copy reference counting is deliberately out of scope.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, contiguous byte buffer (subset of `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Clears the buffer, retaining its allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Consumes the buffer, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> Self {
+        BytesMut { inner }
+    }
+}
+
+/// Write-side accessors (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` in little-endian order.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read-side accessors (subset of `bytes::Buf`). Reading advances the
+/// cursor; for `&[u8]` the slice itself is advanced in place.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out, advancing past them. Panics if fewer
+    /// than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "Buf::copy_to_slice: not enough bytes ({} requested, {} remaining)",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_le_values() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u32_le(7);
+        buf.put_f64_le(-2.5);
+        buf.put_u64_le(u64::MAX);
+        buf.put_u8(9);
+        assert_eq!(buf.len(), 21);
+
+        let mut data: &[u8] = &buf;
+        assert_eq!(data.remaining(), 21);
+        assert_eq!(data.get_u32_le(), 7);
+        assert_eq!(data.get_f64_le(), -2.5);
+        assert_eq!(data.get_u64_le(), u64::MAX);
+        assert_eq!(data.get_u8(), 9);
+        assert_eq!(data.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough bytes")]
+    fn underflow_panics() {
+        let mut data: &[u8] = &[1, 2];
+        let _ = data.get_u32_le();
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of criterion's API the workspace's benches use:
+//! [`Criterion::benchmark_group`], group knobs (`sample_size`,
+//! `warm_up_time`, `measurement_time`), [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing is honest but deliberately simple: each benchmark warms up for
+//! `warm_up_time`, then runs batches until `measurement_time` elapses and
+//! reports the mean and best per-iteration latency on stdout. There is no
+//! statistical analysis, HTML report, or saved baseline — the figure binaries
+//! under `src/bin/` are the workspace's real experiment pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement clocks (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the payload.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    report: Option<(u64, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `payload`, first warming up, then measuring batches until the
+    /// configured measurement window elapses.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        let warm_up_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_up_end {
+            black_box(payload());
+        }
+
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        while total < self.measurement {
+            let start = Instant::now();
+            black_box(payload());
+            let elapsed = start.elapsed();
+            iters += 1;
+            total += elapsed;
+            best = best.min(elapsed);
+        }
+        self.report = Some((iters, total, best));
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the nominal sample count (accepted for API compatibility; the
+    /// stand-in sizes batches by `measurement_time` alone).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets how long each benchmark warms up before measurement.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets how long each benchmark is measured.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut payload: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| payload(b))
+    }
+
+    /// Runs one benchmark that receives a shared input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut payload: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| payload(b, input))
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut payload: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            report: None,
+        };
+        payload(&mut bencher);
+        match bencher.report {
+            Some((iters, total, best)) if iters > 0 => {
+                let mean = total / u32::try_from(iters).unwrap_or(u32::MAX).max(1);
+                println!(
+                    "{}/{}: {} iters, mean {:?}, best {:?}",
+                    self.name, id.id, iters, mean, best
+                );
+            }
+            _ => println!("{}/{}: no measurement (empty bench body)", self.name, id.id),
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a benchmark group with default timing (1s warm-up, 3s measure).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: Duration::from_secs(1),
+            measurement: Duration::from_secs(3),
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single free-standing benchmark with default timing.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, payload: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, payload);
+        group.finish();
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("t");
+        group
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest's API that `tests/property_tests.rs`
+//! uses: [`Strategy`] over integer ranges, tuples of strategies,
+//! [`Strategy::prop_map`], [`prop::collection::vec`], the [`proptest!`]
+//! macro with `#![proptest_config(...)]`, and `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Cases are generated from a deterministic per-test seed (derived from the
+//! test's name), so failures reproduce across runs. The one upstream feature
+//! deliberately omitted is *shrinking*: a failing case is reported as-is via
+//! the panic message rather than minimized.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::prelude::*;
+use std::ops::Range;
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ $(,)?)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (S0.0),
+    (S0.0, S1.1),
+    (S0.0, S1.1, S2.2),
+    (S0.0, S1.1, S2.2, S3.3),
+    (S0.0, S1.1, S2.2, S3.3, S4.4),
+);
+
+/// A number-of-elements specification for collection strategies: either an
+/// exact length (`3`) or a half-open range of lengths (`1..40`).
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange(exact..exact + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        SizeRange(range)
+    }
+}
+
+/// Collection strategies (`prop::collection` upstream).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::prelude::*;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.0.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Mirror of upstream's `proptest::prop` facade module.
+pub mod prop {
+    pub use crate::collection;
+}
+
+#[doc(hidden)]
+pub fn __rng_for_test(test_name: &str) -> StdRng {
+    // FNV-1a over the test name: any fixed, deterministic seed works; tying
+    // it to the name decorrelates the case streams of different tests.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over `cases` generated
+/// argument tuples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        // `$meta` re-emits the original attributes, `#[test]` included.
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::__rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let run = || -> Result<(), String> {
+                    $body
+                    Ok(())
+                };
+                if let Err(message) = run() {
+                    panic!("proptest case {case} failed: {message}");
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case with a
+/// formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// The usual glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u32..4, b in -3i32..3) {
+            prop_assert!(a < 4);
+            prop_assert!((-3..3).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in prop::collection::vec((0u32..5, 0u32..5).prop_map(|(x, y)| x + y), 1..10),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            for x in v {
+                prop_assert!(x <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_name() {
+        use crate::Strategy;
+        let mut a = crate::__rng_for_test("x");
+        let mut b = crate::__rng_for_test("x");
+        let s = 0u32..1000;
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! keeps the workspace's `use serde::{Deserialize, Serialize}` imports and
+//! `#[derive(Serialize, Deserialize)]` attributes compiling without pulling
+//! the real dependency. The traits are empty markers and the derives are
+//! no-ops; swapping in the real serde later is a one-line change in the
+//! workspace manifest, with no source edits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Trait and derive-macro namespaces are distinct, so — exactly as in real
+// serde — `Serialize` names both the trait and the derive.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use crate::Serialize;
+}

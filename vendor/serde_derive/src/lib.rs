@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its plain-old-data
+//! types so that downstream users of the real serde ecosystem get wire
+//! formats for free, but nothing *inside* the workspace serializes anything.
+//! With no crates.io access, these derives expand to nothing: the attribute
+//! positions stay valid (and documented as serde-ready), while no trait
+//! impls are emitted — see the `serde` vendored crate for the marker traits.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
