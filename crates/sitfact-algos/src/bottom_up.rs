@@ -333,9 +333,9 @@ mod tests {
             table.append(t).unwrap();
         }
         let directions = table.schema().directions().to_vec();
-        let sample = table.tuple(10).clone();
+        let sample = table.tuple(10);
         for mask in sitfact_core::ConstraintLattice::unrestricted(3).enumerate_top_down() {
-            let c = Constraint::from_tuple_mask(&sample, mask);
+            let c = Constraint::from_tuple_mask(sample, mask);
             for m in SubspaceMask::enumerate(2, 2) {
                 let expected = dominance::skyline_of(table.context(&c), m, &directions).len();
                 assert_eq!(algo.skyline_cardinality(&table, &c, m), expected);

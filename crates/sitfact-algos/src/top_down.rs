@@ -466,9 +466,9 @@ mod tests {
             table.append(t).unwrap();
         }
         let directions = table.schema().directions().to_vec();
-        let sample = table.tuple(20).clone();
+        let sample = table.tuple(20);
         for mask in sitfact_core::ConstraintLattice::unrestricted(3).enumerate_top_down() {
-            let c = Constraint::from_tuple_mask(&sample, mask);
+            let c = Constraint::from_tuple_mask(sample, mask);
             for m in SubspaceMask::enumerate(2, 2) {
                 let expected = dominance::skyline_of(table.context(&c), m, &directions).len();
                 assert_eq!(

@@ -62,8 +62,9 @@ fn fixture() -> Fixture {
 fn warm(algo: &mut dyn Discovery, table: &Table) {
     let mut warm_table = Table::new(table.schema().clone());
     for (_, t) in table.iter() {
-        let _ = algo.discover(&warm_table, t);
-        warm_table.append(t.clone()).unwrap();
+        let t = t.to_tuple();
+        let _ = algo.discover(&warm_table, &t);
+        warm_table.append(t).unwrap();
     }
 }
 

@@ -423,6 +423,50 @@ mod tests {
         );
     }
 
+    /// Acceptance guard for the inverted context index: on an NBA-scale
+    /// table, retrieving a selective context must examine far fewer rows than
+    /// a full scan (the probe bound is the smallest posting list involved),
+    /// while returning exactly the scan's results.
+    #[test]
+    fn context_retrieval_is_sublinear_on_nba_data() {
+        use sitfact_core::{BoundMask, Constraint};
+        let params = ExperimentParams {
+            d: 5,
+            m: 4,
+            d_hat: 3,
+            m_hat: 3,
+            n: 5_000,
+            sample_points: 1,
+            seed: 21,
+        };
+        let (schema, rows) = generate_rows(DatasetKind::Nba, &params);
+        let mut table = Table::with_capacity(schema, rows.len());
+        for row in &rows {
+            let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
+            let ids = table.schema_mut().intern_dims(&dims).unwrap();
+            table.append(Tuple::new(ids, row.measures.clone())).unwrap();
+        }
+        for probe_id in [0u32, 1_000, 2_500, 4_999] {
+            let probe = table.tuple(probe_id);
+            // Bind the player attribute alone and player ∧ team.
+            for mask in [
+                BoundMask::from_indices([0]),
+                BoundMask::from_indices([0, 3]),
+            ] {
+                let constraint = Constraint::from_tuple_mask(probe, mask);
+                let indexed: Vec<u32> = table.context(&constraint).map(|(id, _)| id).collect();
+                let scanned: Vec<u32> = table.context_scan(&constraint).map(|(id, _)| id).collect();
+                assert_eq!(indexed, scanned);
+                let bound = table.context_probe_bound(&constraint);
+                assert!(
+                    bound * 10 < table.len(),
+                    "constraint {constraint:?} probes {bound} of {} rows — not sub-linear",
+                    table.len()
+                );
+            }
+        }
+    }
+
     #[test]
     fn prominence_study_accumulates() {
         let params = ExperimentParams {

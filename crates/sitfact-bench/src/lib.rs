@@ -9,7 +9,8 @@
 //! * [`params`] — the paper's parameter grids (Table V/VI dimension and
 //!   measure spaces, default `d̂`/`m̂`, sweep ranges) scaled to laptop sizes;
 //! * [`harness`] — streaming drivers that measure per-tuple latency, work
-//!   counters and storage growth for any [`AlgorithmKind`];
+//!   counters and storage growth for any
+//!   [`AlgorithmKind`](sitfact_algos::AlgorithmKind);
 //! * [`report`] — plain-text/CSV emission of the series each figure plots.
 //!
 //! The absolute numbers differ from the paper's (Java on 2009-era hardware vs

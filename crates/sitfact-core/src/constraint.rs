@@ -4,7 +4,7 @@
 
 use crate::error::{Result, SitFactError};
 use crate::schema::Schema;
-use crate::tuple::Tuple;
+use crate::tuple::TupleView;
 use crate::value::{DimValueId, UNBOUND};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -157,7 +157,7 @@ impl BoundMask {
     /// same dimension value. The sub-lattice of constraints satisfied by both
     /// tuples, `C^{t,t'} ∩ C^t`, is exactly the set of submasks of this mask
     /// (the bottom `⊥(C^{t,t'})` of Definition 8 is the mask itself).
-    pub fn agreement(left: &Tuple, right: &Tuple) -> BoundMask {
+    pub fn agreement(left: impl TupleView, right: impl TupleView) -> BoundMask {
         debug_assert_eq!(left.num_dims(), right.num_dims());
         let mut mask = 0u32;
         for i in 0..left.num_dims() {
@@ -203,7 +203,7 @@ impl Constraint {
 
     /// The constraint obtained by binding exactly the attributes of `mask` to
     /// the corresponding values of `tuple` — an element of `C^t`.
-    pub fn from_tuple_mask(tuple: &Tuple, mask: BoundMask) -> Self {
+    pub fn from_tuple_mask(tuple: impl TupleView, mask: BoundMask) -> Self {
         let mut values = vec![UNBOUND; tuple.num_dims()];
         for i in mask.indices() {
             values[i] = tuple.dim(i);
@@ -268,7 +268,7 @@ impl Constraint {
     /// Whether `tuple` satisfies the constraint (belongs to the context
     /// `σ_C(R)`).
     #[inline]
-    pub fn matches(&self, tuple: &Tuple) -> bool {
+    pub fn matches(&self, tuple: impl TupleView) -> bool {
         debug_assert_eq!(tuple.num_dims(), self.values.len());
         self.values
             .iter()
@@ -319,6 +319,7 @@ impl Constraint {
 mod tests {
     use super::*;
     use crate::schema::SchemaBuilder;
+    use crate::tuple::Tuple;
     use crate::value::Direction;
 
     fn tuple(dims: &[u32]) -> Tuple {
@@ -417,10 +418,10 @@ mod tests {
     #[test]
     fn matches_respects_bound_values() {
         let c = Constraint::from_values(vec![5, UNBOUND, 2]);
-        assert!(c.matches(&tuple(&[5, 99, 2])));
-        assert!(!c.matches(&tuple(&[5, 99, 3])));
-        assert!(!c.matches(&tuple(&[4, 99, 2])));
-        assert!(Constraint::top(3).matches(&tuple(&[1, 2, 3])));
+        assert!(c.matches(tuple(&[5, 99, 2])));
+        assert!(!c.matches(tuple(&[5, 99, 3])));
+        assert!(!c.matches(tuple(&[4, 99, 2])));
+        assert!(Constraint::top(3).matches(tuple(&[1, 2, 3])));
     }
 
     #[test]

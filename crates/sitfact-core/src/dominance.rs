@@ -2,7 +2,7 @@
 //! subspace-sharing partition of Proposition 4.
 
 use crate::subspace::SubspaceMask;
-use crate::tuple::Tuple;
+use crate::tuple::TupleView;
 use crate::value::Direction;
 
 /// Outcome of comparing two tuples in a measure subspace.
@@ -37,8 +37,10 @@ pub struct DominancePartition {
 
 impl DominancePartition {
     /// Computes the partition of `left` versus `right` over all measures,
-    /// honouring the per-attribute preference directions.
-    pub fn compute(left: &Tuple, right: &Tuple, directions: &[Direction]) -> Self {
+    /// honouring the per-attribute preference directions. Accepts any
+    /// [`TupleView`] — owned tuples and borrowed [`TupleRef`](crate::TupleRef)
+    /// views alike.
+    pub fn compute(left: impl TupleView, right: impl TupleView, directions: &[Direction]) -> Self {
         debug_assert_eq!(left.num_measures(), right.num_measures());
         debug_assert_eq!(left.num_measures(), directions.len());
         let mut better = 0u32;
@@ -96,7 +98,12 @@ impl DominancePartition {
 
 /// Returns `true` iff `left` dominates `right` in measure subspace `m`:
 /// better-or-equal everywhere in `m` and strictly better somewhere in `m`.
-pub fn dominates(left: &Tuple, right: &Tuple, m: SubspaceMask, directions: &[Direction]) -> bool {
+pub fn dominates(
+    left: impl TupleView,
+    right: impl TupleView,
+    m: SubspaceMask,
+    directions: &[Direction],
+) -> bool {
     let mut strictly_better = false;
     for i in m.indices() {
         let a = left.measure(i);
@@ -116,8 +123,8 @@ pub fn dominates(left: &Tuple, right: &Tuple, m: SubspaceMask, directions: &[Dir
 /// Classifies the relation of `left` to `right` in subspace `m` without
 /// computing a full partition. Useful for one-off comparisons.
 pub fn compare(
-    left: &Tuple,
-    right: &Tuple,
+    left: impl TupleView,
+    right: impl TupleView,
     m: SubspaceMask,
     directions: &[Direction],
 ) -> DominanceOrdering {
@@ -149,16 +156,19 @@ pub fn compare(
 /// Computes the skyline of `tuples` in subspace `m` by pairwise comparison.
 ///
 /// This is the reference implementation used by tests and by the brute-force
-/// baseline; it is O(n²) and deliberately simple.
-pub fn skyline_of<'a, I>(
+/// baseline; it is O(n²) and deliberately simple. Works over any iterator of
+/// `(id, view)` pairs — `&Tuple` references and zero-copy
+/// [`TupleRef`](crate::TupleRef) views from the columnar table alike.
+pub fn skyline_of<T, I>(
     tuples: I,
     m: SubspaceMask,
     directions: &[Direction],
-) -> Vec<(crate::TupleId, &'a Tuple)>
+) -> Vec<(crate::TupleId, T)>
 where
-    I: IntoIterator<Item = (crate::TupleId, &'a Tuple)>,
+    T: TupleView + Copy,
+    I: IntoIterator<Item = (crate::TupleId, T)>,
 {
-    let all: Vec<(crate::TupleId, &Tuple)> = tuples.into_iter().collect();
+    let all: Vec<(crate::TupleId, T)> = tuples.into_iter().collect();
     all.iter()
         .filter(|(_, t)| {
             !all.iter()
@@ -171,6 +181,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Tuple;
 
     const HIGHER: [Direction; 3] = [
         Direction::HigherIsBetter,

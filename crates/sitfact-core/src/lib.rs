@@ -13,7 +13,9 @@
 //!
 //! * [`Schema`], [`Dictionary`], [`Tuple`] — the relation `R(D; M)` with
 //!   dictionary-encoded dimension attributes and numeric measure attributes,
-//!   each with its own ["better" direction](Direction);
+//!   each with its own ["better" direction](Direction); the zero-copy
+//!   [`TupleRef`] view and the [`TupleView`] trait let the columnar table
+//!   hand out rows without materialising them;
 //! * [`SubspaceMask`] — measure subspaces `M ⊆ 𝕄` as bitmasks;
 //! * [`dominance`] — the dominance relation of skyline analysis, including the
 //!   three-way partition of Proposition 4 that lets one full-space comparison
@@ -71,5 +73,5 @@ pub use lattice::ConstraintLattice;
 pub use pair::SkylinePair;
 pub use schema::{MeasureAttr, Schema, SchemaBuilder};
 pub use subspace::SubspaceMask;
-pub use tuple::{Tuple, TupleId};
+pub use tuple::{Tuple, TupleId, TupleRef, TupleView};
 pub use value::{DimValueId, Direction, UNBOUND};

@@ -11,11 +11,12 @@
 //! *prominent* those that attain the maximum and clear a threshold `τ`.
 //!
 //! The central type is [`FactMonitor`]: it owns the append-only table, a
-//! [`ContextCounter`], and any [`Discovery`] algorithm, and turns a stream of
+//! [`ContextCounter`](sitfact_storage::ContextCounter), and any
+//! [`Discovery`](sitfact_algos::Discovery) algorithm, and turns a stream of
 //! raw tuples into a stream of [`ArrivalReport`]s. [`DistributionStats`]
 //! accumulates the figures of the paper's case study (Figs. 14–15), and
-//! [`narrate`] renders facts as English sentences in the style of the paper's
-//! examples.
+//! [`narrate()`] renders facts as English sentences in the style of the
+//! paper's examples.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

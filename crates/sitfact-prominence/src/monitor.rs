@@ -125,8 +125,9 @@ impl<A: Discovery> FactMonitor<A> {
     pub fn ingest(&mut self, tuple: Tuple) -> Result<ArrivalReport> {
         let pairs = self.algorithm.discover(&self.table, &tuple);
         let tuple_id = self.table.append(tuple)?;
-        let appended = self.table.tuple(tuple_id).clone();
-        self.counter.observe(&appended);
+        // The appended row is observed through a zero-copy view — no
+        // materialisation on the per-arrival path.
+        self.counter.observe(self.table.tuple(tuple_id));
 
         let mut facts: Vec<RankedFact> = Vec::with_capacity(pairs.len());
         for pair in pairs {

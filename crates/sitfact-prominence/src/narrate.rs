@@ -3,7 +3,7 @@
 //! against the Bulls since …").
 
 use crate::fact::RankedFact;
-use sitfact_core::{Schema, Tuple};
+use sitfact_core::{Schema, TupleView};
 
 /// Narrates one ranked fact about `tuple` as a sentence.
 ///
@@ -12,7 +12,10 @@ use sitfact_core::{Schema, Tuple};
 ///
 /// > `points=38, assists=16 — undominated among the 1,204 tuples where
 /// > player=Iverson ∧ month=Apr (one of 2 skyline tuples; prominence 602.0)`
-pub fn narrate(schema: &Schema, tuple: &Tuple, fact: &RankedFact) -> String {
+///
+/// Accepts any [`TupleView`] — an owned tuple, a `&Tuple`, or the table's
+/// zero-copy [`TupleRef`](sitfact_core::TupleRef) rows.
+pub fn narrate(schema: &Schema, tuple: impl TupleView, fact: &RankedFact) -> String {
     let measures: Vec<String> = fact
         .pair
         .subspace
@@ -56,7 +59,7 @@ fn format_number(x: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sitfact_core::{Constraint, Direction, SchemaBuilder, SkylinePair, SubspaceMask};
+    use sitfact_core::{Constraint, Direction, SchemaBuilder, SkylinePair, SubspaceMask, Tuple};
 
     #[test]
     fn narration_mentions_measures_context_and_prominence() {

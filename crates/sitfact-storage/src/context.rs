@@ -8,7 +8,7 @@
 //! of tuples in its context — one hash-map update per constraint per arriving
 //! tuple.
 
-use sitfact_core::{BoundMask, Constraint, ConstraintLattice, FxHashMap, Tuple};
+use sitfact_core::{BoundMask, Constraint, ConstraintLattice, FxHashMap, TupleView};
 
 /// Incremental counter of `|σ_C(R)|` for every observed constraint.
 #[derive(Debug, Clone)]
@@ -30,11 +30,13 @@ impl ContextCounter {
     }
 
     /// Registers an arriving tuple: every constraint of `C^t` (up to the `d̂`
-    /// cap) has its context cardinality incremented.
-    pub fn observe(&mut self, tuple: &Tuple) {
+    /// cap) has its context cardinality incremented. Accepts any
+    /// [`TupleView`], so the table's zero-copy rows can be observed without
+    /// materialising them.
+    pub fn observe(&mut self, tuple: impl TupleView) {
         debug_assert_eq!(tuple.num_dims(), self.lattice.n_dims());
         for mask in self.lattice.enumerate_top_down() {
-            let constraint = Constraint::from_tuple_mask(tuple, mask);
+            let constraint = Constraint::from_tuple_mask(&tuple, mask);
             *self.counts.entry(constraint).or_insert(0) += 1;
         }
         self.observed_tuples += 1;
@@ -52,7 +54,7 @@ impl ContextCounter {
 
     /// Cardinality for a constraint expressed as a tuple + bound mask, the
     /// form the discovery algorithms naturally produce.
-    pub fn cardinality_for(&self, tuple: &Tuple, mask: BoundMask) -> u64 {
+    pub fn cardinality_for(&self, tuple: impl TupleView, mask: BoundMask) -> u64 {
         if mask.is_top() {
             return self.observed_tuples;
         }
@@ -69,9 +71,15 @@ impl ContextCounter {
         self.counts.len()
     }
 
-    /// Approximate heap bytes consumed by the counter.
+    /// Approximate heap bytes consumed by the counter, derived from `size_of`
+    /// so the estimate survives layout changes: each tracked constraint costs
+    /// one map entry (a [`Constraint`] key — a boxed value slice — plus the
+    /// `u64` count) and its boxed per-attribute values.
     pub fn approx_heap_bytes(&self) -> usize {
-        self.counts.len() * (self.lattice.n_dims() * 4 + 8 + 48)
+        use std::mem::size_of;
+        let per_entry = size_of::<(Constraint, u64)>()
+            + self.lattice.n_dims() * size_of::<sitfact_core::DimValueId>();
+        self.counts.len() * per_entry
     }
 }
 
@@ -79,7 +87,7 @@ impl ContextCounter {
 mod tests {
     use super::*;
     use crate::table::Table;
-    use sitfact_core::{Direction, SchemaBuilder};
+    use sitfact_core::{Direction, SchemaBuilder, Tuple};
 
     fn sample_table() -> Table {
         let schema = SchemaBuilder::new("gamelog")
@@ -180,7 +188,7 @@ mod tests {
     fn heap_estimate_is_positive_after_observation() {
         let mut counter = ContextCounter::new(3, 2);
         assert_eq!(counter.approx_heap_bytes(), 0);
-        counter.observe(&Tuple::new(vec![0, 1, 2], vec![1.0]));
+        counter.observe(Tuple::new(vec![0, 1, 2], vec![1.0]));
         assert!(counter.approx_heap_bytes() > 0);
     }
 }

@@ -8,7 +8,7 @@
 //! (lower-is-better attributes negated) so "better" is always "greater or
 //! equal".
 
-use sitfact_core::{Direction, SubspaceMask, Tuple, TupleId};
+use sitfact_core::{Direction, SubspaceMask, TupleId, TupleView};
 
 #[derive(Debug, Clone)]
 struct Node {
@@ -53,14 +53,14 @@ impl KdTree {
         self.nodes.is_empty()
     }
 
-    fn canonical(&self, tuple: &Tuple) -> Box<[f64]> {
+    fn canonical(&self, tuple: impl TupleView) -> Box<[f64]> {
         (0..self.dims)
             .map(|i| self.directions[i].canonical(tuple.measure(i)))
             .collect()
     }
 
     /// Inserts a tuple's measures under its id.
-    pub fn insert(&mut self, id: TupleId, tuple: &Tuple) {
+    pub fn insert(&mut self, id: TupleId, tuple: impl TupleView) {
         debug_assert_eq!(tuple.num_measures(), self.dims);
         let point = self.canonical(tuple);
         let new_index = self.nodes.len() as u32;
@@ -107,7 +107,11 @@ impl KdTree {
     ///
     /// Callers still need a strictness check (a candidate equal to the query
     /// on every attribute of the subspace does not dominate it).
-    pub fn candidates_at_least(&self, query: &Tuple, subspace: SubspaceMask) -> Vec<TupleId> {
+    pub fn candidates_at_least(
+        &self,
+        query: impl TupleView,
+        subspace: SubspaceMask,
+    ) -> Vec<TupleId> {
         let q = self.canonical(query);
         let mut out = Vec::new();
         if let Some(root) = self.root {
@@ -154,6 +158,7 @@ impl KdTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sitfact_core::Tuple;
 
     fn tuple(measures: &[f64]) -> Tuple {
         Tuple::new(vec![0], measures.to_vec())
@@ -188,7 +193,7 @@ mod tests {
         let tree = KdTree::new(&higher(2));
         assert!(tree.is_empty());
         assert!(tree
-            .candidates_at_least(&tuple(&[0.0, 0.0]), SubspaceMask::full(2))
+            .candidates_at_least(tuple(&[0.0, 0.0]), SubspaceMask::full(2))
             .is_empty());
     }
 
@@ -204,7 +209,7 @@ mod tests {
             [11.0, 15.0, 0.5],
         ];
         for (i, p) in points.iter().enumerate() {
-            tree.insert(i as TupleId, &tuple(p));
+            tree.insert(i as TupleId, tuple(p));
         }
         assert_eq!(tree.len(), 5);
         // Who is at least (11, 15, *) on {m0, m1}? -> t0 fails m0? t0=(10,..) fails.
@@ -213,10 +218,10 @@ mod tests {
         found.sort_unstable();
         assert_eq!(found, vec![2, 3, 4]);
         // Full-space query from the origin returns everything.
-        let all = tree.candidates_at_least(&tuple(&[0.0, 0.0, 0.0]), SubspaceMask::full(3));
+        let all = tree.candidates_at_least(tuple(&[0.0, 0.0, 0.0]), SubspaceMask::full(3));
         assert_eq!(all.len(), 5);
         // A query above everything returns nothing.
-        let none = tree.candidates_at_least(&tuple(&[99.0, 99.0, 99.0]), SubspaceMask::full(3));
+        let none = tree.candidates_at_least(tuple(&[99.0, 99.0, 99.0]), SubspaceMask::full(3));
         assert!(none.is_empty());
     }
 
@@ -225,9 +230,9 @@ mod tests {
         let dirs = vec![Direction::HigherIsBetter, Direction::LowerIsBetter];
         let mut tree = KdTree::new(&dirs);
         // (points, fouls): fewer fouls is better.
-        tree.insert(0, &tuple(&[20.0, 5.0]));
-        tree.insert(1, &tuple(&[20.0, 1.0]));
-        tree.insert(2, &tuple(&[10.0, 1.0]));
+        tree.insert(0, tuple(&[20.0, 5.0]));
+        tree.insert(1, tuple(&[20.0, 1.0]));
+        tree.insert(2, tuple(&[10.0, 1.0]));
         let q = tuple(&[15.0, 3.0]);
         let mut found = tree.candidates_at_least(&q, SubspaceMask::full(2));
         found.sort_unstable();
@@ -279,7 +284,7 @@ mod tests {
         let mut tree = KdTree::new(&higher(2));
         let empty = tree.approx_heap_bytes();
         for i in 0..100 {
-            tree.insert(i, &tuple(&[i as f64, 1.0]));
+            tree.insert(i, tuple(&[i as f64, 1.0]));
         }
         assert!(tree.approx_heap_bytes() > empty);
     }

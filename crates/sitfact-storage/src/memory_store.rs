@@ -109,15 +109,22 @@ impl SkylineStore for MemorySkylineStore {
     }
 
     fn stats(&self) -> StoreStats {
-        // Estimate bytes: per entry an id + shared measures; per cell the key
-        // (constraint values + mask) plus Vec and map-bucket overhead.
+        // Estimate bytes from the actual layout: per cell the constraint key
+        // (inline box + boxed values) and the subspace map entry; per entry
+        // the inline `StoredEntry` plus its `Arc<[f64]>` allocation (counts +
+        // measures).
+        use std::mem::size_of;
         let mut bytes = 0u64;
         for (constraint, by_subspace) in &self.cells {
-            bytes += (constraint.num_dims() * 4 + 48) as u64;
+            bytes += (size_of::<Constraint>()
+                + constraint.num_dims() * size_of::<sitfact_core::DimValueId>())
+                as u64;
             for cell in by_subspace.values() {
                 let measures = cell.first().map_or(0, |e| e.measures.len());
-                let per_entry = 8 + 16 + measures * 8;
-                bytes += 32 + (cell.len() * per_entry) as u64;
+                let per_entry =
+                    size_of::<StoredEntry>() + 2 * size_of::<usize>() + measures * size_of::<f64>();
+                bytes += (size_of::<(SubspaceMask, Arc<Vec<StoredEntry>>)>()
+                    + cell.len() * per_entry) as u64;
             }
         }
         StoreStats {

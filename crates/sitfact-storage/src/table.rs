@@ -1,8 +1,35 @@
-//! The append-only relation `R(D; M)`.
+//! The append-only relation `R(D; M)`, stored column-wise with an inverted
+//! context index.
+//!
+//! ## Storage layout
+//!
+//! The table is a struct-of-arrays: instead of one heap-allocated [`Tuple`]
+//! per row (two allocations each), all dimension values live in a single flat
+//! `Vec<DimValueId>` and all measure values in a single flat `Vec<f64>`, both
+//! row-major with fixed stride. Row access is pure slicing — [`Table::tuple`]
+//! hands out a zero-copy [`TupleRef`] — and an append is amortised O(1) with
+//! no per-row allocation.
+//!
+//! On top of the columns the table maintains, per dimension attribute, an
+//! inverted index of posting lists: `DimValueId → Vec<TupleId>`, each list
+//! sorted ascending because tuple ids are assigned in arrival order. The
+//! context `σ_C(R)` of a conjunctive constraint is then the intersection of
+//! the posting lists of its bound values — a k-way sorted-list intersection
+//! whose cost is governed by the *smallest* list, not the table size. The
+//! top constraint `⊤` stays a plain range iterator over all rows.
 
-use sitfact_core::{Constraint, Result, Schema, SitFactError, Tuple, TupleId};
+use sitfact_core::{
+    Constraint, DimValueId, FxHashMap, Result, Schema, SitFactError, Tuple, TupleId, TupleRef,
+    UNBOUND,
+};
+use std::ops::Range;
 
-/// An append-only table of tuples under a fixed [`Schema`].
+/// Posting lists of one dimension attribute: every value id observed in that
+/// column maps to the sorted ids of the tuples carrying it.
+type PostingMap = FxHashMap<DimValueId, Vec<TupleId>>;
+
+/// An append-only table of tuples under a fixed [`Schema`], stored as flat
+/// columns plus per-dimension posting lists.
 ///
 /// The table owns the schema (and therefore the dimension dictionaries), so
 /// raw string records can be ingested with [`Table::append_raw`]; already
@@ -12,23 +39,35 @@ use sitfact_core::{Constraint, Result, Schema, SitFactError, Tuple, TupleId};
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
-    tuples: Vec<Tuple>,
+    n_dims: usize,
+    n_measures: usize,
+    len: usize,
+    /// All dimension values, row-major (`len * n_dims` entries).
+    dims: Vec<DimValueId>,
+    /// All measure values, row-major (`len * n_measures` entries).
+    measures: Vec<f64>,
+    /// One posting map per dimension attribute.
+    postings: Vec<PostingMap>,
 }
 
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: Schema) -> Self {
-        Table {
-            schema,
-            tuples: Vec::new(),
-        }
+        Self::with_capacity(schema, 0)
     }
 
-    /// Creates an empty table with pre-allocated capacity.
+    /// Creates an empty table with pre-allocated capacity (in rows).
     pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
+        let n_dims = schema.num_dimensions();
+        let n_measures = schema.num_measures();
         Table {
             schema,
-            tuples: Vec::with_capacity(capacity),
+            n_dims,
+            n_measures,
+            len: 0,
+            dims: Vec::with_capacity(capacity * n_dims),
+            measures: Vec::with_capacity(capacity * n_measures),
+            postings: vec![PostingMap::default(); n_dims],
         }
     }
 
@@ -45,89 +84,269 @@ impl Table {
 
     /// Number of tuples currently stored.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
     }
 
     /// The id that the *next* appended tuple will receive.
     pub fn next_id(&self) -> TupleId {
-        self.tuples.len() as TupleId
+        self.len as TupleId
     }
 
     /// Appends an already-encoded tuple after validating it against the
-    /// schema. Returns the assigned [`TupleId`].
+    /// schema. The tuple is consumed — its vectors are drained into the
+    /// columns without re-cloning. Returns the assigned [`TupleId`].
     pub fn append(&mut self, tuple: Tuple) -> Result<TupleId> {
-        let tuple = Tuple::validated(
-            tuple.dims().to_vec(),
-            tuple.measures().to_vec(),
-            &self.schema,
-        )?;
-        let id = self.next_id();
-        self.tuples.push(tuple);
-        Ok(id)
+        tuple.validate(&self.schema)?;
+        let (dims, measures) = tuple.into_parts();
+        Ok(self.push_row(dims, measures))
     }
 
     /// Interns the dimension strings, validates the measures and appends the
-    /// resulting tuple.
+    /// resulting tuple. Validation happens once, inside [`Table::append`].
     pub fn append_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<TupleId> {
         let ids = self.schema.intern_dims(dims)?;
-        let tuple = Tuple::validated(ids, measures, &self.schema)?;
+        self.append(Tuple::new(ids, measures))
+    }
+
+    /// Unconditional append of validated parts: extend the columns and the
+    /// posting lists. Ids grow monotonically, so every posting list stays
+    /// sorted by construction.
+    fn push_row(&mut self, dims: Vec<DimValueId>, measures: Vec<f64>) -> TupleId {
         let id = self.next_id();
-        self.tuples.push(tuple);
-        Ok(id)
+        for (attr, &value) in dims.iter().enumerate() {
+            self.postings[attr].entry(value).or_default().push(id);
+        }
+        self.dims.extend_from_slice(&dims);
+        self.measures.extend_from_slice(&measures);
+        self.len += 1;
+        id
     }
 
-    /// The tuple with the given id, if it exists.
-    pub fn get(&self, id: TupleId) -> Option<&Tuple> {
-        self.tuples.get(id as usize)
+    /// A zero-copy view of the row with the given id, if it exists.
+    pub fn get(&self, id: TupleId) -> Option<TupleRef<'_>> {
+        let row = id as usize;
+        if row < self.len {
+            Some(self.row(row))
+        } else {
+            None
+        }
     }
 
-    /// The tuple with the given id; panics when out of range.
-    pub fn tuple(&self, id: TupleId) -> &Tuple {
-        &self.tuples[id as usize]
+    /// A zero-copy view of the row with the given id; panics when out of
+    /// range.
+    pub fn tuple(&self, id: TupleId) -> TupleRef<'_> {
+        let row = id as usize;
+        assert!(
+            row < self.len,
+            "tuple id {id} out of range (len {})",
+            self.len
+        );
+        self.row(row)
+    }
+
+    #[inline]
+    fn row(&self, row: usize) -> TupleRef<'_> {
+        TupleRef::new(
+            &self.dims[row * self.n_dims..(row + 1) * self.n_dims],
+            &self.measures[row * self.n_measures..(row + 1) * self.n_measures],
+        )
     }
 
     /// Iterates `(id, tuple)` pairs in arrival order.
-    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
-        self.tuples
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (i as TupleId, t))
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, TupleRef<'_>)> {
+        (0..self.len).map(|row| (row as TupleId, self.row(row)))
     }
 
     /// Iterates only the tuples that satisfy `constraint` — the context
-    /// `σ_C(R)` of the paper.
-    pub fn context<'a>(
+    /// `σ_C(R)` of the paper — via the inverted index.
+    ///
+    /// For the top constraint this is a range iterator over every row; for any
+    /// other constraint it is a k-way intersection of the sorted posting lists
+    /// of the bound values, so the cost scales with the most selective bound
+    /// value instead of the table size. A bound value that was never observed
+    /// yields an empty context immediately.
+    pub fn context<'a>(&'a self, constraint: &Constraint) -> ContextIter<'a> {
+        debug_assert_eq!(constraint.num_dims(), self.n_dims);
+        let mut lists: Vec<&'a [TupleId]> = Vec::new();
+        for (attr, &value) in constraint.values().iter().enumerate() {
+            if value == UNBOUND {
+                continue;
+            }
+            match self.postings.get(attr).and_then(|p| p.get(&value)) {
+                Some(list) => lists.push(list.as_slice()),
+                // A bound value never observed: the context is empty.
+                None => return ContextIter::empty(self),
+            }
+        }
+        if lists.is_empty() {
+            return ContextIter::all(self);
+        }
+        // Driving the intersection from the shortest list bounds the number
+        // of candidates by the most selective bound value.
+        lists.sort_unstable_by_key(|l| l.len());
+        ContextIter {
+            table: self,
+            state: ContextState::Intersect(lists),
+        }
+    }
+
+    /// Reference implementation of [`Table::context`]: a full scan filtered by
+    /// [`Constraint::matches`]. Kept as the ground truth for the equivalence
+    /// property tests and as the baseline leg of the `context_scan` vs
+    /// `context_indexed` benchmark.
+    pub fn context_scan<'a>(
         &'a self,
         constraint: &'a Constraint,
-    ) -> impl Iterator<Item = (TupleId, &'a Tuple)> + 'a {
+    ) -> impl Iterator<Item = (TupleId, TupleRef<'a>)> + 'a {
         self.iter().filter(move |(_, t)| constraint.matches(t))
     }
 
-    /// Number of tuples satisfying `constraint` (`|σ_C(R)|`), computed by a
-    /// scan. The incremental [`ContextCounter`](crate::ContextCounter) should
-    /// be preferred on hot paths; this method is the ground truth for tests.
+    /// Number of tuples satisfying `constraint` (`|σ_C(R)|`), computed through
+    /// the inverted index. The incremental
+    /// [`ContextCounter`](crate::ContextCounter) should still be preferred on
+    /// hot paths that repeatedly ask about the same constraints.
     pub fn context_cardinality(&self, constraint: &Constraint) -> usize {
         self.context(constraint).count()
     }
 
-    /// Approximate heap usage of the stored tuples plus dictionaries, used by
-    /// the memory experiment (Fig. 10a).
+    /// Upper bound on the rows the indexed [`Table::context`] will examine:
+    /// the length of the shortest posting list among the constraint's bound
+    /// values (`0` for a never-observed value, the table length for `⊤`).
+    ///
+    /// This is the work counter behind the sub-linearity assertions — a
+    /// selective constraint must probe far fewer rows than a full scan.
+    pub fn context_probe_bound(&self, constraint: &Constraint) -> usize {
+        let mut bound = usize::MAX;
+        for (attr, &value) in constraint.values().iter().enumerate() {
+            if value == UNBOUND {
+                continue;
+            }
+            let len = self
+                .postings
+                .get(attr)
+                .and_then(|p| p.get(&value))
+                .map_or(0, Vec::len);
+            bound = bound.min(len);
+        }
+        if bound == usize::MAX {
+            self.len
+        } else {
+            bound
+        }
+    }
+
+    /// The sorted posting list of one `(dimension, value)` pair, if that value
+    /// has ever been observed in that column.
+    pub fn posting_list(&self, attr: usize, value: DimValueId) -> Option<&[TupleId]> {
+        self.postings
+            .get(attr)
+            .and_then(|p| p.get(&value))
+            .map(Vec::as_slice)
+    }
+
+    /// Approximate heap usage of the columnar storage (flat columns plus the
+    /// inverted index) and the schema dictionaries, used by the memory
+    /// experiment (Fig. 10a).
+    ///
+    /// Derived entirely from `size_of` so the estimate tracks the layout:
+    /// * the dimension column holds `len * n_dims` value ids;
+    /// * the measure column holds `len * n_measures` floats;
+    /// * every row id appears in exactly one posting list per dimension
+    ///   (`len * n_dims` tuple ids in total);
+    /// * each distinct `(dimension, value)` pair costs one map entry (key +
+    ///   `Vec` header).
     pub fn approx_heap_bytes(&self) -> usize {
-        let per_tuple = self.schema.num_dimensions() * std::mem::size_of::<u32>()
-            + self.schema.num_measures() * std::mem::size_of::<f64>()
-            + 2 * std::mem::size_of::<Vec<u8>>();
-        self.tuples.len() * per_tuple + self.schema.approx_heap_bytes()
+        use std::mem::size_of;
+        let columns = self.len * self.n_dims * size_of::<DimValueId>()
+            + self.len * self.n_measures * size_of::<f64>();
+        let posting_ids = self.len * self.n_dims * size_of::<TupleId>();
+        let distinct_values: usize = self.postings.iter().map(PostingMap::len).sum();
+        let posting_entries =
+            distinct_values * (size_of::<DimValueId>() + size_of::<Vec<TupleId>>());
+        columns + posting_ids + posting_entries + self.schema.approx_heap_bytes()
     }
 
     /// Validation helper: returns an error when `id` does not exist.
-    pub fn require(&self, id: TupleId) -> Result<&Tuple> {
+    pub fn require(&self, id: TupleId) -> Result<TupleRef<'_>> {
         self.get(id)
             .ok_or_else(|| SitFactError::InvalidTuple(format!("tuple id {id} out of range")))
+    }
+}
+
+/// Iterator over a context `σ_C(R)`, yielding `(id, view)` pairs in arrival
+/// order. Produced by [`Table::context`].
+#[derive(Debug)]
+pub struct ContextIter<'a> {
+    table: &'a Table,
+    state: ContextState<'a>,
+}
+
+#[derive(Debug)]
+enum ContextState<'a> {
+    /// Top constraint: every row qualifies.
+    All(Range<usize>),
+    /// Intersection of the bound values' posting lists, shortest first. The
+    /// slices shrink from the front as the intersection advances.
+    Intersect(Vec<&'a [TupleId]>),
+    /// A bound value was never observed.
+    Empty,
+}
+
+impl<'a> ContextIter<'a> {
+    fn all(table: &'a Table) -> Self {
+        ContextIter {
+            table,
+            state: ContextState::All(0..table.len),
+        }
+    }
+
+    fn empty(table: &'a Table) -> Self {
+        ContextIter {
+            table,
+            state: ContextState::Empty,
+        }
+    }
+}
+
+impl<'a> Iterator for ContextIter<'a> {
+    type Item = (TupleId, TupleRef<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.state {
+            ContextState::All(range) => {
+                let row = range.next()?;
+                Some((row as TupleId, self.table.row(row)))
+            }
+            ContextState::Empty => None,
+            ContextState::Intersect(lists) => 'candidates: loop {
+                let (first, rest) = lists.split_first_mut()?;
+                let (&candidate, remainder) = first.split_first()?;
+                *first = remainder;
+                for list in rest.iter_mut() {
+                    // Binary-search forward to the first id >= candidate; the
+                    // slices only ever shrink, so total work per list is
+                    // O(|candidates| * log |list|).
+                    let skip = list.partition_point(|&id| id < candidate);
+                    *list = &list[skip..];
+                    match list.first() {
+                        Some(&id) if id == candidate => {}
+                        Some(_) => continue 'candidates,
+                        None => {
+                            self.state = ContextState::Empty;
+                            return None;
+                        }
+                    }
+                }
+                // Posting-list ids are in range by construction; skip the
+                // public accessor's bounds assertion on the hot path.
+                return Some((candidate, self.table.row(candidate as usize)));
+            },
+        }
     }
 }
 
@@ -175,6 +394,8 @@ mod tests {
         let bad = Tuple::new(vec![0, 0, 0], vec![1.0, 2.0]);
         assert!(t.append(bad).is_err());
         assert_eq!(t.len(), 0);
+        // A rejected append must leave no trace in the index either.
+        assert!(t.posting_list(0, 0).is_none());
     }
 
     #[test]
@@ -199,6 +420,46 @@ mod tests {
         // The top constraint selects everything.
         let top = Constraint::from_values(vec![UNBOUND, UNBOUND]);
         assert_eq!(t.context_cardinality(&top), 4);
+        // A combination of observed values that never co-occur is empty.
+        let wesley_blazers =
+            Constraint::parse(t.schema(), &[("player", "Wesley"), ("team", "Blazers")]).unwrap();
+        assert_eq!(t.context_cardinality(&wesley_blazers), 0);
+    }
+
+    #[test]
+    fn context_agrees_with_scan() {
+        let mut t = Table::new(schema());
+        let players = ["A", "B", "C"];
+        let teams = ["X", "Y"];
+        for i in 0..60usize {
+            t.append_raw(
+                &[players[i % 3], teams[i % 2]],
+                vec![i as f64, (i * 7 % 13) as f64],
+            )
+            .unwrap();
+        }
+        for bindings in [
+            vec![("player", "A")],
+            vec![("team", "Y")],
+            vec![("player", "B"), ("team", "X")],
+            vec![("player", "C"), ("team", "Y")],
+        ] {
+            let c = Constraint::parse(t.schema(), &bindings).unwrap();
+            let indexed: Vec<TupleId> = t.context(&c).map(|(id, _)| id).collect();
+            let scanned: Vec<TupleId> = t.context_scan(&c).map(|(id, _)| id).collect();
+            assert_eq!(indexed, scanned, "constraint {bindings:?}");
+        }
+    }
+
+    #[test]
+    fn context_never_observed_value_is_empty() {
+        let mut t = Table::new(schema());
+        t.append_raw(&["Wesley", "Celtics"], vec![1.0, 1.0])
+            .unwrap();
+        // A raw constraint with a value id no dictionary ever handed out.
+        let c = Constraint::from_values(vec![999, UNBOUND]);
+        assert_eq!(t.context(&c).count(), 0);
+        assert_eq!(t.context_probe_bound(&c), 0);
     }
 
     #[test]
@@ -212,12 +473,58 @@ mod tests {
     }
 
     #[test]
-    fn heap_estimate_grows_with_rows() {
+    fn posting_lists_are_sorted_and_complete() {
+        let mut t = Table::new(schema());
+        for i in 0..30usize {
+            let player = if i % 2 == 0 { "Even" } else { "Odd" };
+            t.append_raw(&[player, "T"], vec![i as f64, 0.0]).unwrap();
+        }
+        let even_id = t.schema().dictionary(0).lookup("Even").unwrap();
+        let list = t.posting_list(0, even_id).unwrap();
+        assert_eq!(list.len(), 15);
+        assert!(list.windows(2).all(|w| w[0] < w[1]));
+        assert!(list.iter().all(|&id| id % 2 == 0));
+        let team_id = t.schema().dictionary(1).lookup("T").unwrap();
+        assert_eq!(t.posting_list(1, team_id).unwrap().len(), 30);
+        assert!(t.posting_list(0, 999).is_none());
+    }
+
+    #[test]
+    fn probe_bound_is_sublinear_for_selective_constraints() {
+        let mut t = Table::new(schema());
+        // One rare player amid a crowd of common ones.
+        for i in 0..500usize {
+            let player = if i == 250 { "Rare" } else { "Common" };
+            t.append_raw(&[player, "T"], vec![i as f64, 0.0]).unwrap();
+        }
+        let rare = Constraint::parse(t.schema(), &[("player", "Rare")]).unwrap();
+        assert_eq!(t.context_probe_bound(&rare), 1);
+        assert_eq!(t.context(&rare).count(), 1);
+        let top = Constraint::top(2);
+        assert_eq!(t.context_probe_bound(&top), 500);
+        // A multi-attribute constraint is bounded by its most selective value.
+        let rare_t = Constraint::parse(t.schema(), &[("player", "Rare"), ("team", "T")]).unwrap();
+        assert_eq!(t.context_probe_bound(&rare_t), 1);
+    }
+
+    #[test]
+    fn heap_estimate_matches_layout_formula() {
+        use std::mem::size_of;
         let mut t = Table::new(schema());
         let before = t.approx_heap_bytes();
-        for _ in 0..100 {
-            t.append_raw(&["p", "t"], vec![1.0, 2.0]).unwrap();
+        for i in 0..100usize {
+            let player = if i % 2 == 0 { "p0" } else { "p1" };
+            t.append_raw(&[player, "t"], vec![1.0, 2.0]).unwrap();
         }
         assert!(t.approx_heap_bytes() > before);
+        // Pin the formula to the columnar layout: 100 rows × 2 dims × u32,
+        // 100 rows × 2 measures × f64, 100 × 2 posting ids, and 3 distinct
+        // (dimension, value) pairs of map-entry overhead.
+        let expected = 100 * 2 * size_of::<DimValueId>()
+            + 100 * 2 * size_of::<f64>()
+            + 100 * 2 * size_of::<TupleId>()
+            + 3 * (size_of::<DimValueId>() + size_of::<Vec<TupleId>>())
+            + t.schema().approx_heap_bytes();
+        assert_eq!(t.approx_heap_bytes(), expected);
     }
 }

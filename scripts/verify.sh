@@ -18,4 +18,7 @@ cargo test --workspace -q
 echo "==> cargo check --workspace --examples --benches --bins (smoke)"
 cargo check --workspace --examples --benches --bins
 
+echo "==> cargo doc --workspace --no-deps (rustdoc warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "All green."

@@ -64,7 +64,7 @@ pub mod prelude {
     };
     pub use sitfact_core::{
         BoundMask, Constraint, ConstraintLattice, Dictionary, Direction, DiscoveryConfig, Schema,
-        SchemaBuilder, SkylinePair, SubspaceMask, Tuple, TupleId,
+        SchemaBuilder, SkylinePair, SubspaceMask, Tuple, TupleId, TupleRef, TupleView,
     };
     pub use sitfact_datagen::{DataGenerator, Row};
     pub use sitfact_prominence::{

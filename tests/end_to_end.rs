@@ -90,9 +90,9 @@ fn context_counter_and_table_agree_after_streaming() {
     // constraints drawn from actual tuples.
     let lattice = ConstraintLattice::new(table.schema().num_dimensions(), 3);
     for sample_id in [0u32, 250, 500, 799] {
-        let tuple = table.tuple(sample_id).clone();
+        let tuple = table.tuple(sample_id);
         for mask in lattice.enumerate_top_down().into_iter().step_by(7) {
-            let constraint = Constraint::from_tuple_mask(&tuple, mask);
+            let constraint = Constraint::from_tuple_mask(tuple, mask);
             assert_eq!(
                 counter.cardinality(&constraint),
                 table.context_cardinality(&constraint) as u64,
@@ -115,7 +115,7 @@ fn csv_round_trip_preserves_discovery_results() {
     let config = DiscoveryConfig::capped(3, 3);
     let mut on_original = BruteForce::new(table.schema(), config);
     let mut on_reloaded = BruteForce::new(reloaded.schema(), config);
-    let probe = table.tuple(120).clone();
+    let probe = table.tuple(120).to_tuple();
     let mut a = on_original.discover(&table, &probe);
     let mut b = on_reloaded.discover(&reloaded, &probe);
     sitfact_core::pair::canonical_sort(&mut a);

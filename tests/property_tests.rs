@@ -141,6 +141,64 @@ proptest! {
         }
     }
 
+    /// The inverted-index context (posting-list intersection) returns exactly
+    /// the same `(id, tuple)` sequence as a naive predicate scan, for random
+    /// schema widths and random constraints — including the top constraint
+    /// and constraints binding never-observed values.
+    #[test]
+    fn indexed_context_equals_naive_scan(
+        n_dims in 1usize..5,
+        n_measures in 1usize..3,
+        rows in prop::collection::vec(
+            (prop::collection::vec(0u32..5, 4), 0i32..9),
+            0..60,
+        ),
+        constraint_seeds in prop::collection::vec(prop::collection::vec(0u32..8, 4), 1..16),
+    ) {
+        let mut builder = SchemaBuilder::new("p");
+        for d in 0..n_dims {
+            builder = builder.dimension(format!("d{d}"));
+        }
+        for m in 0..n_measures {
+            builder = builder.measure(format!("m{m}"), Direction::HigherIsBetter);
+        }
+        let schema = builder.build().unwrap();
+        let mut table = Table::new(schema);
+        for (dims, measure) in &rows {
+            let t = Tuple::new(
+                dims[..n_dims].to_vec(),
+                vec![*measure as f64; n_measures],
+            );
+            table.append(t).unwrap();
+        }
+        // Random constraints: seed values 0..5 are (potentially) observed,
+        // 5 and 6 are never observed, 7 maps to `*`. The explicit top
+        // constraint is always exercised too.
+        let mut constraints: Vec<Constraint> = vec![Constraint::top(n_dims)];
+        for seed in &constraint_seeds {
+            let values = seed[..n_dims]
+                .iter()
+                .map(|&v| if v == 7 { sitfact_core::UNBOUND } else { v })
+                .collect();
+            constraints.push(Constraint::from_values(values));
+        }
+        for c in &constraints {
+            let indexed: Vec<(TupleId, Tuple)> =
+                table.context(c).map(|(id, t)| (id, t.to_tuple())).collect();
+            let scanned: Vec<(TupleId, Tuple)> = table
+                .context_scan(c)
+                .map(|(id, t)| (id, t.to_tuple()))
+                .collect();
+            prop_assert_eq!(&indexed, &scanned);
+            prop_assert_eq!(indexed.len(), table.context_cardinality(c));
+            // The probe bound brackets the result: the intersection can never
+            // be larger than its smallest posting list, which in turn never
+            // exceeds a full scan.
+            prop_assert!(indexed.len() <= table.context_probe_bound(c));
+            prop_assert!(table.context_probe_bound(c) <= table.len());
+        }
+    }
+
     /// Prominence is always ≥ 1 for facts pertinent to the newly added tuple,
     /// and the context is never smaller than its skyline.
     #[test]
