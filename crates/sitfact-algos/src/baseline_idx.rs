@@ -2,7 +2,7 @@
 
 use crate::common::{AlgoParams, ConstraintCache};
 use crate::traits::Discovery;
-use sitfact_core::{dominance, BoundMask, DiscoveryConfig, Schema, SkylinePair, Tuple};
+use sitfact_core::{dominance, BoundMask, DiscoveryConfig, Schema, SkylinePair, Tuple, TupleId};
 use sitfact_storage::{KdTree, StoreStats, Table, WorkStats};
 
 /// `BaselineIdx`: like [`BaselineSeq`](crate::BaselineSeq), but instead of
@@ -43,10 +43,14 @@ impl Discovery for BaselineIdx {
         "BaselineIdx"
     }
 
-    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair> {
+    fn discover_at(&mut self, table: &Table, t: &Tuple, t_id: TupleId) -> Vec<SkylinePair> {
+        // The tree holds exactly the arrivals processed so far, which is what
+        // keeps this correct under the batched protocol: even if the table
+        // was already extended past `t_id`, the range query can only return
+        // ids the tree has seen — the tuple's true history.
         debug_assert_eq!(
             self.tree.len(),
-            table.len(),
+            t_id as usize,
             "BaselineIdx must see every tuple exactly once"
         );
         let cache = ConstraintCache::new(t, self.params.n_dims);
@@ -81,7 +85,7 @@ impl Discovery for BaselineIdx {
             }
         }
         // The new tuple becomes part of the index for future arrivals.
-        self.tree.insert(table.next_id(), t);
+        self.tree.insert(t_id, t);
         self.stats.store_writes += 1;
         out
     }

@@ -2,7 +2,7 @@
 
 use crate::common::{AlgoParams, ConstraintCache};
 use crate::traits::Discovery;
-use sitfact_core::{dominance, BoundMask, DiscoveryConfig, Schema, SkylinePair, Tuple};
+use sitfact_core::{dominance, BoundMask, DiscoveryConfig, Schema, SkylinePair, Tuple, TupleId};
 use sitfact_storage::{StoreStats, Table, WorkStats};
 
 /// `BaselineSeq`: for every measure subspace, scan the whole table once;
@@ -34,7 +34,7 @@ impl Discovery for BaselineSeq {
         "BaselineSeq"
     }
 
-    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair> {
+    fn discover_at(&mut self, table: &Table, t: &Tuple, t_id: TupleId) -> Vec<SkylinePair> {
         let cache = ConstraintCache::new(t, self.params.n_dims);
         let directions = &self.params.directions;
         let flag_len = self.params.lattice.flag_len();
@@ -42,7 +42,9 @@ impl Discovery for BaselineSeq {
         let mut pruned = vec![false; flag_len];
         for &subspace in &self.params.subspaces {
             pruned.iter_mut().for_each(|p| *p = false);
-            for (_, other) in table.iter() {
+            // The scan is in arrival order; stop at `t_id` so batched drivers
+            // (table already extended past this arrival) see only history.
+            for (_, other) in table.iter().take_while(|(id, _)| *id < t_id) {
                 self.stats.comparisons += 1;
                 if dominance::dominates(other, t, subspace, directions) {
                     let agreement = BoundMask::agreement(t, other);

@@ -3,8 +3,7 @@
 use crate::common::{dominates_measures, AlgoParams, ConstraintCache};
 use crate::traits::Discovery;
 use sitfact_core::{
-    dominance, BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple,
-    TupleId,
+    BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple, TupleId,
 };
 use sitfact_storage::{
     MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats,
@@ -134,8 +133,8 @@ impl<S: SkylineStore> Discovery for BottomUp<S> {
         "BottomUp"
     }
 
-    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair> {
-        let t_id = table.next_id();
+    fn discover_at(&mut self, table: &Table, t: &Tuple, t_id: TupleId) -> Vec<SkylinePair> {
+        let _ = table; // comparisons run against the store, never the table
         let cache = ConstraintCache::new(t, self.params.n_dims);
         let flag_len = self.params.lattice.flag_len();
         let mut out = Vec::new();
@@ -167,14 +166,17 @@ impl<S: SkylineStore> Discovery for BottomUp<S> {
         self.store.stats()
     }
 
-    fn skyline_cardinality(
+    fn skyline_cardinality_at(
         &mut self,
         table: &Table,
         constraint: &Constraint,
         subspace: SubspaceMask,
+        limit: TupleId,
     ) -> usize {
         // Invariant 1: µ_{C,M} holds exactly λ_M(σ_C(R)) — a cell read is the
-        // answer, provided the pair lies inside the maintained family.
+        // answer, provided the pair lies inside the maintained family. The
+        // store covers exactly the arrivals processed so far, so `limit` only
+        // constrains the out-of-family recompute.
         let within_family = constraint.bound_count() <= self.params.lattice.max_bound()
             && subspace.len()
                 <= self
@@ -188,8 +190,7 @@ impl<S: SkylineStore> Discovery for BottomUp<S> {
         if within_family {
             self.store.read(constraint, subspace).len()
         } else {
-            let directions = table.schema().directions();
-            dominance::skyline_of(table.context(constraint), subspace, directions).len()
+            crate::common::skyline_cardinality_recompute(table, constraint, subspace, limit)
         }
     }
 }
@@ -198,6 +199,7 @@ impl<S: SkylineStore> Discovery for BottomUp<S> {
 mod tests {
     use super::*;
     use crate::brute_force::BruteForce;
+    use sitfact_core::dominance;
     use sitfact_core::pair::canonical_sort;
     use sitfact_core::{Direction, SchemaBuilder};
 

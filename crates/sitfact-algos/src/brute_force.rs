@@ -2,7 +2,7 @@
 
 use crate::common::{AlgoParams, ConstraintCache};
 use crate::traits::Discovery;
-use sitfact_core::{dominance, DiscoveryConfig, Schema, SkylinePair, Tuple};
+use sitfact_core::{dominance, DiscoveryConfig, Schema, SkylinePair, Tuple, TupleId};
 use sitfact_storage::{StoreStats, Table, WorkStats};
 
 /// Brute-force discovery: for every measure subspace and every constraint
@@ -33,7 +33,7 @@ impl Discovery for BruteForce {
         "BruteForce"
     }
 
-    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair> {
+    fn discover_at(&mut self, table: &Table, t: &Tuple, t_id: TupleId) -> Vec<SkylinePair> {
         let cache = ConstraintCache::new(t, self.params.n_dims);
         let directions = &self.params.directions;
         let mut out = Vec::new();
@@ -42,7 +42,10 @@ impl Discovery for BruteForce {
                 self.stats.traversed_constraints += 1;
                 let constraint = cache.get(mask);
                 let mut pruned = false;
-                for (_, other) in table.iter() {
+                // Rows are scanned in arrival order, so stopping at `t_id`
+                // restricts the comparison to the tuple's true history even
+                // when a batch driver has already appended later rows.
+                for (_, other) in table.iter().take_while(|(id, _)| *id < t_id) {
                     self.stats.comparisons += 1;
                     if constraint.matches(other)
                         && dominance::dominates(other, t, subspace, directions)

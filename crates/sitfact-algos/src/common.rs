@@ -92,6 +92,63 @@ impl ConstraintCache {
     }
 }
 
+/// Reusable per-arrival traversal buffers (constraint flags plus the BFS
+/// queue) for the lattice passes of the shared algorithms.
+///
+/// Allocated lazily to the lattice's flag length and kept on the algorithm
+/// struct, so a window of arrivals (`begin_batch` … `end_batch`) re-clears
+/// the same buffers instead of re-allocating four vectors per pass per
+/// arrival. [`TraversalScratch::release`] drops the capacity again once a
+/// batch ends.
+#[derive(Debug, Default)]
+pub struct TraversalScratch {
+    /// `pruned[mask]`: the new tuple is known dominated at this constraint.
+    pub pruned: Vec<bool>,
+    /// `in_ances[mask]`: an unpruned ancestor already stores the new tuple.
+    pub in_ances: Vec<bool>,
+    /// `enqueued[mask]`: the constraint has entered the BFS queue.
+    pub enqueued: Vec<bool>,
+    /// The BFS queue over bound masks.
+    pub queue: std::collections::VecDeque<BoundMask>,
+}
+
+impl TraversalScratch {
+    /// Clears every buffer and (re)sizes the flag vectors to `flag_len`.
+    pub fn reset(&mut self, flag_len: usize) {
+        self.pruned.clear();
+        self.pruned.resize(flag_len, false);
+        self.in_ances.clear();
+        self.in_ances.resize(flag_len, false);
+        self.enqueued.clear();
+        self.enqueued.resize(flag_len, false);
+        self.queue.clear();
+    }
+
+    /// Returns the buffers' memory to the allocator (batch tear-down).
+    pub fn release(&mut self) {
+        *self = TraversalScratch::default();
+    }
+}
+
+/// Ground-truth `|λ_M(σ_C(R_{<limit}))|`: recomputes the contextual skyline
+/// from the table, truncated to rows that arrived before `limit`. Shared by
+/// the [`Discovery`](crate::Discovery) trait default and every algorithm's
+/// out-of-family fallback, so the truncation semantics live in one place.
+pub fn skyline_cardinality_recompute(
+    table: &sitfact_storage::Table,
+    constraint: &Constraint,
+    subspace: SubspaceMask,
+    limit: sitfact_core::TupleId,
+) -> usize {
+    let directions = table.schema().directions();
+    sitfact_core::dominance::skyline_of(
+        table.context(constraint).take_while(|(id, _)| *id < limit),
+        subspace,
+        directions,
+    )
+    .len()
+}
+
 /// `left ≻_M right` on raw measure slices.
 #[inline]
 pub fn dominates_measures(

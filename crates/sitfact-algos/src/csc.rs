@@ -130,8 +130,8 @@ impl Discovery for CCsc {
         "C-CSC"
     }
 
-    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair> {
-        let t_id = table.next_id();
+    fn discover_at(&mut self, table: &Table, t: &Tuple, t_id: TupleId) -> Vec<SkylinePair> {
+        let _ = table; // state is entirely in the per-context CSCs
         let cache = ConstraintCache::new(t, self.params.n_dims);
         let directions = self.params.directions.clone();
         let family = self.params.subspaces.clone();

@@ -2,15 +2,16 @@
 //! (Section V-C of the paper).
 
 use crate::bottom_up::BottomUp;
-use crate::common::{dominates_measures, partition_measures, AlgoParams, ConstraintCache};
+use crate::common::{
+    dominates_measures, partition_measures, AlgoParams, ConstraintCache, TraversalScratch,
+};
 use crate::traits::Discovery;
 use sitfact_core::{
-    dominance, BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple,
+    BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple, TupleId,
 };
 use sitfact_storage::{
     MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats,
 };
-use std::collections::VecDeque;
 
 /// `SBottomUp` first traverses the lattice in the **full** measure space.
 /// Every comparison made there yields, through the three-way partition of
@@ -34,6 +35,13 @@ pub struct SBottomUp<S: SkylineStore = MemorySkylineStore> {
     /// `pruned_matrix[subspace][mask]`: pre-pruned constraints per subspace,
     /// reused across tuples to avoid reallocation.
     pruned_matrix: Vec<Vec<bool>>,
+    /// Full-space-pass traversal buffers, kept warm across a batch.
+    scratch: TraversalScratch,
+    /// Inside a `begin_batch`/`end_batch` window: per-arrival store flushes
+    /// are deferred to `end_batch` (reads go through the store's write-back
+    /// buffer either way, so results are unchanged — only the file-backed
+    /// store's write-back cadence differs).
+    in_batch: bool,
 }
 
 impl SBottomUp<MemorySkylineStore> {
@@ -54,6 +62,8 @@ impl<S: SkylineStore> SBottomUp<S> {
             store,
             stats: WorkStats::default(),
             pruned_matrix: vec![vec![false; flag_len]; subspace_slots],
+            scratch: TraversalScratch::default(),
+            in_batch: false,
         }
     }
 
@@ -81,16 +91,20 @@ impl<S: SkylineStore> SBottomUp<S> {
         table: &Table,
         cache: &ConstraintCache,
         t: &Tuple,
-        t_id: sitfact_core::TupleId,
+        t_id: TupleId,
+        scratch: &mut TraversalScratch,
         out: &mut Vec<SkylinePair>,
     ) {
         let directions = self.params.directions.clone();
         let full = self.params.full_space;
         let report_full = self.params.reports_full_space();
-        let flag_len = self.params.lattice.flag_len();
-        let mut pruned = vec![false; flag_len];
-        let mut enqueued = vec![false; flag_len];
-        let mut queue: VecDeque<BoundMask> = VecDeque::new();
+        scratch.reset(self.params.lattice.flag_len());
+        let TraversalScratch {
+            pruned,
+            enqueued,
+            queue,
+            ..
+        } = scratch;
         for bottom in self.params.lattice.bottoms() {
             enqueued[bottom.0 as usize] = true;
             queue.push_back(bottom);
@@ -160,12 +174,13 @@ impl<S: SkylineStore> Discovery for SBottomUp<S> {
         "SBottomUp"
     }
 
-    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair> {
-        let t_id = table.next_id();
+    fn discover_at(&mut self, table: &Table, t: &Tuple, t_id: TupleId) -> Vec<SkylinePair> {
         let cache = ConstraintCache::new(t, self.params.n_dims);
         let mut out = Vec::new();
         self.reset_matrix();
-        self.root_pass(table, &cache, t, t_id, &mut out);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.root_pass(table, &cache, t, t_id, &mut scratch, &mut out);
+        self.scratch = scratch;
         let proper = self.params.proper_subspaces.clone();
         for subspace in proper {
             // Move the row out to satisfy the borrow checker, then put it back.
@@ -183,8 +198,23 @@ impl<S: SkylineStore> Discovery for SBottomUp<S> {
             );
             self.pruned_matrix[subspace.0 as usize] = pruned;
         }
-        self.store.flush();
+        if !self.in_batch {
+            self.store.flush();
+        }
         out
+    }
+
+    fn begin_batch(&mut self, expected_arrivals: usize) {
+        let _ = expected_arrivals;
+        // The traversal buffers stay allocated between passes (each pass
+        // re-clears them); `end_batch` releases them again.
+        self.in_batch = true;
+    }
+
+    fn end_batch(&mut self) {
+        self.in_batch = false;
+        self.store.flush();
+        self.scratch.release();
     }
 
     fn work_stats(&self) -> WorkStats {
@@ -195,20 +225,23 @@ impl<S: SkylineStore> Discovery for SBottomUp<S> {
         self.store.stats()
     }
 
-    fn skyline_cardinality(
+    fn skyline_cardinality_at(
         &mut self,
         table: &Table,
         constraint: &Constraint,
         subspace: SubspaceMask,
+        limit: TupleId,
     ) -> usize {
         let within_family = constraint.bound_count() <= self.params.lattice.max_bound()
             && !subspace.is_empty()
             && (subspace == self.params.full_space || self.params.subspaces.contains(&subspace));
         if within_family {
+            // Invariant 1: the cell is the skyline. The store covers exactly
+            // the processed arrivals; `limit` only constrains the
+            // out-of-family recompute below.
             self.store.read(constraint, subspace).len()
         } else {
-            let directions = table.schema().directions();
-            dominance::skyline_of(table.context(constraint), subspace, directions).len()
+            crate::common::skyline_cardinality_recompute(table, constraint, subspace, limit)
         }
     }
 }
@@ -217,6 +250,7 @@ impl<S: SkylineStore> Discovery for SBottomUp<S> {
 mod tests {
     use super::*;
     use crate::brute_force::BruteForce;
+    use sitfact_core::dominance;
     use sitfact_core::pair::canonical_sort;
     use sitfact_core::{Direction, SchemaBuilder};
 

@@ -1,17 +1,17 @@
 //! Algorithm 6 of the paper: `STopDown` — `TopDown` with computation shared
 //! across measure subspaces.
 
-use crate::common::{dominates_measures, partition_measures, AlgoParams, ConstraintCache};
+use crate::common::{
+    dominates_measures, partition_measures, AlgoParams, ConstraintCache, TraversalScratch,
+};
 use crate::top_down::{demote_stored_tuple, skyline_cardinality_from_maximal};
 use crate::traits::Discovery;
 use sitfact_core::{
-    dominance, BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple,
-    TupleId,
+    BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple, TupleId,
 };
 use sitfact_storage::{
     MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats,
 };
-use std::collections::VecDeque;
 
 /// `STopDown` runs the `TopDown` traversal once in the **full** measure space
 /// (`STopDownRoot`). Because that traversal visits *every* constraint of
@@ -29,6 +29,13 @@ pub struct STopDown<S: SkylineStore = MemorySkylineStore> {
     stats: WorkStats,
     /// `pruned_matrix[subspace][mask]`, reused across tuples.
     pruned_matrix: Vec<Vec<bool>>,
+    /// Per-pass traversal buffers, kept warm across a batch.
+    scratch: TraversalScratch,
+    /// Inside a `begin_batch`/`end_batch` window: per-arrival store flushes
+    /// are deferred to `end_batch` (reads go through the store's write-back
+    /// buffer either way, so results are unchanged — only the file-backed
+    /// store's write-back cadence differs).
+    in_batch: bool,
 }
 
 impl STopDown<MemorySkylineStore> {
@@ -49,6 +56,8 @@ impl<S: SkylineStore> STopDown<S> {
             store,
             stats: WorkStats::default(),
             pruned_matrix: vec![vec![false; flag_len]; subspace_slots],
+            scratch: TraversalScratch::default(),
+            in_batch: false,
         }
     }
 
@@ -76,16 +85,19 @@ impl<S: SkylineStore> STopDown<S> {
         cache: &ConstraintCache,
         t: &Tuple,
         t_id: TupleId,
+        scratch: &mut TraversalScratch,
         out: &mut Vec<SkylinePair>,
     ) {
         let directions = self.params.directions.clone();
         let full = self.params.full_space;
         let report_full = self.params.reports_full_space();
-        let flag_len = self.params.lattice.flag_len();
-        let mut pruned = vec![false; flag_len];
-        let mut in_ances = vec![false; flag_len];
-        let mut enqueued = vec![false; flag_len];
-        let mut queue: VecDeque<BoundMask> = VecDeque::new();
+        scratch.reset(self.params.lattice.flag_len());
+        let TraversalScratch {
+            pruned,
+            in_ances,
+            enqueued,
+            queue,
+        } = scratch;
         queue.push_back(BoundMask::TOP);
         enqueued[0] = true;
         while let Some(mask) = queue.pop_front() {
@@ -158,6 +170,9 @@ impl<S: SkylineStore> STopDown<S> {
     /// the new tuple in subspace `M`, storing the tuple at the maximal ones
     /// and demoting stored tuples it dominates. No dominance check against
     /// the new tuple is needed — the pruned matrix is complete.
+    // One parameter per piece of traversal state; bundling them into a struct
+    // would just move the argument list one level down.
+    #[allow(clippy::too_many_arguments)]
     fn node_pass(
         &mut self,
         table: &Table,
@@ -165,13 +180,17 @@ impl<S: SkylineStore> STopDown<S> {
         t: &Tuple,
         t_id: TupleId,
         subspace: SubspaceMask,
+        scratch: &mut TraversalScratch,
         out: &mut Vec<SkylinePair>,
     ) {
         let directions = self.params.directions.clone();
-        let flag_len = self.params.lattice.flag_len();
-        let mut in_ances = vec![false; flag_len];
-        let mut enqueued = vec![false; flag_len];
-        let mut queue: VecDeque<BoundMask> = VecDeque::new();
+        scratch.reset(self.params.lattice.flag_len());
+        let TraversalScratch {
+            in_ances,
+            enqueued,
+            queue,
+            ..
+        } = scratch;
         queue.push_back(BoundMask::TOP);
         enqueued[0] = true;
         while let Some(mask) = queue.pop_front() {
@@ -223,18 +242,34 @@ impl<S: SkylineStore> Discovery for STopDown<S> {
         "STopDown"
     }
 
-    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair> {
-        let t_id = table.next_id();
+    fn discover_at(&mut self, table: &Table, t: &Tuple, t_id: TupleId) -> Vec<SkylinePair> {
         let cache = ConstraintCache::new(t, self.params.n_dims);
         let mut out = Vec::new();
         self.reset_matrix();
-        self.root_pass(table, &cache, t, t_id, &mut out);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.root_pass(table, &cache, t, t_id, &mut scratch, &mut out);
         let proper = self.params.proper_subspaces.clone();
         for subspace in proper {
-            self.node_pass(table, &cache, t, t_id, subspace, &mut out);
+            self.node_pass(table, &cache, t, t_id, subspace, &mut scratch, &mut out);
         }
-        self.store.flush();
+        self.scratch = scratch;
+        if !self.in_batch {
+            self.store.flush();
+        }
         out
+    }
+
+    fn begin_batch(&mut self, expected_arrivals: usize) {
+        let _ = expected_arrivals;
+        // The traversal buffers stay allocated between passes (each pass
+        // re-clears them); `end_batch` releases them again.
+        self.in_batch = true;
+    }
+
+    fn end_batch(&mut self) {
+        self.in_batch = false;
+        self.store.flush();
+        self.scratch.release();
     }
 
     fn work_stats(&self) -> WorkStats {
@@ -245,20 +280,22 @@ impl<S: SkylineStore> Discovery for STopDown<S> {
         self.store.stats()
     }
 
-    fn skyline_cardinality(
+    fn skyline_cardinality_at(
         &mut self,
         table: &Table,
         constraint: &Constraint,
         subspace: SubspaceMask,
+        limit: TupleId,
     ) -> usize {
         let within_family = constraint.bound_count() <= self.params.lattice.max_bound()
             && !subspace.is_empty()
             && (subspace == self.params.full_space || self.params.subspaces.contains(&subspace));
         if within_family {
+            // The store covers exactly the processed arrivals; `limit` only
+            // constrains the out-of-family recompute below.
             skyline_cardinality_from_maximal(&mut self.store, table, constraint, subspace)
         } else {
-            let directions = table.schema().directions();
-            dominance::skyline_of(table.context(constraint), subspace, directions).len()
+            crate::common::skyline_cardinality_recompute(table, constraint, subspace, limit)
         }
     }
 }
@@ -268,6 +305,7 @@ mod tests {
     use super::*;
     use crate::brute_force::BruteForce;
     use crate::top_down::TopDown;
+    use sitfact_core::dominance;
     use sitfact_core::pair::canonical_sort;
     use sitfact_core::{Direction, SchemaBuilder};
 
@@ -436,6 +474,69 @@ mod tests {
                 assert_eq!(algo.skyline_cardinality(&table, &c, m), expected);
             }
         }
+    }
+
+    /// The batched driving protocol — window appended to the table up front,
+    /// then `discover_at` with explicit ids between `begin_batch`/`end_batch`
+    /// — must produce exactly the per-arrival results of the sequential
+    /// protocol, for the shared variant and for a scanning baseline (whose
+    /// table scans must self-limit to ids before the arrival).
+    #[test]
+    fn batched_protocol_matches_sequential() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(241);
+        let schema = schema(2);
+        let config = DiscoveryConfig::unrestricted();
+        let window: Vec<Tuple> = (0..50)
+            .map(|_| {
+                let dims = vec![
+                    rng.gen_range(0..3u32),
+                    rng.gen_range(0..2u32),
+                    rng.gen_range(0..3u32),
+                ];
+                let measures = (0..2).map(|_| rng.gen_range(0..5) as f64).collect();
+                Tuple::new(dims, measures)
+            })
+            .collect();
+
+        // Sequential protocol: discover against history, then append.
+        let mut seq_table = Table::new(schema.clone());
+        let mut seq_std = STopDown::new(&schema, config);
+        let mut seq_bf = crate::brute_force::BruteForce::new(&schema, config);
+        let mut seq_results = Vec::new();
+        for t in &window {
+            let mut a = seq_std.discover(&seq_table, t);
+            let mut b = seq_bf.discover(&seq_table, t);
+            canonical_sort(&mut a);
+            canonical_sort(&mut b);
+            assert_eq!(a, b);
+            seq_results.push(a);
+            seq_table.append(t.clone()).unwrap();
+        }
+
+        // Batched protocol: the whole window lands in the table first.
+        let mut batch_table = Table::new(schema.clone());
+        let first = batch_table.next_id();
+        batch_table.append_batch_slice(&window).unwrap();
+        let mut batch_std = STopDown::new(&schema, config);
+        let mut batch_bf = crate::brute_force::BruteForce::new(&schema, config);
+        batch_std.begin_batch(window.len());
+        batch_bf.begin_batch(window.len());
+        for (i, t) in window.iter().enumerate() {
+            let t_id = first + i as TupleId;
+            let mut a = batch_std.discover_at(&batch_table, t, t_id);
+            let mut b = batch_bf.discover_at(&batch_table, t, t_id);
+            canonical_sort(&mut a);
+            canonical_sort(&mut b);
+            assert_eq!(a, seq_results[i], "arrival {i} diverged (STopDown)");
+            assert_eq!(b, seq_results[i], "arrival {i} diverged (BruteForce)");
+        }
+        batch_std.end_batch();
+        batch_bf.end_batch();
+        assert_eq!(
+            batch_std.store_stats().stored_entries,
+            seq_std.store_stats().stored_entries
+        );
     }
 
     /// The file-backed instantiation (`FSTopDown`) produces identical results.

@@ -3,8 +3,8 @@
 use crate::common::{dominates_measures, AlgoParams, ConstraintCache};
 use crate::traits::Discovery;
 use sitfact_core::{
-    dominance, BoundMask, Constraint, DiscoveryConfig, FxHashSet, Schema, SkylinePair,
-    SubspaceMask, Tuple, TupleId,
+    BoundMask, Constraint, DiscoveryConfig, FxHashSet, Schema, SkylinePair, SubspaceMask, Tuple,
+    TupleId,
 };
 use sitfact_storage::{
     MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats,
@@ -153,8 +153,7 @@ impl<S: SkylineStore> Discovery for TopDown<S> {
         "TopDown"
     }
 
-    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair> {
-        let t_id = table.next_id();
+    fn discover_at(&mut self, table: &Table, t: &Tuple, t_id: TupleId) -> Vec<SkylinePair> {
         let cache = ConstraintCache::new(t, self.params.n_dims);
         let directions = self.params.directions.clone();
         let flag_len = self.params.lattice.flag_len();
@@ -246,11 +245,12 @@ impl<S: SkylineStore> Discovery for TopDown<S> {
         self.store.stats()
     }
 
-    fn skyline_cardinality(
+    fn skyline_cardinality_at(
         &mut self,
         table: &Table,
         constraint: &Constraint,
         subspace: SubspaceMask,
+        limit: TupleId,
     ) -> usize {
         let within_family = constraint.bound_count() <= self.params.lattice.max_bound()
             && !subspace.is_empty()
@@ -263,10 +263,11 @@ impl<S: SkylineStore> Discovery for TopDown<S> {
                     .max()
                     .unwrap_or(0);
         if within_family {
+            // The store covers exactly the processed arrivals; `limit` only
+            // constrains the out-of-family recompute below.
             skyline_cardinality_from_maximal(&mut self.store, table, constraint, subspace)
         } else {
-            let directions = table.schema().directions();
-            dominance::skyline_of(table.context(constraint), subspace, directions).len()
+            crate::common::skyline_cardinality_recompute(table, constraint, subspace, limit)
         }
     }
 }
@@ -275,6 +276,7 @@ impl<S: SkylineStore> Discovery for TopDown<S> {
 mod tests {
     use super::*;
     use crate::brute_force::BruteForce;
+    use sitfact_core::dominance;
     use sitfact_core::pair::canonical_sort;
     use sitfact_core::{Direction, SchemaBuilder};
 

@@ -1,12 +1,12 @@
 //! The [`Discovery`] trait implemented by every algorithm, plus the
 //! [`AlgorithmKind`] enumeration used by the experiment harness.
 
-use sitfact_core::{dominance, Constraint, SkylinePair, SubspaceMask, Tuple};
+use sitfact_core::{Constraint, SkylinePair, SubspaceMask, Tuple, TupleId};
 use sitfact_storage::{StoreStats, Table, WorkStats};
 
 /// A situational-fact discovery algorithm.
 ///
-/// ## Driving protocol
+/// ## Driving protocol (per arrival)
 ///
 /// The caller owns the append-only [`Table`] and, for every arriving tuple
 /// `t`, performs:
@@ -18,14 +18,58 @@ use sitfact_storage::{StoreStats, Table, WorkStats};
 ///
 /// [`Discovery::skyline_cardinality`] may be called *after* the append to
 /// support prominence ranking.
+///
+/// ## Driving protocol (batched)
+///
+/// A batch driver appends a whole window to the table first
+/// ([`Table::append_batch`]) and then replays the arrivals in order against
+/// the *already extended* table. Because rows beyond the current arrival are
+/// physically present, the driver must use the id-explicit entry points:
+///
+/// 1. `algo.begin_batch(window_len)` — lets the algorithm warm caches and
+///    defer per-arrival housekeeping (e.g. store flushes) to the batch end;
+/// 2. for each arrival `i` with id `t_id`:
+///    [`Discovery::discover_at`]`(table, t, t_id)` — the algorithm must
+///    behave exactly as if the table ended just before `t_id`, and
+///    [`Discovery::skyline_cardinality_at`]`(…, t_id + 1)` for ranking;
+/// 3. `algo.end_batch()` — flush whatever was deferred.
 pub trait Discovery {
     /// Short, stable name used in reports (matches the paper's naming).
     fn name(&self) -> &'static str;
 
-    /// Computes `S_t`: every constraint–measure pair for which the new tuple
-    /// `t` is a contextual skyline tuple, considering only constraints with at
-    /// most `d̂` bound attributes and subspaces with at most `m̂` measures.
-    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair>;
+    /// Computes `S_t` for a tuple with an explicit id: every
+    /// constraint–measure pair for which the new tuple `t` is a contextual
+    /// skyline tuple against the rows that arrived *before* it, considering
+    /// only constraints with at most `d̂` bound attributes and subspaces with
+    /// at most `m̂` measures.
+    ///
+    /// `t_id` is the id the tuple occupies (or will occupy) in the table.
+    /// The table may already contain rows with ids `>= t_id` (the batched
+    /// protocol appends the window up front); implementations must ignore
+    /// them — incremental algorithms do so naturally because their state
+    /// only ever covers the arrivals already processed, while scanning
+    /// baselines must bound their table scans to ids `< t_id`.
+    fn discover_at(&mut self, table: &Table, t: &Tuple, t_id: TupleId) -> Vec<SkylinePair>;
+
+    /// Computes `S_t` under the per-arrival protocol, where the table holds
+    /// exactly the history and `t` will be appended next.
+    fn discover(&mut self, table: &Table, t: &Tuple) -> Vec<SkylinePair> {
+        self.discover_at(table, t, table.next_id())
+    }
+
+    /// Marks the start of a window of [`Discovery::discover_at`] calls.
+    ///
+    /// Default: no-op. Algorithms that keep per-arrival scratch (constraint
+    /// caches, pruning matrices) or buffer store writes override this to keep
+    /// that state warm across the window instead of resetting per arrival.
+    fn begin_batch(&mut self, expected_arrivals: usize) {
+        let _ = expected_arrivals;
+    }
+
+    /// Marks the end of a window started by [`Discovery::begin_batch`];
+    /// deferred housekeeping (store flushes, scratch trimming) happens here.
+    /// Default: no-op.
+    fn end_batch(&mut self) {}
 
     /// Cumulative work counters (comparisons, traversed constraints, …).
     fn work_stats(&self) -> WorkStats;
@@ -33,21 +77,36 @@ pub trait Discovery {
     /// Storage counters of the algorithm's internal state.
     fn store_stats(&self) -> StoreStats;
 
-    /// `|λ_M(σ_C(R))|` — the number of contextual skyline tuples for
-    /// `(constraint, subspace)` according to the algorithm's current state.
+    /// `|λ_M(σ_C(R_{<limit}))|` — the number of contextual skyline tuples for
+    /// `(constraint, subspace)` among the rows with id `< limit`.
     ///
     /// The default implementation recomputes the skyline from the table (the
-    /// ground truth, O(context²)); algorithms that materialise skylines
-    /// override it with a cheap lookup. Call after appending the tuple whose
-    /// facts are being ranked.
+    /// ground truth, O(context²)), truncating the context at `limit` so a
+    /// batch driver can rank an arrival without seeing rows that arrived
+    /// after it. Algorithms that materialise skylines override it with a
+    /// cheap store lookup: their store reflects exactly the arrivals
+    /// processed so far, so `limit` only matters for their out-of-family
+    /// fallback.
+    fn skyline_cardinality_at(
+        &mut self,
+        table: &Table,
+        constraint: &Constraint,
+        subspace: SubspaceMask,
+        limit: TupleId,
+    ) -> usize {
+        crate::common::skyline_cardinality_recompute(table, constraint, subspace, limit)
+    }
+
+    /// `|λ_M(σ_C(R))|` over the full table — the per-arrival form of
+    /// [`Discovery::skyline_cardinality_at`]. Call after appending the tuple
+    /// whose facts are being ranked.
     fn skyline_cardinality(
         &mut self,
         table: &Table,
         constraint: &Constraint,
         subspace: SubspaceMask,
     ) -> usize {
-        let directions = table.schema().directions();
-        dominance::skyline_of(table.context(constraint), subspace, directions).len()
+        self.skyline_cardinality_at(table, constraint, subspace, table.next_id())
     }
 }
 

@@ -1,0 +1,164 @@
+//! Criterion micro-benchmark of the batched ingest fast path against the
+//! per-row loop, layer by layer, on the synthetic NBA workload:
+//!
+//! * `table_*` — [`Table::append`] loop vs [`Table::append_batch`] on a
+//!   20k-row window (the `table_clone_only` leg isolates the cost of
+//!   materialising one owned tuple per row, which the per-row API requires
+//!   and the batch API structurally avoids);
+//! * `counter_*` — [`ContextCounter::observe`] loop vs
+//!   [`ContextCounter::observe_batch`];
+//! * `monitor_*` — a [`FactMonitor`] ingesting a smaller window per-row vs
+//!   through [`FactMonitor::ingest_batch`] (discovery dominates here, so the
+//!   gap is narrower than at the table layer).
+//!
+//! The figure binary `fig_ingest` runs the same comparison end-to-end and
+//! emits machine-readable results to `BENCH_ingest.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sitfact_bench::{generate_rows, DatasetKind, ExperimentParams};
+use sitfact_core::{DiscoveryConfig, Schema, Tuple};
+use sitfact_prominence::{FactMonitor, MonitorConfig};
+use sitfact_storage::{ContextCounter, Table};
+
+const ROWS: usize = 20_000;
+const MONITOR_ROWS: usize = 800;
+const BATCH: usize = 8_192;
+
+/// NBA-scale schema plus the window pre-encoded as tuples (interning is
+/// common to both ingest paths and stays outside the timed region).
+fn fixture(n: usize) -> (Schema, Vec<Tuple>) {
+    let params = ExperimentParams {
+        d: 5,
+        m: 4,
+        d_hat: 3,
+        m_hat: 3,
+        n,
+        sample_points: 1,
+        seed: 42,
+    };
+    let (mut schema, rows) = generate_rows(DatasetKind::Nba, &params);
+    let tuples = rows
+        .iter()
+        .map(|row| {
+            let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
+            let ids = schema.intern_dims(&dims).unwrap();
+            Tuple::new(ids, row.measures.clone())
+        })
+        .collect();
+    (schema, tuples)
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let (schema, tuples) = fixture(ROWS);
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_with_input(
+        BenchmarkId::new("table_per_row", ROWS),
+        &tuples,
+        |b, tuples| {
+            b.iter(|| {
+                let mut table = Table::with_capacity(schema.clone(), tuples.len());
+                for t in tuples {
+                    table.append(t.clone()).unwrap();
+                }
+                black_box(table.len())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("table_batched", ROWS),
+        &tuples,
+        |b, tuples| {
+            b.iter(|| {
+                let mut table = Table::with_capacity(schema.clone(), tuples.len());
+                for window in tuples.chunks(BATCH) {
+                    table.append_batch_slice(window).unwrap();
+                }
+                black_box(table.len())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("table_clone_only", ROWS),
+        &tuples,
+        |b, tuples| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for t in tuples {
+                    n += black_box(t.clone()).num_dims();
+                }
+                black_box(n)
+            })
+        },
+    );
+
+    let n_dims = schema.num_dimensions();
+    group.bench_with_input(
+        BenchmarkId::new("counter_per_row", ROWS),
+        &tuples,
+        |b, tuples| {
+            b.iter(|| {
+                let mut counter = ContextCounter::new(n_dims, 3);
+                for t in tuples {
+                    counter.observe(t);
+                }
+                black_box(counter.tracked_constraints())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("counter_batched", ROWS),
+        &tuples,
+        |b, tuples| {
+            b.iter(|| {
+                let mut counter = ContextCounter::new(n_dims, 3);
+                counter.observe_batch(tuples.iter());
+                black_box(counter.tracked_constraints())
+            })
+        },
+    );
+    group.finish();
+
+    let (schema, tuples) = fixture(MONITOR_ROWS);
+    let discovery = DiscoveryConfig::capped(3, 3);
+    let config = MonitorConfig::default()
+        .with_discovery(discovery)
+        .with_tau(100.0)
+        .with_keep_top(8);
+    let mut group = c.benchmark_group("ingest_throughput_monitor");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_with_input(
+        BenchmarkId::new("monitor_per_row", MONITOR_ROWS),
+        &tuples,
+        |b, tuples| {
+            b.iter(|| {
+                let algo = sitfact_algos::STopDown::new(&schema, discovery);
+                let mut monitor = FactMonitor::new(schema.clone(), algo, config);
+                let reports = monitor.ingest_all(tuples.clone()).unwrap();
+                black_box(reports.len())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("monitor_batched", MONITOR_ROWS),
+        &tuples,
+        |b, tuples| {
+            b.iter(|| {
+                let algo = sitfact_algos::STopDown::new(&schema, discovery);
+                let mut monitor = FactMonitor::new(schema.clone(), algo, config);
+                let mut n = 0usize;
+                for window in tuples.chunks(BATCH) {
+                    n += monitor.ingest_batch_slice(window).unwrap().len();
+                }
+                black_box(n)
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

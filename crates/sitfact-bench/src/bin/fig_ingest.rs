@@ -1,0 +1,221 @@
+//! Ingest-throughput experiment: per-row vs batched ingest at NBA scale,
+//! layer by layer (`Table`, `ContextCounter`, `FactMonitor`), with
+//! machine-readable results written to `BENCH_ingest.json` (schema documented
+//! in `crates/sitfact-bench/README.md`).
+//!
+//! Usage: `fig_ingest [--n 20000] [--monitor-n 4000] [--batch 8192]
+//! [--reps 5] [--seed S] [--out BENCH_ingest.json]`
+//!
+//! The batched monitor leg is additionally checked against the sequential
+//! leg's reports (identical output is part of the batch path's contract), so
+//! a CI smoke run of this binary doubles as an end-to-end equivalence test.
+
+use sitfact_bench::params::arg_value;
+use sitfact_bench::{generate_rows, DatasetKind, ExperimentParams};
+use sitfact_core::{DiscoveryConfig, Schema, Tuple};
+use sitfact_prominence::{FactMonitor, MonitorConfig};
+use sitfact_storage::{ContextCounter, Table};
+use std::time::Instant;
+
+/// One measured leg: the best-of-`reps` wall-clock seconds and the derived
+/// throughput.
+struct Leg {
+    layer: &'static str,
+    mode: &'static str,
+    rows: usize,
+    seconds: f64,
+    rows_per_sec: f64,
+}
+
+/// Runs `run` `reps` times and keeps the best wall-clock time; the closure
+/// returns a checksum so the work cannot be optimised away.
+fn measure(reps: usize, mut run: impl FnMut() -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0usize;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        checksum = checksum.wrapping_add(run());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(checksum);
+    best
+}
+
+fn leg(
+    layer: &'static str,
+    mode: &'static str,
+    rows: usize,
+    reps: usize,
+    run: impl FnMut() -> usize,
+) -> Leg {
+    let seconds = measure(reps, run);
+    Leg {
+        layer,
+        mode,
+        rows,
+        seconds,
+        rows_per_sec: rows as f64 / seconds.max(1e-12),
+    }
+}
+
+fn encode(schema: &mut Schema, rows: &[sitfact_datagen::Row]) -> Vec<Tuple> {
+    rows.iter()
+        .map(|row| {
+            let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
+            let ids = schema.intern_dims(&dims).expect("row matches schema");
+            Tuple::new(ids, row.measures.clone())
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = arg_value(&args, "--n", 20_000);
+    let monitor_n: usize = arg_value(&args, "--monitor-n", 4_000).min(n);
+    let batch: usize = arg_value(&args, "--batch", 8_192).max(1);
+    let reps: usize = arg_value(&args, "--reps", 5);
+    let seed: u64 = arg_value(&args, "--seed", 42);
+    let out: String = arg_value(&args, "--out", "BENCH_ingest.json".to_string());
+
+    let params = ExperimentParams {
+        d: 5,
+        m: 4,
+        d_hat: 3,
+        m_hat: 3,
+        n,
+        sample_points: 1,
+        seed,
+    };
+    let (mut schema, rows) = generate_rows(DatasetKind::Nba, &params);
+    let tuples = encode(&mut schema, &rows);
+    eprintln!("fig_ingest: n={n}, monitor_n={monitor_n}, batch={batch}, reps={reps}");
+
+    let mut legs: Vec<Leg> = Vec::new();
+
+    // --- Table layer -----------------------------------------------------
+    legs.push(leg("table", "per_row", n, reps, || {
+        let mut table = Table::with_capacity(schema.clone(), tuples.len());
+        for t in &tuples {
+            table.append(t.clone()).unwrap();
+        }
+        table.len()
+    }));
+    legs.push(leg("table", "batched", n, reps, || {
+        let mut table = Table::with_capacity(schema.clone(), tuples.len());
+        for window in tuples.chunks(batch) {
+            table.append_batch_slice(window).unwrap();
+        }
+        table.len()
+    }));
+
+    // --- ContextCounter layer --------------------------------------------
+    let n_dims = schema.num_dimensions();
+    legs.push(leg("counter", "per_row", n, reps, || {
+        let mut counter = ContextCounter::new(n_dims, params.d_hat);
+        for t in &tuples {
+            counter.observe(t);
+        }
+        counter.tracked_constraints()
+    }));
+    legs.push(leg("counter", "batched", n, reps, || {
+        let mut counter = ContextCounter::new(n_dims, params.d_hat);
+        counter.observe_batch(tuples.iter());
+        counter.tracked_constraints()
+    }));
+
+    // --- FactMonitor layer (smaller window: discovery dominates) ---------
+    let monitor_tuples = &tuples[..monitor_n];
+    let discovery = DiscoveryConfig::capped(params.d_hat, params.m_hat);
+    let config = MonitorConfig::default()
+        .with_discovery(discovery)
+        .with_tau(100.0)
+        .with_keep_top(8);
+    let monitor_reps = reps.clamp(1, 3);
+    // Equivalence guard: batched reports must equal the sequential ones.
+    {
+        let algo = sitfact_algos::STopDown::new(&schema, discovery);
+        let mut sequential = FactMonitor::new(schema.clone(), algo, config);
+        let expected = sequential.ingest_all(monitor_tuples.to_vec()).unwrap();
+        let algo = sitfact_algos::STopDown::new(&schema, discovery);
+        let mut batched = FactMonitor::new(schema.clone(), algo, config);
+        let mut actual = Vec::new();
+        for window in monitor_tuples.chunks(batch) {
+            actual.extend(batched.ingest_batch_slice(window).unwrap());
+        }
+        assert_eq!(actual, expected, "batched ingest drifted from sequential");
+        eprintln!("  equivalence check passed ({} reports)", expected.len());
+    }
+    legs.push(leg("monitor", "per_row", monitor_n, monitor_reps, || {
+        let algo = sitfact_algos::STopDown::new(&schema, discovery);
+        let mut monitor = FactMonitor::new(schema.clone(), algo, config);
+        monitor.ingest_all(monitor_tuples.to_vec()).unwrap().len()
+    }));
+    legs.push(leg("monitor", "batched", monitor_n, monitor_reps, || {
+        let algo = sitfact_algos::STopDown::new(&schema, discovery);
+        let mut monitor = FactMonitor::new(schema.clone(), algo, config);
+        let mut count = 0;
+        for window in monitor_tuples.chunks(batch) {
+            count += monitor.ingest_batch_slice(window).unwrap().len();
+        }
+        count
+    }));
+
+    // --- Report ----------------------------------------------------------
+    println!("\n=== Ingest throughput: per-row vs batched (NBA, d=5 m=4) ===");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>14}",
+        "layer", "mode", "rows", "seconds", "rows/sec"
+    );
+    for l in &legs {
+        println!(
+            "{:>10} {:>10} {:>10} {:>12.6} {:>14.0}",
+            l.layer, l.mode, l.rows, l.seconds, l.rows_per_sec
+        );
+        println!(
+            "csv,fig_ingest,{}_{},{},{}",
+            l.layer, l.mode, l.rows, l.rows_per_sec
+        );
+    }
+    let speedup = |layer: &str| -> f64 {
+        let per_row = legs
+            .iter()
+            .find(|l| l.layer == layer && l.mode == "per_row")
+            .map_or(0.0, |l| l.seconds);
+        let batched = legs
+            .iter()
+            .find(|l| l.layer == layer && l.mode == "batched")
+            .map_or(1.0, |l| l.seconds);
+        per_row / batched.max(1e-12)
+    };
+    let (table_x, counter_x, monitor_x) =
+        (speedup("table"), speedup("counter"), speedup("monitor"));
+    println!("speedup: table {table_x:.2}x, counter {counter_x:.2}x, monitor {monitor_x:.2}x");
+
+    // --- Machine-readable results (schema: crates/sitfact-bench/README.md)
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"ingest_throughput\",\n");
+    json.push_str(&format!(
+        "  \"params\": {{\"n\": {n}, \"monitor_n\": {monitor_n}, \"batch\": {batch}, \"reps\": {reps}, \"seed\": {seed}, \"dataset\": \"nba\", \"d\": {}, \"m\": {}, \"d_hat\": {}, \"m_hat\": {}}},\n",
+        params.d, params.m, params.d_hat, params.m_hat
+    ));
+    json.push_str("  \"legs\": [\n");
+    for (i, l) in legs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"layer\": \"{}\", \"mode\": \"{}\", \"rows\": {}, \"seconds\": {:.6}, \"rows_per_sec\": {:.0}}}{}\n",
+            l.layer,
+            l.mode,
+            l.rows,
+            l.seconds,
+            l.rows_per_sec,
+            if i + 1 < legs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup\": {{\"table\": {table_x:.2}, \"counter\": {counter_x:.2}, \"monitor\": {monitor_x:.2}}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write results file");
+    eprintln!("wrote {out}");
+}

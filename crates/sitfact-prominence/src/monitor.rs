@@ -2,7 +2,7 @@
 
 use crate::fact::{ArrivalReport, RankedFact};
 use sitfact_algos::Discovery;
-use sitfact_core::{DiscoveryConfig, Result, Schema, Tuple};
+use sitfact_core::{DiscoveryConfig, Result, Schema, SkylinePair, Tuple, TupleId};
 use sitfact_storage::{ContextCounter, Table};
 
 /// Configuration of a [`FactMonitor`].
@@ -113,10 +113,17 @@ impl<A: Discovery> FactMonitor<A> {
         &self.config
     }
 
+    /// Interns a raw row against the monitor's schema and validates it,
+    /// without ingesting — the encoding half of [`FactMonitor::ingest_raw`],
+    /// for callers assembling a window for [`FactMonitor::ingest_batch`].
+    pub fn encode_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<Tuple> {
+        let ids = self.table.schema_mut().intern_dims(dims)?;
+        Tuple::validated(ids, measures, self.table.schema())
+    }
+
     /// Ingests a tuple given as raw dimension strings plus measures.
     pub fn ingest_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<ArrivalReport> {
-        let ids = self.table.schema_mut().intern_dims(dims)?;
-        let tuple = Tuple::validated(ids, measures, self.table.schema())?;
+        let tuple = self.encode_raw(dims, measures)?;
         self.ingest(tuple)
     }
 
@@ -128,14 +135,64 @@ impl<A: Discovery> FactMonitor<A> {
         // The appended row is observed through a zero-copy view — no
         // materialisation on the per-arrival path.
         self.counter.observe(self.table.tuple(tuple_id));
+        Ok(self.rank_arrival(tuple_id, pairs))
+    }
 
+    /// Ingests a whole window of arrivals through the batched fast path,
+    /// returning exactly the reports a sequential [`FactMonitor::ingest`]
+    /// loop would produce, in the same order.
+    ///
+    /// The window is appended to the table **once** ([`Table::append_batch`]
+    /// amortises validation, column growth and posting-list maintenance),
+    /// then each arrival is discovered and ranked against its true
+    /// time-ordered prefix: arrival `i` sees only rows `< i` — the discovery
+    /// algorithms receive the arrival's explicit id
+    /// ([`Discovery::discover_at`]) and the ranking truncates any table
+    /// recomputation at that id, even though later rows of the window are
+    /// already physically present.
+    ///
+    /// The batch is all-or-nothing: if any tuple fails validation, no tuple
+    /// of the window is ingested.
+    pub fn ingest_batch(&mut self, tuples: Vec<Tuple>) -> Result<Vec<ArrivalReport>> {
+        self.ingest_batch_slice(&tuples)
+    }
+
+    /// Borrowing form of [`FactMonitor::ingest_batch`]: the window is only
+    /// read (the columnar table copies the values anyway), so callers that
+    /// chunk a long-lived buffer into windows need not clone each chunk.
+    pub fn ingest_batch_slice(&mut self, tuples: &[Tuple]) -> Result<Vec<ArrivalReport>> {
+        if tuples.is_empty() {
+            return Ok(Vec::new());
+        }
+        let first = self.table.next_id();
+        self.table.append_batch_slice(tuples)?;
+        self.algorithm.begin_batch(tuples.len());
+        let mut reports = Vec::with_capacity(tuples.len());
+        for (i, tuple) in tuples.iter().enumerate() {
+            let tuple_id = first + i as TupleId;
+            let pairs = self.algorithm.discover_at(&self.table, tuple, tuple_id);
+            self.counter.observe(self.table.tuple(tuple_id));
+            reports.push(self.rank_arrival(tuple_id, pairs));
+        }
+        self.algorithm.end_batch();
+        Ok(reports)
+    }
+
+    /// Ranks an arrival's discovered pairs by prominence. `tuple_id` is the
+    /// arrival's id; context and skyline cardinalities are evaluated over the
+    /// rows up to and including it (`limit = tuple_id + 1`), which under the
+    /// sequential protocol is simply the whole table.
+    fn rank_arrival(&mut self, tuple_id: TupleId, pairs: Vec<SkylinePair>) -> ArrivalReport {
+        let limit = tuple_id + 1;
         let mut facts: Vec<RankedFact> = Vec::with_capacity(pairs.len());
         for pair in pairs {
             let context_size = self.counter.cardinality(&pair.constraint);
-            let skyline_size =
-                self.algorithm
-                    .skyline_cardinality(&self.table, &pair.constraint, pair.subspace)
-                    as u64;
+            let skyline_size = self.algorithm.skyline_cardinality_at(
+                &self.table,
+                &pair.constraint,
+                pair.subspace,
+                limit,
+            ) as u64;
             facts.push(RankedFact {
                 pair,
                 context_size,
@@ -159,14 +216,17 @@ impl<A: Discovery> FactMonitor<A> {
         if let Some(keep) = self.config.keep_top {
             facts.truncate(keep.max(prominent_count));
         }
-        Ok(ArrivalReport {
+        ArrivalReport {
             tuple_id,
             facts,
             prominent_count,
-        })
+        }
     }
 
-    /// Ingests a whole batch, returning one report per tuple.
+    /// Ingests a whole batch through the sequential per-arrival path,
+    /// returning one report per tuple. Prefer [`FactMonitor::ingest_batch`],
+    /// which produces identical reports faster; this loop is kept as the
+    /// ground truth the equivalence property tests compare against.
     pub fn ingest_all<I: IntoIterator<Item = Tuple>>(
         &mut self,
         tuples: I,
@@ -291,6 +351,73 @@ mod tests {
                 (x, y) => assert_eq!(x.is_none(), y.is_none()),
             }
         }
+    }
+
+    #[test]
+    fn ingest_batch_equals_sequential_ingest() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(271);
+        let schema = schema();
+        let config = MonitorConfig::default().with_tau(2.0).with_keep_top(16);
+        let mut sequential = FactMonitor::new(
+            schema.clone(),
+            STopDown::new(&schema, config.discovery),
+            config,
+        );
+        let mut batched = FactMonitor::new(
+            schema.clone(),
+            STopDown::new(&schema, config.discovery),
+            config,
+        );
+        // Several windows of varying size, so batches compose across calls.
+        for window_len in [1usize, 7, 20, 3] {
+            let window: Vec<Tuple> = (0..window_len)
+                .map(|_| {
+                    Tuple::new(
+                        vec![rng.gen_range(0..4u32), rng.gen_range(0..3u32)],
+                        vec![rng.gen_range(0..6) as f64, rng.gen_range(0..6) as f64],
+                    )
+                })
+                .collect();
+            let expected = sequential.ingest_all(window.clone()).unwrap();
+            let actual = batched.ingest_batch(window).unwrap();
+            // Identical reports: ids, fact order, cardinalities, counts.
+            assert_eq!(actual, expected);
+        }
+        assert_eq!(batched.table().len(), sequential.table().len());
+    }
+
+    #[test]
+    fn ingest_batch_is_atomic_and_empty_safe() {
+        let schema = schema();
+        let algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default());
+        assert!(monitor.ingest_batch(Vec::new()).unwrap().is_empty());
+        monitor.ingest_raw(&["A", "X"], vec![1.0, 1.0]).unwrap();
+        let window = vec![
+            Tuple::new(vec![0, 0], vec![2.0, 2.0]),
+            Tuple::new(vec![0], vec![3.0, 3.0]), // bad arity
+        ];
+        assert!(monitor.ingest_batch(window).is_err());
+        // The invalid window left no trace.
+        assert_eq!(monitor.table().len(), 1);
+        let report = monitor.ingest_raw(&["B", "X"], vec![2.0, 2.0]).unwrap();
+        assert_eq!(report.tuple_id, 1);
+    }
+
+    #[test]
+    fn encode_raw_interns_without_ingesting() {
+        let schema = schema();
+        let algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default());
+        let t = monitor
+            .encode_raw(&["Wesley", "Celtics"], vec![1.0, 2.0])
+            .unwrap();
+        assert_eq!(monitor.table().len(), 0);
+        assert!(monitor.encode_raw(&["Wesley"], vec![1.0, 2.0]).is_err());
+        let reports = monitor.ingest_batch(vec![t]).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(monitor.table().len(), 1);
     }
 
     #[test]

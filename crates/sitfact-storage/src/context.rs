@@ -14,6 +14,10 @@ use sitfact_core::{BoundMask, Constraint, ConstraintLattice, FxHashMap, TupleVie
 #[derive(Debug, Clone)]
 pub struct ContextCounter {
     lattice: ConstraintLattice,
+    /// The lattice's masks, materialised once at construction — `observe`
+    /// runs once per arriving tuple and must not re-enumerate (and
+    /// re-allocate) the constraint family every time.
+    masks: Vec<BoundMask>,
     counts: FxHashMap<Constraint, u64>,
     observed_tuples: u64,
 }
@@ -22,8 +26,11 @@ impl ContextCounter {
     /// Creates a counter for schemas with `n_dims` dimension attributes,
     /// counting constraints with at most `max_bound` bound attributes.
     pub fn new(n_dims: usize, max_bound: usize) -> Self {
+        let lattice = ConstraintLattice::new(n_dims, max_bound);
+        let masks = lattice.enumerate_top_down();
         ContextCounter {
-            lattice: ConstraintLattice::new(n_dims, max_bound),
+            lattice,
+            masks,
             counts: FxHashMap::default(),
             observed_tuples: 0,
         }
@@ -35,11 +42,37 @@ impl ContextCounter {
     /// materialising them.
     pub fn observe(&mut self, tuple: impl TupleView) {
         debug_assert_eq!(tuple.num_dims(), self.lattice.n_dims());
-        for mask in self.lattice.enumerate_top_down() {
+        for &mask in &self.masks {
             let constraint = Constraint::from_tuple_mask(&tuple, mask);
             *self.counts.entry(constraint).or_insert(0) += 1;
         }
         self.observed_tuples += 1;
+    }
+
+    /// Registers a whole window of arrivals. Equivalent to calling
+    /// [`ContextCounter::observe`] once per tuple in order, but reserves the
+    /// count map for the window's worst-case constraint growth up front so a
+    /// bulk load does not rehash the map repeatedly.
+    pub fn observe_batch<T, I>(&mut self, tuples: I)
+    where
+        T: TupleView,
+        I: IntoIterator<Item = T>,
+    {
+        let tuples = tuples.into_iter();
+        let (window, _) = tuples.size_hint();
+        // Every tuple can introduce at most |masks| - 1 new constraints (the
+        // top constraint is not tracked in the map), but reserving that much
+        // for large windows over-allocates wildly. One slot per window tuple
+        // is a realistic floor for a bulk load into an empty counter, and a
+        // map that is already at least window-sized doubles itself at most
+        // once more — so cap the worst case at the larger of the two.
+        let growth = window
+            .saturating_mul(self.masks.len().saturating_sub(1))
+            .min(self.counts.len().max(window));
+        self.counts.reserve(growth);
+        for tuple in tuples {
+            self.observe(tuple);
+        }
     }
 
     /// The number of observed tuples satisfying `constraint`, i.e.
@@ -182,6 +215,29 @@ mod tests {
         );
         // month=Feb -> 4 tuples.
         assert_eq!(counter.cardinality_for(t, BoundMask::from_indices([2])), 4);
+    }
+
+    #[test]
+    fn observe_batch_equals_observe_loop() {
+        let table = sample_table();
+        let mut looped = ContextCounter::new(3, 2);
+        for (_, tuple) in table.iter() {
+            looped.observe(tuple);
+        }
+        let mut batched = ContextCounter::new(3, 2);
+        batched.observe_batch(table.iter().map(|(_, t)| t));
+        assert_eq!(batched.observed_tuples(), looped.observed_tuples());
+        assert_eq!(batched.tracked_constraints(), looped.tracked_constraints());
+        for bindings in [
+            vec![("team", "Celtics")],
+            vec![("player", "Wesley"), ("month", "Feb")],
+        ] {
+            let c = Constraint::parse(table.schema(), &bindings).unwrap();
+            assert_eq!(batched.cardinality(&c), looped.cardinality(&c));
+        }
+        // Batches compose: a second window continues the counts.
+        batched.observe_batch(table.iter().map(|(_, t)| t));
+        assert_eq!(batched.observed_tuples(), 10);
     }
 
     #[test]

@@ -28,6 +28,12 @@ use std::ops::Range;
 /// column maps to the sorted ids of the tuples carrying it.
 type PostingMap = FxHashMap<DimValueId, Vec<TupleId>>;
 
+/// Cap on the per-column distinct-value hint derived from a row-capacity
+/// hint: dictionary-encoded columns typically hold far fewer distinct values
+/// than rows (hundreds of players across tens of thousands of box scores), so
+/// pre-sizing each posting map for one entry per row would waste memory.
+const POSTING_MAP_HINT_CAP: usize = 1 << 10;
+
 /// An append-only table of tuples under a fixed [`Schema`], stored as flat
 /// columns plus per-dimension posting lists.
 ///
@@ -57,9 +63,16 @@ impl Table {
     }
 
     /// Creates an empty table with pre-allocated capacity (in rows).
+    ///
+    /// The hint pre-sizes every layer of the storage: the flat dimension and
+    /// measure columns get one reservation each, and every dimension's posting
+    /// map is sized for up to `POSTING_MAP_HINT_CAP` (1024) distinct values (a
+    /// dictionary-encoded column rarely holds more; the map grows normally if
+    /// it does).
     pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
         let n_dims = schema.num_dimensions();
         let n_measures = schema.num_measures();
+        let distinct_hint = capacity.min(POSTING_MAP_HINT_CAP);
         Table {
             schema,
             n_dims,
@@ -67,7 +80,10 @@ impl Table {
             len: 0,
             dims: Vec::with_capacity(capacity * n_dims),
             measures: Vec::with_capacity(capacity * n_measures),
-            postings: vec![PostingMap::default(); n_dims],
+            postings: vec![
+                PostingMap::with_capacity_and_hasher(distinct_hint, Default::default());
+                n_dims
+            ],
         }
     }
 
@@ -111,6 +127,158 @@ impl Table {
     pub fn append_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<TupleId> {
         let ids = self.schema.intern_dims(dims)?;
         self.append(Tuple::new(ids, measures))
+    }
+
+    /// Appends a whole window of already-encoded tuples, amortising the
+    /// per-row costs of [`Table::append`] across the batch:
+    ///
+    /// * every tuple is validated against the schema in one up-front pass
+    ///   (the batch is all-or-nothing — an invalid tuple rejects the whole
+    ///   window and leaves the table untouched, whereas a loop of `append`
+    ///   would have kept the valid prefix);
+    /// * the flat dimension and measure columns are extended column-wise
+    ///   after a single `reserve` each;
+    /// * each dimension's posting lists are updated by bucketing the window's
+    ///   ids by value — a counting sort over the (dense, dictionary-assigned)
+    ///   value ids — and splicing whole runs per distinct value: one map
+    ///   lookup per *distinct* value instead of one per row, and no
+    ///   comparison sort anywhere.
+    ///
+    /// Returns the contiguous id range assigned to the window (ids are
+    /// assigned in window order, so the result is identical to a loop of
+    /// [`Table::append`]). An empty batch is a no-op returning an empty
+    /// range.
+    pub fn append_batch(&mut self, tuples: Vec<Tuple>) -> Result<Range<TupleId>> {
+        self.append_batch_slice(&tuples)
+    }
+
+    /// Borrowing form of [`Table::append_batch`]: the columnar layout copies
+    /// every value into the flat columns anyway, so batch callers that still
+    /// need the tuples afterwards (e.g. a monitor that appends the window
+    /// first and then discovers each arrival) can keep ownership.
+    pub fn append_batch_slice(&mut self, tuples: &[Tuple]) -> Result<Range<TupleId>> {
+        let first = self.next_id();
+        if tuples.is_empty() {
+            return Ok(first..first);
+        }
+        // One validation pass before any mutation keeps the batch atomic.
+        for tuple in tuples {
+            tuple.validate(&self.schema)?;
+        }
+        let window = tuples.len();
+        let old_dims_len = self.dims.len();
+        self.dims.reserve(window * self.n_dims);
+        self.measures.reserve(window * self.n_measures);
+        for tuple in tuples {
+            self.dims.extend_from_slice(tuple.dims());
+            self.measures.extend_from_slice(tuple.measures());
+        }
+        // Posting maintenance. The window's dimension values are first
+        // transposed into per-attribute contiguous columns (one sequential
+        // pass over the freshly extended row-major region), then each
+        // attribute is processed with sequential scans only:
+        //
+        // 1. find the window's value range for this attribute;
+        // 2. counting-sort the window's ids into per-value buckets — stable,
+        //    so each bucket stays ascending — O(window + range), no
+        //    comparisons;
+        // 3. splice each non-empty bucket into its posting list with a single
+        //    map lookup and one `extend`.
+        //
+        // Dictionary-interned value ids are dense, so the range is almost
+        // always tiny; raw tuples with pathological ids (sparse range much
+        // larger than the window) fall back to a comparison sort of
+        // (value, id) pairs, which needs no range-sized scratch.
+        let mut cols: Vec<DimValueId> = vec![0; window * self.n_dims];
+        for (k, row) in self.dims[old_dims_len..]
+            .chunks_exact(self.n_dims.max(1))
+            .enumerate()
+        {
+            for (a, &v) in row.iter().enumerate() {
+                cols[a * window + k] = v;
+            }
+        }
+        let mut counts: Vec<u32> = Vec::new();
+        let mut bucketed: Vec<TupleId> = vec![0; window];
+        for attr in 0..self.n_dims {
+            let col = &cols[attr * window..(attr + 1) * window];
+            let mut min = DimValueId::MAX;
+            let mut max = DimValueId::MIN;
+            for &v in col {
+                min = min.min(v);
+                max = max.max(v);
+            }
+            let range = (max - min) as usize + 1;
+            if range <= 4 * window + 1024 {
+                counts.clear();
+                counts.resize(range, 0);
+                for &v in col {
+                    counts[(v - min) as usize] += 1;
+                }
+                // Prefix sums: counts[j] becomes bucket j's start cursor …
+                let mut running = 0u32;
+                for c in counts.iter_mut() {
+                    let n = *c;
+                    *c = running;
+                    running += n;
+                }
+                // … the scatter advances each cursor, so afterwards counts[j]
+                // is bucket j's end (= bucket j+1's start).
+                for (k, &v) in col.iter().enumerate() {
+                    let j = (v - min) as usize;
+                    bucketed[counts[j] as usize] = first + k as TupleId;
+                    counts[j] += 1;
+                }
+                let mut start = 0usize;
+                for (j, &end) in counts.iter().enumerate() {
+                    let end = end as usize;
+                    if end > start {
+                        let list = self.postings[attr]
+                            .entry(min + j as DimValueId)
+                            .or_default();
+                        list.extend_from_slice(&bucketed[start..end]);
+                        start = end;
+                    }
+                }
+            } else {
+                let mut pairs: Vec<(DimValueId, TupleId)> = col
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &v)| (v, first + k as TupleId))
+                    .collect();
+                pairs.sort_unstable();
+                let mut run_start = 0;
+                while run_start < pairs.len() {
+                    let value = pairs[run_start].0;
+                    let run_end =
+                        run_start + pairs[run_start..].partition_point(|&(v, _)| v == value);
+                    let list = self.postings[attr].entry(value).or_default();
+                    list.extend(pairs[run_start..run_end].iter().map(|&(_, id)| id));
+                    run_start = run_end;
+                }
+            }
+        }
+        self.len += window;
+        Ok(first..self.next_id())
+    }
+
+    /// Batched form of [`Table::append_raw`]: interns every row's dimension
+    /// strings, then appends the encoded window through
+    /// [`Table::append_batch`]. Interning happens row by row before the
+    /// batch validation pass, so a row that fails to intern leaves earlier
+    /// rows' dictionary entries in place (exactly as a loop of `append_raw`
+    /// would) but appends nothing.
+    pub fn append_batch_raw<'a, I>(&mut self, rows: I) -> Result<Range<TupleId>>
+    where
+        I: IntoIterator<Item = (&'a [&'a str], Vec<f64>)>,
+    {
+        let rows = rows.into_iter();
+        let mut tuples = Vec::with_capacity(rows.size_hint().0);
+        for (dims, measures) in rows {
+            let ids = self.schema.intern_dims(dims)?;
+            tuples.push(Tuple::new(ids, measures));
+        }
+        self.append_batch(tuples)
     }
 
     /// Unconditional append of validated parts: extend the columns and the
@@ -157,8 +325,9 @@ impl Table {
         )
     }
 
-    /// Iterates `(id, tuple)` pairs in arrival order.
-    pub fn iter(&self) -> impl Iterator<Item = (TupleId, TupleRef<'_>)> {
+    /// Iterates `(id, tuple)` pairs in arrival order. The iterator knows its
+    /// exact length, so collecting all rows allocates once.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (TupleId, TupleRef<'_>)> {
         (0..self.len).map(|row| (row as TupleId, self.row(row)))
     }
 
@@ -311,6 +480,18 @@ impl<'a> ContextIter<'a> {
             state: ContextState::Empty,
         }
     }
+
+    /// Whether [`Iterator::size_hint`] is currently exact (lower bound equals
+    /// upper bound): true for the top constraint (a plain row range), for a
+    /// never-observed bound value (empty) and for a single bound attribute
+    /// (the posting list itself). A multi-attribute intersection cannot know
+    /// its length without running, so only its upper bound is tight — which
+    /// is why `ContextIter` does not implement [`ExactSizeIterator`]
+    /// wholesale.
+    pub fn is_exact(&self) -> bool {
+        let (lower, upper) = self.size_hint();
+        upper == Some(lower)
+    }
 }
 
 impl<'a> Iterator for ContextIter<'a> {
@@ -346,6 +527,30 @@ impl<'a> Iterator for ContextIter<'a> {
                 // public accessor's bounds assertion on the hot path.
                 return Some((candidate, self.table.row(candidate as usize)));
             },
+        }
+    }
+
+    /// Tight bounds so collectors (`skyline_of`, `Vec::from_iter`) size their
+    /// buffers up front instead of growing incrementally:
+    ///
+    /// * top constraint — the remaining row range, exact;
+    /// * never-observed bound value — `(0, Some(0))`, exact;
+    /// * one bound attribute — the remaining posting list is the context,
+    ///   exact;
+    /// * several bound attributes — at most the shortest remaining posting
+    ///   list, at least zero.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.state {
+            ContextState::All(range) => range.size_hint(),
+            ContextState::Empty => (0, Some(0)),
+            ContextState::Intersect(lists) => {
+                let shortest = lists.iter().map(|l| l.len()).min().unwrap_or(0);
+                if lists.len() == 1 {
+                    (shortest, Some(shortest))
+                } else {
+                    (0, Some(shortest))
+                }
+            }
         }
     }
 }
@@ -505,6 +710,160 @@ mod tests {
         // A multi-attribute constraint is bounded by its most selective value.
         let rare_t = Constraint::parse(t.schema(), &[("player", "Rare"), ("team", "T")]).unwrap();
         assert_eq!(t.context_probe_bound(&rare_t), 1);
+    }
+
+    #[test]
+    fn append_batch_equals_append_loop() {
+        let rows: Vec<(&str, &str, f64)> = (0..40)
+            .map(|i| {
+                let player = ["A", "B", "C"][i % 3];
+                let team = ["X", "Y"][i % 2];
+                (player, team, i as f64)
+            })
+            .collect();
+        let mut looped = Table::new(schema());
+        let mut tuples = Vec::new();
+        let mut batched = Table::new(schema());
+        for &(p, t, m) in &rows {
+            looped.append_raw(&[p, t], vec![m, 0.0]).unwrap();
+            let ids = batched.schema_mut().intern_dims(&[p, t]).unwrap();
+            tuples.push(Tuple::new(ids, vec![m, 0.0]));
+        }
+        let range = batched.append_batch(tuples).unwrap();
+        assert_eq!(range, 0..40);
+        assert_eq!(batched.len(), looped.len());
+        assert_eq!(batched.approx_heap_bytes(), looped.approx_heap_bytes());
+        for (a, b) in batched.iter().zip(looped.iter()) {
+            assert_eq!(a, b);
+        }
+        // Posting lists match per (attribute, value).
+        for attr in 0..2 {
+            for value in 0..4u32 {
+                assert_eq!(
+                    batched.posting_list(attr, value),
+                    looped.posting_list(attr, value),
+                    "attr {attr} value {value}"
+                );
+            }
+        }
+        // A second batch continues the id sequence.
+        let more = batched
+            .append_batch(vec![Tuple::new(vec![0, 0], vec![1.0, 2.0])])
+            .unwrap();
+        assert_eq!(more, 40..41);
+    }
+
+    #[test]
+    fn append_batch_is_atomic_on_invalid_tuples() {
+        let mut t = Table::new(schema());
+        t.append_raw(&["A", "X"], vec![1.0, 1.0]).unwrap();
+        let window = vec![
+            Tuple::new(vec![0, 0], vec![2.0, 2.0]),
+            Tuple::new(vec![0, 0, 0], vec![3.0, 3.0]), // bad arity
+        ];
+        assert!(t.append_batch(window).is_err());
+        // Nothing from the window landed — not even the valid first tuple.
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.posting_list(0, 0).unwrap(), &[0]);
+        // NaN measures are caught by the same up-front pass.
+        assert!(t
+            .append_batch(vec![Tuple::new(vec![0, 0], vec![f64::NAN, 1.0])])
+            .is_err());
+        assert_eq!(t.len(), 1);
+        // An empty batch is a no-op with an empty range.
+        assert_eq!(t.append_batch(Vec::new()).unwrap(), 1..1);
+    }
+
+    #[test]
+    fn append_batch_raw_interns_and_appends() {
+        let mut batched = Table::new(schema());
+        let rows: [(&[&str], Vec<f64>); 3] = [
+            (&["Wesley", "Celtics"], vec![12.0, 13.0]),
+            (&["Bogues", "Hornets"], vec![4.0, 12.0]),
+            (&["Wesley", "Celtics"], vec![3.0, 5.0]),
+        ];
+        let range = batched.append_batch_raw(rows).unwrap();
+        assert_eq!(range, 0..3);
+        let mut looped = Table::new(schema());
+        looped
+            .append_raw(&["Wesley", "Celtics"], vec![12.0, 13.0])
+            .unwrap();
+        looped
+            .append_raw(&["Bogues", "Hornets"], vec![4.0, 12.0])
+            .unwrap();
+        looped
+            .append_raw(&["Wesley", "Celtics"], vec![3.0, 5.0])
+            .unwrap();
+        assert_eq!(batched.approx_heap_bytes(), looped.approx_heap_bytes());
+        for (a, b) in batched.iter().zip(looped.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn context_size_hint_is_tight() {
+        let mut t = Table::new(schema());
+        for i in 0..20usize {
+            let player = ["A", "B"][i % 2];
+            t.append_raw(&[player, "X"], vec![i as f64, 0.0]).unwrap();
+        }
+        // Top constraint: exact full length, shrinking as it advances.
+        let top = Constraint::top(2);
+        let mut it = t.context(&top);
+        assert_eq!(it.size_hint(), (20, Some(20)));
+        assert!(it.is_exact());
+        it.next();
+        assert_eq!(it.size_hint(), (19, Some(19)));
+        // Single bound attribute: the posting list is the context — exact.
+        let a = Constraint::parse(t.schema(), &[("player", "A")]).unwrap();
+        let it = t.context(&a);
+        assert_eq!(it.size_hint(), (10, Some(10)));
+        assert!(it.is_exact());
+        // Two bound attributes: upper bound is the shortest posting list.
+        let ax = Constraint::parse(t.schema(), &[("player", "A"), ("team", "X")]).unwrap();
+        let it = t.context(&ax);
+        assert_eq!(it.size_hint(), (0, Some(10)));
+        assert!(!it.is_exact());
+        assert_eq!(it.count(), 10);
+        // Never-observed value: exact zero.
+        let it = t.context(&Constraint::from_values(vec![999, UNBOUND]));
+        assert_eq!(it.size_hint(), (0, Some(0)));
+        assert!(it.is_exact());
+    }
+
+    #[test]
+    fn with_capacity_presizes_all_layers() {
+        let t = Table::with_capacity(schema(), 100);
+        assert!(t.dims.capacity() >= 200);
+        assert!(t.measures.capacity() >= 200);
+        for posting in &t.postings {
+            assert!(posting.capacity() >= 100);
+        }
+        // The hint on the posting maps is capped: a huge row capacity must not
+        // translate into a huge distinct-value reservation.
+        let t = Table::with_capacity(schema(), 1 << 20);
+        for posting in &t.postings {
+            assert!(posting.capacity() < (1 << 12));
+        }
+    }
+
+    #[test]
+    fn heap_estimate_pinned_after_batched_load() {
+        use std::mem::size_of;
+        let mut t = Table::with_capacity(schema(), 64);
+        let tuples: Vec<Tuple> = (0..64u32)
+            .map(|i| Tuple::new(vec![i % 2, 0], vec![1.0, 2.0]))
+            .collect();
+        t.append_batch(tuples).unwrap();
+        // Same formula as the per-row test: the batch path must not change
+        // the accounted layout (64 rows × 2 dims/measures, 3 distinct
+        // (attribute, value) pairs).
+        let expected = 64 * 2 * size_of::<DimValueId>()
+            + 64 * 2 * size_of::<f64>()
+            + 64 * 2 * size_of::<TupleId>()
+            + 3 * (size_of::<DimValueId>() + size_of::<Vec<TupleId>>())
+            + t.schema().approx_heap_bytes();
+        assert_eq!(t.approx_heap_bytes(), expected);
     }
 
     #[test]

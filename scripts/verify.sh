@@ -18,6 +18,10 @@ cargo test --workspace -q
 echo "==> cargo check --workspace --examples --benches --bins (smoke)"
 cargo check --workspace --examples --benches --bins
 
+echo "==> fig_ingest smoke run (batched ingest equivalence + throughput)"
+cargo run --release -p sitfact-bench --bin fig_ingest -- \
+  --n 1500 --monitor-n 300 --reps 1 --out /tmp/BENCH_ingest_smoke.json
+
 echo "==> cargo doc --workspace --no-deps (rustdoc warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

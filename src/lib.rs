@@ -45,6 +45,17 @@
 //! for fact in report.top_k(3) {
 //!     println!("{}", fact.display(monitor.table().schema()));
 //! }
+//!
+//! // High-throughput feeds ingest whole windows at once: the batch is
+//! // appended in one amortised pass, yet every arrival is discovered and
+//! // ranked against exactly the rows that preceded it — the reports are
+//! // identical to a sequential `ingest` loop, just faster.
+//! let window = vec![
+//!     monitor.encode_raw(&["Bogues", "Hornets", "Magic"], vec![8.0, 14.0, 4.0]).unwrap(),
+//!     monitor.encode_raw(&["Wesley", "Celtics", "Hawks"], vec![14.0, 11.0, 6.0]).unwrap(),
+//! ];
+//! let reports = monitor.ingest_batch(window).unwrap();
+//! assert_eq!(reports.len(), 2);
 //! ```
 
 #![forbid(unsafe_code)]

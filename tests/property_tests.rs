@@ -199,6 +199,119 @@ proptest! {
         }
     }
 
+    /// `append_batch` ≡ a loop of `append`: identical table contents (length,
+    /// every row, heap-byte accounting), identical posting lists and
+    /// identical probe bounds, for random schema widths and random windows —
+    /// including value ids far outside the dense range (which push the batch
+    /// path onto its sort-merge fallback) and a batch split at a random
+    /// boundary (so batches compose with prior contents).
+    #[test]
+    fn append_batch_equals_append_loop(
+        n_dims in 1usize..5,
+        n_measures in 1usize..3,
+        rows in prop::collection::vec(
+            (prop::collection::vec(0u32..1000, 4), 0i32..9),
+            0..60,
+        ),
+        split_seed in 0usize..64,
+        constraint_seeds in prop::collection::vec(prop::collection::vec(0u32..8, 4), 1..8),
+    ) {
+        let mut builder = SchemaBuilder::new("p");
+        for d in 0..n_dims {
+            builder = builder.dimension(format!("d{d}"));
+        }
+        for m in 0..n_measures {
+            builder = builder.measure(format!("m{m}"), Direction::HigherIsBetter);
+        }
+        let schema = builder.build().unwrap();
+        // Mix dense ids with occasional huge ones so both the counting-sort
+        // fast path and the sparse fallback are exercised.
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|(dims, measure)| {
+                let dims = dims[..n_dims]
+                    .iter()
+                    .map(|&v| if v >= 995 { v * 100_000 } else { v % 6 })
+                    .collect();
+                Tuple::new(dims, vec![*measure as f64; n_measures])
+            })
+            .collect();
+
+        let mut looped = Table::new(schema.clone());
+        for t in &tuples {
+            looped.append(t.clone()).unwrap();
+        }
+        let mut batched = Table::new(schema.clone());
+        let split = if tuples.is_empty() { 0 } else { split_seed % (tuples.len() + 1) };
+        let first = batched.append_batch(tuples[..split].to_vec()).unwrap();
+        let second = batched.append_batch_slice(&tuples[split..]).unwrap();
+        prop_assert_eq!(first, 0..split as TupleId);
+        prop_assert_eq!(second, split as TupleId..tuples.len() as TupleId);
+
+        prop_assert_eq!(batched.len(), looped.len());
+        prop_assert_eq!(batched.approx_heap_bytes(), looped.approx_heap_bytes());
+        for ((id_a, row_a), (id_b, row_b)) in batched.iter().zip(looped.iter()) {
+            prop_assert_eq!(id_a, id_b);
+            prop_assert_eq!(row_a, row_b);
+        }
+        // Every posting list agrees (checked through every value actually
+        // observed, per attribute).
+        for attr in 0..n_dims {
+            for value in tuples.iter().map(|t| t.dim(attr)) {
+                prop_assert_eq!(
+                    batched.posting_list(attr, value),
+                    looped.posting_list(attr, value)
+                );
+            }
+        }
+        // Context retrieval and its work bound agree for random constraints.
+        for seed in &constraint_seeds {
+            let values = seed[..n_dims]
+                .iter()
+                .map(|&v| if v == 7 { sitfact_core::UNBOUND } else { v })
+                .collect();
+            let c = Constraint::from_values(values);
+            let a: Vec<TupleId> = batched.context(&c).map(|(id, _)| id).collect();
+            let b: Vec<TupleId> = looped.context(&c).map(|(id, _)| id).collect();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(batched.context_probe_bound(&c), looped.context_probe_bound(&c));
+        }
+    }
+
+    /// `FactMonitor::ingest_batch` ≡ a sequential `ingest` loop: identical
+    /// `ArrivalReport`s — tuple ids, fact order, cardinalities, prominent
+    /// counts — for random streams split into random windows.
+    #[test]
+    fn monitor_ingest_batch_equals_sequential(
+        stream in prop::collection::vec(tuple_strategy(), 1..30),
+        window_seed in 1usize..8,
+    ) {
+        let schema = SchemaBuilder::new("p")
+            .dimension("d0").dimension("d1").dimension("d2")
+            .measure("m0", DIRS[0])
+            .measure("m1", DIRS[1])
+            .measure("m2", DIRS[2])
+            .build().unwrap();
+        let config = MonitorConfig::default().with_tau(2.0);
+        let mut sequential = FactMonitor::new(
+            schema.clone(),
+            STopDown::new(&schema, config.discovery),
+            config,
+        );
+        let mut batched = FactMonitor::new(
+            schema.clone(),
+            STopDown::new(&schema, config.discovery),
+            config,
+        );
+        let expected = sequential.ingest_all(stream.clone()).unwrap();
+        let mut actual = Vec::new();
+        for window in stream.chunks(window_seed) {
+            actual.extend(batched.ingest_batch_slice(window).unwrap());
+        }
+        prop_assert_eq!(actual, expected);
+        prop_assert_eq!(batched.table().len(), sequential.table().len());
+    }
+
     /// Prominence is always ≥ 1 for facts pertinent to the newly added tuple,
     /// and the context is never smaller than its skyline.
     #[test]
