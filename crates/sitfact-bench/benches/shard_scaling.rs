@@ -1,0 +1,101 @@
+//! Criterion micro-benchmark of sharded window ingest: a
+//! [`ShardedMonitor`] routed by team at 1/2/4 shards against the unsharded
+//! [`FactMonitor`] running the same anchored constraint space, for both the
+//! flagship incremental algorithm (`STopDown`) and the scan baseline
+//! (`BaselineSeq`, whose per-arrival cost tracks table size and therefore
+//! shows the partitioning effect even on a single core).
+//!
+//! The figure binary `fig_shard` runs the same comparison end-to-end (plus
+//! the sharded ≡ unsharded equivalence assertion) and emits machine-readable
+//! results to `BENCH_shard.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sitfact_bench::{generate_rows, DatasetKind, ExperimentParams};
+use sitfact_core::{DiscoveryConfig, Schema, Tuple};
+use sitfact_prominence::{FactMonitor, MonitorConfig, ShardedMonitor};
+
+const ROWS: usize = 800;
+const BATCH: usize = 256;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// NBA-scale schema plus the window pre-encoded as tuples (interning is
+/// common to both paths and stays outside the timed region).
+fn fixture(n: usize) -> (Schema, Vec<Tuple>, usize) {
+    let params = ExperimentParams {
+        d: 5,
+        m: 4,
+        d_hat: 3,
+        m_hat: 3,
+        n,
+        sample_points: 1,
+        seed: 42,
+    };
+    let (mut schema, rows) = generate_rows(DatasetKind::Nba, &params);
+    let tuples = rows
+        .iter()
+        .map(|row| {
+            let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
+            let ids = schema.intern_dims(&dims).unwrap();
+            Tuple::new(ids, row.measures.clone())
+        })
+        .collect();
+    let routing_dim = schema.dimension_index("team").unwrap();
+    (schema, tuples, routing_dim)
+}
+
+fn bench_shards<A, F>(c: &mut Criterion, group_name: &str, make: F)
+where
+    A: sitfact_algos::Discovery + Send + 'static,
+    F: Fn(&Schema, DiscoveryConfig) -> A + Copy,
+{
+    let (schema, tuples, routing_dim) = fixture(ROWS);
+    let discovery = DiscoveryConfig::capped(3, 3).with_anchor(routing_dim);
+    let config = MonitorConfig::default()
+        .with_discovery(discovery)
+        .with_tau(100.0);
+
+    let mut group = c.benchmark_group(group_name);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_with_input(BenchmarkId::new("unsharded", ROWS), &tuples, |b, tuples| {
+        b.iter(|| {
+            let mut monitor = FactMonitor::new(schema.clone(), make(&schema, discovery), config);
+            let mut n = 0usize;
+            for window in tuples.chunks(BATCH) {
+                n += monitor.ingest_batch_slice(window).unwrap().len();
+            }
+            black_box(n)
+        })
+    });
+    for shards in SHARD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new(format!("sharded_{shards}"), ROWS),
+            &tuples,
+            |b, tuples| {
+                b.iter(|| {
+                    let mut monitor =
+                        ShardedMonitor::new(schema.clone(), routing_dim, shards, config, make)
+                            .unwrap();
+                    let mut n = 0usize;
+                    for window in tuples.chunks(BATCH) {
+                        n += monitor.ingest_batch_slice(window).unwrap().len();
+                    }
+                    black_box(n)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    bench_shards(c, "shard_scaling_stopdown", sitfact_algos::STopDown::new);
+    bench_shards(
+        c,
+        "shard_scaling_baseline_seq",
+        sitfact_algos::BaselineSeq::new,
+    );
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

@@ -1,0 +1,277 @@
+//! Shard-scaling experiment: window-ingest throughput of a `ShardedMonitor`
+//! (routed by team) against the unsharded `FactMonitor` running the same
+//! anchored constraint space, with machine-readable results written to
+//! `BENCH_shard.json` (schema documented in `crates/sitfact-bench/README.md`).
+//!
+//! Usage: `fig_shard [--n 8000] [--baseline-n 2000] [--batch 2048]
+//! [--max-shards 4] [--reps 3] [--eq-n 2500] [--seed S]
+//! [--out BENCH_shard.json]`
+//!
+//! Before timing anything the binary asserts, at `--eq-n` rows, that the
+//! sharded monitor's merged reports are byte-identical to the unsharded
+//! monitor's — a CI smoke run of this binary doubles as an end-to-end
+//! routing-soundness test.
+//!
+//! Two algorithms are measured: `STopDown` (the paper's flagship incremental
+//! algorithm — its per-arrival cost barely depends on history length, so
+//! sharding pays mostly through parallelism and the smaller out-of-anchor
+//! contexts each shard maintains) and `BaselineSeq` (scan-based — per-arrival
+//! cost tracks table size, so partitioning the table pays even on one core).
+
+use sitfact_bench::params::arg_value;
+use sitfact_bench::{generate_rows, DatasetKind, ExperimentParams};
+use sitfact_core::{DiscoveryConfig, Schema, Tuple};
+use sitfact_prominence::{FactMonitor, MonitorConfig, ShardedMonitor};
+use std::time::Instant;
+
+/// One measured leg: `shards == 0` is the unsharded monitor.
+struct Leg {
+    algo: &'static str,
+    shards: usize,
+    rows: usize,
+    seconds: f64,
+    rows_per_sec: f64,
+}
+
+/// Runs `run` `reps` times, keeping the best wall-clock time; the closure
+/// returns a checksum so the work cannot be optimised away.
+fn measure(reps: usize, mut run: impl FnMut() -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0usize;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        checksum = checksum.wrapping_add(run());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(checksum);
+    best
+}
+
+fn encode(schema: &mut Schema, rows: &[sitfact_datagen::Row]) -> Vec<Tuple> {
+    rows.iter()
+        .map(|row| {
+            let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
+            let ids = schema.intern_dims(&dims).expect("row matches schema");
+            Tuple::new(ids, row.measures.clone())
+        })
+        .collect()
+}
+
+/// Measures one algorithm across the shard ladder, asserting equivalence
+/// first.
+#[allow(clippy::too_many_arguments)]
+fn bench_algo<A, F>(
+    algo_name: &'static str,
+    schema: &Schema,
+    tuples: &[Tuple],
+    routing_dim: usize,
+    shard_counts: &[usize],
+    batch: usize,
+    reps: usize,
+    eq_n: usize,
+    make: F,
+    legs: &mut Vec<Leg>,
+) where
+    A: sitfact_algos::Discovery + Send + 'static,
+    F: Fn(&Schema, DiscoveryConfig) -> A + Copy,
+{
+    let discovery = DiscoveryConfig::capped(3, 3).with_anchor(routing_dim);
+    let config = MonitorConfig::default()
+        .with_discovery(discovery)
+        .with_tau(100.0);
+    let max_shards = shard_counts.iter().copied().max().unwrap_or(1).max(2);
+
+    // --- Routing-soundness guard: sharded ≡ unsharded, byte-identical ------
+    {
+        let window = &tuples[..eq_n.min(tuples.len())];
+        let mut unsharded = FactMonitor::new(schema.clone(), make(schema, discovery), config);
+        let expected = unsharded.ingest_batch_slice(window).unwrap();
+        let mut sharded =
+            ShardedMonitor::new(schema.clone(), routing_dim, max_shards, config, make).unwrap();
+        let mut actual = Vec::new();
+        for chunk in window.chunks(batch) {
+            actual.extend(sharded.ingest_batch_slice(chunk).unwrap());
+        }
+        assert_eq!(
+            actual, expected,
+            "{algo_name}: sharded reports drifted from the unsharded monitor"
+        );
+        eprintln!(
+            "  {algo_name}: equivalence check passed \
+             ({} reports, {max_shards} shards vs unsharded)",
+            expected.len()
+        );
+    }
+
+    // --- Unsharded baseline (shards = 0 in the report) ---------------------
+    let n = tuples.len();
+    let seconds = measure(reps, || {
+        let mut monitor = FactMonitor::new(schema.clone(), make(schema, discovery), config);
+        let mut count = 0;
+        for window in tuples.chunks(batch) {
+            count += monitor.ingest_batch_slice(window).unwrap().len();
+        }
+        count
+    });
+    legs.push(Leg {
+        algo: algo_name,
+        shards: 0,
+        rows: n,
+        seconds,
+        rows_per_sec: n as f64 / seconds.max(1e-12),
+    });
+
+    // --- Shard ladder ------------------------------------------------------
+    for &num_shards in shard_counts {
+        let seconds = measure(reps, || {
+            let mut monitor =
+                ShardedMonitor::new(schema.clone(), routing_dim, num_shards, config, make).unwrap();
+            let mut count = 0;
+            for window in tuples.chunks(batch) {
+                count += monitor.ingest_batch_slice(window).unwrap().len();
+            }
+            count
+        });
+        legs.push(Leg {
+            algo: algo_name,
+            shards: num_shards,
+            rows: n,
+            seconds,
+            rows_per_sec: n as f64 / seconds.max(1e-12),
+        });
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = arg_value(&args, "--n", 8_000);
+    let baseline_n: usize = arg_value(&args, "--baseline-n", 2_000).min(n);
+    let batch: usize = arg_value(&args, "--batch", 2_048).max(1);
+    let max_shards: usize = arg_value(&args, "--max-shards", 4).max(1);
+    let reps: usize = arg_value(&args, "--reps", 3);
+    let eq_n: usize = arg_value(&args, "--eq-n", 2_500).min(n);
+    let seed: u64 = arg_value(&args, "--seed", 42);
+    let out: String = arg_value(&args, "--out", "BENCH_shard.json".to_string());
+
+    let params = ExperimentParams {
+        d: 5,
+        m: 4,
+        d_hat: 3,
+        m_hat: 3,
+        n,
+        sample_points: 1,
+        seed,
+    };
+    let (mut schema, rows) = generate_rows(DatasetKind::Nba, &params);
+    let tuples = encode(&mut schema, &rows);
+    let routing_attr = "team";
+    let routing_dim = schema
+        .dimension_index(routing_attr)
+        .expect("NBA schema has a team attribute");
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let shard_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&s| s <= max_shards)
+        .collect();
+    eprintln!(
+        "fig_shard: n={n}, baseline_n={baseline_n}, batch={batch}, shards={shard_counts:?}, \
+         reps={reps}, routing={routing_attr}, hardware threads={threads}"
+    );
+
+    let mut legs: Vec<Leg> = Vec::new();
+    bench_algo(
+        "STopDown",
+        &schema,
+        &tuples,
+        routing_dim,
+        &shard_counts,
+        batch,
+        reps,
+        eq_n,
+        sitfact_algos::STopDown::new,
+        &mut legs,
+    );
+    bench_algo(
+        "BaselineSeq",
+        &schema,
+        &tuples[..baseline_n],
+        routing_dim,
+        &shard_counts,
+        batch,
+        reps,
+        eq_n.min(baseline_n),
+        sitfact_algos::BaselineSeq::new,
+        &mut legs,
+    );
+
+    // --- Report -------------------------------------------------------------
+    println!("\n=== Shard scaling: window-ingest throughput (NBA, routed by team) ===");
+    println!(
+        "{:>12} {:>8} {:>8} {:>12} {:>14}",
+        "algo", "shards", "rows", "seconds", "rows/sec"
+    );
+    for l in &legs {
+        let shards = if l.shards == 0 {
+            "unsh".to_string()
+        } else {
+            l.shards.to_string()
+        };
+        println!(
+            "{:>12} {:>8} {:>8} {:>12.6} {:>14.0}",
+            l.algo, shards, l.rows, l.seconds, l.rows_per_sec
+        );
+        println!(
+            "csv,fig_shard,{}_{},{},{}",
+            l.algo, l.shards, l.rows, l.rows_per_sec
+        );
+    }
+    let speedup_at = |algo: &str, shards: usize| -> f64 {
+        let unsharded = legs
+            .iter()
+            .find(|l| l.algo == algo && l.shards == 0)
+            .map_or(0.0, |l| l.seconds);
+        let sharded = legs
+            .iter()
+            .find(|l| l.algo == algo && l.shards == shards)
+            .map_or(f64::INFINITY, |l| l.seconds);
+        unsharded / sharded.max(1e-12)
+    };
+    let headline_shards = *shard_counts.last().unwrap_or(&1);
+    for algo in ["STopDown", "BaselineSeq"] {
+        let by_count: Vec<String> = shard_counts
+            .iter()
+            .map(|&s| format!("{s} shards {:.2}x", speedup_at(algo, s)))
+            .collect();
+        println!("speedup {algo}: {}", by_count.join(", "));
+    }
+
+    // --- Machine-readable results (schema: crates/sitfact-bench/README.md) --
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"shard_scaling\",\n");
+    json.push_str(&format!(
+        "  \"params\": {{\"n\": {n}, \"baseline_n\": {baseline_n}, \"batch\": {batch}, \"reps\": {reps}, \"seed\": {seed}, \"dataset\": \"nba\", \"d\": {}, \"m\": {}, \"d_hat\": {}, \"m_hat\": {}, \"routing_attr\": \"{routing_attr}\", \"hardware_threads\": {threads}}},\n",
+        params.d, params.m, params.d_hat, params.m_hat
+    ));
+    json.push_str("  \"legs\": [\n");
+    for (i, l) in legs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"algo\": \"{}\", \"shards\": {}, \"rows\": {}, \"seconds\": {:.6}, \"rows_per_sec\": {:.0}}}{}\n",
+            l.algo,
+            l.shards,
+            l.rows,
+            l.seconds,
+            l.rows_per_sec,
+            if i + 1 < legs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_at_{headline_shards}_shards\": {{\"STopDown\": {:.2}, \"BaselineSeq\": {:.2}}}\n",
+        speedup_at("STopDown", headline_shards),
+        speedup_at("BaselineSeq", headline_shards)
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write results file");
+    eprintln!("wrote {out}");
+}

@@ -16,6 +16,14 @@ pub struct DiscoveryConfig {
     pub max_bound_dims: Option<usize>,
     /// `m̂`: maximum number of measure attributes in a subspace.
     pub max_measure_dims: Option<usize>,
+    /// Anchor attribute: if set, only facts whose constraint *binds* this
+    /// dimension attribute are reported. This is the routing-soundness
+    /// restriction of sharded monitors (see [`crate::routing`]): a stream
+    /// partitioned on attribute `r` reports exactly the facts of an
+    /// unsharded monitor anchored on `r`, because those facts' contexts
+    /// never span shards. `None` (the default) reports the full constraint
+    /// space.
+    pub anchor_dim: Option<usize>,
 }
 
 impl DiscoveryConfig {
@@ -31,6 +39,25 @@ impl DiscoveryConfig {
         DiscoveryConfig {
             max_bound_dims: Some(d_hat),
             max_measure_dims: Some(m_hat),
+            anchor_dim: None,
+        }
+    }
+
+    /// Returns a copy anchored on dimension attribute `dim`: only facts whose
+    /// constraint binds `dim` are reported. Required (and auto-applied) by
+    /// sharded monitors routing on `dim` — see [`crate::routing`] for why.
+    pub fn with_anchor(mut self, dim: usize) -> Self {
+        self.anchor_dim = Some(dim);
+        self
+    }
+
+    /// Whether a fact with this constraint is admitted by the anchor
+    /// restriction (always true when no anchor is set).
+    #[inline]
+    pub fn admits(&self, constraint: &crate::constraint::Constraint) -> bool {
+        match self.anchor_dim {
+            None => true,
+            Some(dim) => constraint.binds(dim),
         }
     }
 
@@ -65,7 +92,15 @@ impl DiscoveryConfig {
                 ));
             }
         }
-        let _ = schema;
+        if let Some(dim) = self.anchor_dim {
+            if dim >= schema.num_dimensions() {
+                return Err(SitFactError::InvalidConfig(format!(
+                    "anchor dimension index {dim} is out of range for schema `{}` with {} dimension attributes",
+                    schema.name(),
+                    schema.num_dimensions()
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -113,5 +148,26 @@ mod tests {
         assert!(DiscoveryConfig::capped(0, 1).validate(&s).is_err());
         assert!(DiscoveryConfig::capped(1, 0).validate(&s).is_err());
         assert!(DiscoveryConfig::capped(1, 1).validate(&s).is_ok());
+    }
+
+    #[test]
+    fn anchor_is_validated_and_filters_constraints() {
+        use crate::constraint::Constraint;
+        use crate::value::UNBOUND;
+        let s = schema(3, 2);
+        let anchored = DiscoveryConfig::capped(2, 2).with_anchor(1);
+        assert!(anchored.validate(&s).is_ok());
+        assert!(DiscoveryConfig::unrestricted()
+            .with_anchor(3)
+            .validate(&s)
+            .is_err());
+        // The anchor admits exactly the constraints binding the anchored
+        // attribute; without an anchor everything is admitted.
+        let binds_anchor = Constraint::from_values(vec![UNBOUND, 4, UNBOUND]);
+        let misses_anchor = Constraint::from_values(vec![4, UNBOUND, UNBOUND]);
+        assert!(anchored.admits(&binds_anchor));
+        assert!(!anchored.admits(&misses_anchor));
+        assert!(!anchored.admits(&Constraint::top(3)));
+        assert!(DiscoveryConfig::unrestricted().admits(&Constraint::top(3)));
     }
 }

@@ -260,6 +260,22 @@ impl Constraint {
         self.values.iter().filter(|&&v| v != UNBOUND).count()
     }
 
+    /// Whether attribute `dim` is bound (out-of-range indexes are unbound).
+    #[inline]
+    pub fn binds(&self, dim: usize) -> bool {
+        self.bound_value(dim).is_some()
+    }
+
+    /// The value attribute `dim` is bound to, or `None` when it is `*` (or
+    /// out of range).
+    #[inline]
+    pub fn bound_value(&self, dim: usize) -> Option<DimValueId> {
+        match self.values.get(dim) {
+            Some(&v) if v != UNBOUND => Some(v),
+            _ => None,
+        }
+    }
+
     /// Whether this is the most general constraint `⊤`.
     pub fn is_top(&self) -> bool {
         self.values.iter().all(|&v| v == UNBOUND)
@@ -413,6 +429,18 @@ mod tests {
         assert!(c.matches(&t));
         assert!(!c.is_top());
         assert!(Constraint::top(3).is_top());
+    }
+
+    #[test]
+    fn binds_and_bound_value() {
+        let c = Constraint::from_values(vec![5, UNBOUND, 2]);
+        assert!(c.binds(0));
+        assert!(!c.binds(1));
+        assert_eq!(c.bound_value(2), Some(2));
+        assert_eq!(c.bound_value(1), None);
+        // Out-of-range indexes read as unbound rather than panicking.
+        assert!(!c.binds(99));
+        assert_eq!(c.bound_value(99), None);
     }
 
     #[test]

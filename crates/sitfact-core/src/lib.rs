@@ -25,7 +25,12 @@
 //!   lattice of tuple-satisfied constraints traversed by the discovery
 //!   algorithms;
 //! * [`SkylinePair`] and [`DiscoveryConfig`] — the output vocabulary and the
-//!   `d̂` / `m̂` caps of the paper's experimental section.
+//!   `d̂` / `m̂` caps of the paper's experimental section (plus the `anchor`
+//!   restriction sharded monitors rely on);
+//! * [`routing`] — the routing-soundness predicates that make a partitioned
+//!   stream provably equivalent to an unsharded one;
+//! * [`pool`] — a vendored worker thread-pool (no crates.io access here) used
+//!   to fan batched windows out across shards.
 //!
 //! ## Example
 //!
@@ -58,6 +63,8 @@ pub mod error;
 pub mod hash;
 pub mod lattice;
 pub mod pair;
+pub mod pool;
+pub mod routing;
 pub mod schema;
 pub mod subspace;
 pub mod tuple;
@@ -71,6 +78,7 @@ pub use error::{Result, SitFactError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use lattice::ConstraintLattice;
 pub use pair::SkylinePair;
+pub use pool::ThreadPool;
 pub use schema::{MeasureAttr, Schema, SchemaBuilder};
 pub use subspace::SubspaceMask;
 pub use tuple::{Tuple, TupleId, TupleRef, TupleView};

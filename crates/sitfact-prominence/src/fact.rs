@@ -15,6 +15,28 @@ pub struct RankedFact {
 }
 
 impl RankedFact {
+    /// The canonical ranking order of a report's facts: descending
+    /// prominence, ties broken by constraint values then subspace.
+    ///
+    /// This is a *total* order on distinct facts (no two facts share both
+    /// constraint and subspace), so a ranked report is fully determined by
+    /// its fact **set** — independent of the order the discovery algorithm
+    /// emitted the pairs in. That determinism is what lets a sharded monitor
+    /// (whose shards prune in a different order than an unsharded monitor)
+    /// produce byte-identical reports, `keep_top` truncation included.
+    pub fn ranking_cmp(a: &RankedFact, b: &RankedFact) -> std::cmp::Ordering {
+        b.prominence()
+            .partial_cmp(&a.prominence())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                a.pair
+                    .constraint
+                    .values()
+                    .cmp(b.pair.constraint.values())
+                    .then(a.pair.subspace.cmp(&b.pair.subspace))
+            })
+    }
+
     /// The prominence value `|σ_C(R)| / |λ_M(σ_C(R))|` (≥ 1 whenever the
     /// context is non-empty; larger is rarer and therefore more newsworthy).
     pub fn prominence(&self) -> f64 {
@@ -66,6 +88,20 @@ impl ArrivalReport {
     pub fn max_prominence(&self) -> Option<f64> {
         self.facts.first().map(RankedFact::prominence)
     }
+
+    /// Re-sorts the facts into the canonical total order of
+    /// [`RankedFact::ranking_cmp`] (descending prominence, ties by constraint
+    /// values then subspace).
+    ///
+    /// Reports produced by a monitor are already in this order — the ranking
+    /// sorts with `ranking_cmp`, which is what makes sharded and unsharded
+    /// reports byte-comparable with `==`. `normalize` is the idempotent
+    /// canonicaliser for reports assembled by other means (hand-built
+    /// fixtures, deserialised data from older versions that ranked with a
+    /// stable emission-order sort).
+    pub fn normalize(&mut self) {
+        self.facts.sort_by(RankedFact::ranking_cmp);
+    }
 }
 
 #[cfg(test)]
@@ -87,6 +123,40 @@ mod tests {
         assert_eq!(fact(5, 2).prominence(), 2.5);
         assert_eq!(fact(3, 2).prominence(), 1.5);
         assert_eq!(fact(0, 0).prominence(), 0.0);
+    }
+
+    #[test]
+    fn normalize_orders_ties_canonically() {
+        use sitfact_core::UNBOUND;
+        let fact_with = |values: Vec<u32>, context: u64| RankedFact {
+            pair: SkylinePair::new(Constraint::from_values(values), SubspaceMask(0b01)),
+            context_size: context,
+            skyline_size: 1,
+        };
+        let mut a = ArrivalReport {
+            tuple_id: 0,
+            facts: vec![
+                fact_with(vec![2, UNBOUND], 4),
+                fact_with(vec![1, UNBOUND], 4),
+                fact_with(vec![0, 0], 9),
+            ],
+            prominent_count: 1,
+        };
+        let mut b = ArrivalReport {
+            tuple_id: 0,
+            facts: vec![
+                fact_with(vec![0, 0], 9),
+                fact_with(vec![1, UNBOUND], 4),
+                fact_with(vec![2, UNBOUND], 4),
+            ],
+            prominent_count: 1,
+        };
+        a.normalize();
+        b.normalize();
+        assert_eq!(a, b);
+        // Highest prominence still first; ties resolved by constraint values.
+        assert_eq!(a.facts[0].context_size, 9);
+        assert_eq!(a.facts[1].pair.constraint.values()[0], 1);
     }
 
     #[test]

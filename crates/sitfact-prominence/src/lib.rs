@@ -13,7 +13,12 @@
 //! The central type is [`FactMonitor`]: it owns the append-only table, a
 //! [`ContextCounter`](sitfact_storage::ContextCounter), and any
 //! [`Discovery`](sitfact_algos::Discovery) algorithm, and turns a stream of
-//! raw tuples into a stream of [`ArrivalReport`]s. [`DistributionStats`]
+//! raw tuples into a stream of [`ArrivalReport`]s. [`ShardedMonitor`]
+//! partitions that stream by a routing attribute across independent
+//! `FactMonitor` shards and fans batched windows out in parallel — provably
+//! equivalent to an unsharded monitor over the anchored constraint space (see
+//! the [`sharded`] module docs for the soundness argument).
+//! [`DistributionStats`]
 //! accumulates the figures of the paper's case study (Figs. 14–15), and
 //! [`narrate()`] renders facts as English sentences in the style of the
 //! paper's examples.
@@ -25,8 +30,10 @@ pub mod distribution;
 pub mod fact;
 pub mod monitor;
 pub mod narrate;
+pub mod sharded;
 
 pub use distribution::DistributionStats;
 pub use fact::{ArrivalReport, RankedFact};
 pub use monitor::{FactMonitor, MonitorConfig};
 pub use narrate::narrate;
+pub use sharded::ShardedMonitor;

@@ -129,8 +129,16 @@ impl<A: Discovery> FactMonitor<A> {
 
     /// Ingests an already-encoded tuple: discovers its facts, appends it to
     /// the table, and ranks the facts by prominence.
+    ///
+    /// When the discovery config carries an anchor
+    /// ([`DiscoveryConfig::with_anchor`]), facts whose constraint does not
+    /// bind the anchored attribute are dropped *before* ranking — this is the
+    /// constraint space a sharded monitor is provably equivalent over (see
+    /// `sitfact_core::routing`), and the dropped facts never pay the
+    /// cardinality lookups either.
     pub fn ingest(&mut self, tuple: Tuple) -> Result<ArrivalReport> {
-        let pairs = self.algorithm.discover(&self.table, &tuple);
+        let mut pairs = self.algorithm.discover(&self.table, &tuple);
+        self.apply_anchor(&mut pairs);
         let tuple_id = self.table.append(tuple)?;
         // The appended row is observed through a zero-copy view — no
         // materialisation on the per-arrival path.
@@ -170,12 +178,22 @@ impl<A: Discovery> FactMonitor<A> {
         let mut reports = Vec::with_capacity(tuples.len());
         for (i, tuple) in tuples.iter().enumerate() {
             let tuple_id = first + i as TupleId;
-            let pairs = self.algorithm.discover_at(&self.table, tuple, tuple_id);
+            let mut pairs = self.algorithm.discover_at(&self.table, tuple, tuple_id);
+            self.apply_anchor(&mut pairs);
             self.counter.observe(self.table.tuple(tuple_id));
             reports.push(self.rank_arrival(tuple_id, pairs));
         }
         self.algorithm.end_batch();
         Ok(reports)
+    }
+
+    /// Drops the pairs excluded by the config's anchor restriction (no-op for
+    /// unanchored configs). Runs before ranking so excluded facts never pay
+    /// the context/skyline cardinality lookups.
+    fn apply_anchor(&self, pairs: &mut Vec<SkylinePair>) {
+        if self.config.discovery.anchor_dim.is_some() {
+            pairs.retain(|p| self.config.discovery.admits(&p.constraint));
+        }
     }
 
     /// Ranks an arrival's discovered pairs by prominence. `tuple_id` is the
@@ -199,11 +217,12 @@ impl<A: Discovery> FactMonitor<A> {
                 skyline_size,
             });
         }
-        facts.sort_by(|a, b| {
-            b.prominence()
-                .partial_cmp(&a.prominence())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // Canonical total order (not just descending prominence): the report
+        // is then fully determined by the fact *set*, independent of the
+        // algorithm's emission order — so `keep_top` truncation at a
+        // prominence tie is deterministic, and a sharded monitor's reports
+        // are byte-identical to the unsharded reference's.
+        facts.sort_by(RankedFact::ranking_cmp);
         let max = facts.first().map(RankedFact::prominence).unwrap_or(0.0);
         let prominent_count = if max >= self.config.tau {
             facts
@@ -403,6 +422,66 @@ mod tests {
         assert_eq!(monitor.table().len(), 1);
         let report = monitor.ingest_raw(&["B", "X"], vec![2.0, 2.0]).unwrap();
         assert_eq!(report.tuple_id, 1);
+    }
+
+    #[test]
+    fn ingest_batch_empty_window_is_noop() {
+        let schema = schema();
+        let algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default());
+        monitor.ingest_raw(&["A", "X"], vec![1.0, 1.0]).unwrap();
+        let len_before = monitor.table().len();
+        let reports = monitor.ingest_batch(Vec::new()).unwrap();
+        assert!(reports.is_empty());
+        // A true no-op: nothing appended, nothing observed, and the returned
+        // vec is the unallocated `Vec::new()` (capacity 0), so an idle feed
+        // polling with empty windows costs nothing.
+        assert_eq!(reports.capacity(), 0);
+        assert_eq!(monitor.table().len(), len_before);
+        let reports = monitor.ingest_batch_slice(&[]).unwrap();
+        assert!(reports.is_empty() && reports.capacity() == 0);
+        // The next arrival gets the id it would have had without the empty
+        // windows in between.
+        let report = monitor.ingest_raw(&["B", "X"], vec![2.0, 2.0]).unwrap();
+        assert_eq!(report.tuple_id, 1);
+    }
+
+    #[test]
+    fn anchored_config_reports_only_anchored_facts() {
+        let schema = schema();
+        let discovery = DiscoveryConfig::unrestricted().with_anchor(1); // team
+        let config = MonitorConfig::default()
+            .with_discovery(discovery)
+            .with_tau(1.0);
+        let algo = STopDown::new(&schema, discovery);
+        let mut anchored = FactMonitor::new(schema.clone(), algo, config);
+        let algo = STopDown::new(&schema, DiscoveryConfig::unrestricted());
+        let mut unanchored =
+            FactMonitor::new(schema.clone(), algo, MonitorConfig::default().with_tau(1.0));
+        let rows: [(&[&str; 2], [f64; 2]); 4] = [
+            (&["A", "X"], [10.0, 1.0]),
+            (&["B", "Y"], [8.0, 2.0]),
+            (&["A", "Y"], [6.0, 3.0]),
+            (&["C", "X"], [12.0, 4.0]),
+        ];
+        for (dims, measures) in rows {
+            let got = anchored.ingest_raw(dims, measures.to_vec()).unwrap();
+            let all = unanchored.ingest_raw(dims, measures.to_vec()).unwrap();
+            // Every reported fact binds the anchored attribute …
+            assert!(
+                got.facts.iter().all(|f| f.pair.constraint.binds(1)),
+                "unanchored fact leaked"
+            );
+            // … and the anchored report is exactly the unanchored one with
+            // the non-binding facts removed (same order, same cardinalities).
+            let expected: Vec<_> = all
+                .facts
+                .iter()
+                .filter(|f| f.pair.constraint.binds(1))
+                .cloned()
+                .collect();
+            assert_eq!(got.facts, expected);
+        }
     }
 
     #[test]

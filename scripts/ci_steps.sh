@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Single source of truth for the CI gate. Both scripts/verify.sh (local) and
+# .github/workflows/ci.yml (CI) invoke the steps registered here, and the
+# `parity` subcommand fails when either side drifts from the registry — so
+# the local gate and CI cannot silently diverge.
+#
+# Usage:
+#   ci_steps.sh list         print the registered step names, in order
+#   ci_steps.sh run <step>   run one step
+#   ci_steps.sh all          run every step, in order
+#   ci_steps.sh parity       check verify.sh and ci.yml against the registry
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Toolchain prefix override: CI's lint job pins an exact toolchain by
+# exporting CARGO="cargo +<version>"; everywhere else plain `cargo` resolves
+# through rust-toolchain.toml.
+CARGO=${CARGO:-cargo}
+
+# Ordered step registry. Adding a step here without wiring it into ci.yml
+# (or vice versa) fails `parity`.
+CI_STEPS=(fmt clippy build test check-targets doc quickstart fig-ingest-smoke fig-shard-smoke)
+
+run_step() {
+  echo "==> $1"
+  case "$1" in
+    fmt) $CARGO fmt --all --check ;;
+    clippy) $CARGO clippy --workspace --all-targets -- -D warnings ;;
+    build) $CARGO build --release --workspace ;;
+    test) $CARGO test --workspace -q ;;
+    check-targets) $CARGO check --workspace --examples --benches --bins ;;
+    doc) RUSTDOCFLAGS="-D warnings" $CARGO doc --workspace --no-deps --quiet ;;
+    quickstart) $CARGO run --release --example quickstart ;;
+    fig-ingest-smoke)
+      # Small n keeps it fast; the binary asserts batched ingest produces
+      # reports identical to the sequential loop before timing anything.
+      $CARGO run --release -p sitfact-bench --bin fig_ingest -- \
+        --n 1500 --monitor-n 300 --reps 1 --out /tmp/BENCH_ingest_smoke.json ;;
+    fig-shard-smoke)
+      # Small n; the binary asserts sharded ≡ unsharded (order-normalised)
+      # before timing anything, so this doubles as a routing-soundness test.
+      $CARGO run --release -p sitfact-bench --bin fig_shard -- \
+        --n 1000 --baseline-n 400 --eq-n 600 --reps 1 \
+        --out /tmp/BENCH_shard_smoke.json ;;
+    *) echo "ci_steps.sh: unknown step '$1'" >&2; exit 64 ;;
+  esac
+}
+
+parity() {
+  local ci=.github/workflows/ci.yml verify=scripts/verify.sh fail=0
+  # Every registered step must be wired into CI …
+  for step in "${CI_STEPS[@]}"; do
+    if ! grep -Eq "ci_steps\.sh run $step( |\"|$)" "$ci"; then
+      echo "parity: step '$step' is registered here but not invoked by $ci" >&2
+      fail=1
+    fi
+  done
+  # … and CI must not invoke steps this registry does not know.
+  while read -r step; do
+    local known=0
+    for s in "${CI_STEPS[@]}"; do [[ "$s" == "$step" ]] && known=1; done
+    if [[ "$known" == 0 ]]; then
+      echo "parity: $ci invokes unknown step '$step' (add it to CI_STEPS)" >&2
+      fail=1
+    fi
+  done < <(grep -Eo "ci_steps\.sh run [a-z-]+" "$ci" | awk '{print $3}' | sort -u)
+  # The local gate must run the full registry (and this parity check).
+  if ! grep -q "ci_steps.sh all" "$verify"; then
+    echo "parity: $verify does not run 'ci_steps.sh all'" >&2
+    fail=1
+  fi
+  if ! grep -q "ci_steps.sh parity" "$verify"; then
+    echo "parity: $verify does not run 'ci_steps.sh parity'" >&2
+    fail=1
+  fi
+  if [[ "$fail" != 0 ]]; then
+    echo "parity: scripts/ci_steps.sh, scripts/verify.sh and $ci drifted" >&2
+    exit 1
+  fi
+  echo "parity: local gate and CI agree on: ${CI_STEPS[*]}"
+}
+
+case "${1:-}" in
+  list) printf '%s\n' "${CI_STEPS[@]}" ;;
+  run) shift; run_step "${1:?usage: ci_steps.sh run <step>}" ;;
+  all) for step in "${CI_STEPS[@]}"; do run_step "$step"; done ;;
+  parity) parity ;;
+  *) echo "usage: ci_steps.sh {list|run <step>|all|parity}" >&2; exit 64 ;;
+esac

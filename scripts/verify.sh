@@ -1,28 +1,11 @@
 #!/usr/bin/env bash
-# Local mirror of the CI gate (.github/workflows/ci.yml): run before pushing.
+# Local mirror of the CI gate: run before pushing. The actual commands live
+# in scripts/ci_steps.sh, shared with .github/workflows/ci.yml; the parity
+# step fails if the local gate and CI ever diverge.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --all --check"
-cargo fmt --all --check
-
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> cargo build --release --workspace"
-cargo build --release --workspace
-
-echo "==> cargo test --workspace -q"
-cargo test --workspace -q
-
-echo "==> cargo check --workspace --examples --benches --bins (smoke)"
-cargo check --workspace --examples --benches --bins
-
-echo "==> fig_ingest smoke run (batched ingest equivalence + throughput)"
-cargo run --release -p sitfact-bench --bin fig_ingest -- \
-  --n 1500 --monitor-n 300 --reps 1 --out /tmp/BENCH_ingest_smoke.json
-
-echo "==> cargo doc --workspace --no-deps (rustdoc warnings denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+scripts/ci_steps.sh parity
+scripts/ci_steps.sh all
 
 echo "All green."

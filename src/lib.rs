@@ -80,6 +80,7 @@ pub mod prelude {
     pub use sitfact_datagen::{DataGenerator, Row};
     pub use sitfact_prominence::{
         narrate, ArrivalReport, DistributionStats, FactMonitor, MonitorConfig, RankedFact,
+        ShardedMonitor,
     };
     pub use sitfact_storage::{
         ContextCounter, FileSkylineStore, KdTree, MemorySkylineStore, SkylineStore, StoreStats,

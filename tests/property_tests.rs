@@ -312,6 +312,72 @@ proptest! {
         prop_assert_eq!(batched.table().len(), sequential.table().len());
     }
 
+    /// A `ShardedMonitor` produces reports byte-identical to an unsharded
+    /// `FactMonitor` running the same anchored config — for random schema
+    /// widths, random routing attributes, random shard counts and random
+    /// window splits. This is the routing-soundness theorem of the sharded
+    /// design: anchoring the constraint space on the routing attribute
+    /// confines every reported fact's context to a single shard, and the
+    /// canonical ranking order (`RankedFact::ranking_cmp`) makes each report
+    /// a pure function of that fact set, emission order be damned.
+    #[test]
+    fn sharded_monitor_equals_unsharded(
+        n_dims in 1usize..4,
+        routing_seed in 0usize..4,
+        num_shards in 1usize..5,
+        window_seed in 1usize..9,
+        rows in prop::collection::vec(
+            (prop::collection::vec(0u32..4, 3), 0i32..6, 0i32..6),
+            1..35,
+        ),
+    ) {
+        let routing_dim = routing_seed % n_dims;
+        let mut builder = SchemaBuilder::new("p");
+        for d in 0..n_dims {
+            builder = builder.dimension(format!("d{d}"));
+        }
+        let schema = builder
+            .measure("m0", DIRS[0])
+            .measure("m1", DIRS[1])
+            .build().unwrap();
+        let stream: Vec<Tuple> = rows
+            .iter()
+            .map(|(dims, m0, m1)| {
+                Tuple::new(dims[..n_dims].to_vec(), vec![*m0 as f64, *m1 as f64])
+            })
+            .collect();
+
+        // keep_top exercises truncation at prominence ties, which must be
+        // deterministic for the byte-equality below to hold.
+        let config = MonitorConfig::default().with_tau(2.0).with_keep_top(4);
+        let mut sharded = ShardedMonitor::new(
+            schema.clone(),
+            routing_dim,
+            num_shards,
+            config,
+            STopDown::new,
+        ).unwrap();
+        // The reference runs the sharded monitor's own (anchored) config.
+        let anchored = *sharded.config();
+        prop_assert_eq!(anchored.discovery.anchor_dim, Some(routing_dim));
+        let mut unsharded = FactMonitor::new(
+            schema.clone(),
+            STopDown::new(&schema, anchored.discovery),
+            anchored,
+        );
+
+        let mut actual = Vec::new();
+        for window in stream.chunks(window_seed) {
+            actual.extend(sharded.ingest_batch_slice(window).unwrap());
+        }
+        let expected = unsharded.ingest_all(stream.clone()).unwrap();
+        prop_assert_eq!(actual, expected);
+        // Shard tables partition the stream exactly.
+        let sharded_rows: usize = sharded.shards().iter().map(|s| s.table().len()).sum();
+        prop_assert_eq!(sharded_rows, stream.len());
+        prop_assert_eq!(sharded.len(), stream.len());
+    }
+
     /// Prominence is always ≥ 1 for facts pertinent to the newly added tuple,
     /// and the context is never smaller than its skyline.
     #[test]
