@@ -17,7 +17,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use sitfact_bench::{generate_rows, DatasetKind, ExperimentParams};
 use sitfact_core::{DiscoveryConfig, Schema, Tuple};
-use sitfact_prominence::{FactMonitor, MonitorConfig};
+use sitfact_prominence::{FactMonitor, MonitorConfig, StreamMonitor};
 use sitfact_storage::{ContextCounter, Table};
 
 const ROWS: usize = 20_000;

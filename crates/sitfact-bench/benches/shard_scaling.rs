@@ -12,7 +12,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use sitfact_bench::{generate_rows, DatasetKind, ExperimentParams};
 use sitfact_core::{DiscoveryConfig, Schema, Tuple};
-use sitfact_prominence::{FactMonitor, MonitorConfig, ShardedMonitor};
+use sitfact_prominence::{FactMonitor, MonitorConfig, ShardedMonitor, StreamMonitor};
 
 const ROWS: usize = 800;
 const BATCH: usize = 256;

@@ -13,7 +13,7 @@
 use sitfact_bench::params::arg_value;
 use sitfact_bench::{generate_rows, DatasetKind, ExperimentParams};
 use sitfact_core::{DiscoveryConfig, Schema, Tuple};
-use sitfact_prominence::{FactMonitor, MonitorConfig};
+use sitfact_prominence::{FactMonitor, MonitorConfig, StreamMonitor};
 use sitfact_storage::{ContextCounter, Table};
 use std::time::Instant;
 

@@ -19,7 +19,9 @@
 //! cost tracks table size, so partitioning the table pays even on one core).
 
 use sitfact_bench::params::arg_value;
-use sitfact_bench::{generate_rows, DatasetKind, ExperimentParams};
+use sitfact_bench::{
+    drive_windows, drive_windows_count, generate_rows, DatasetKind, ExperimentParams,
+};
 use sitfact_core::{DiscoveryConfig, Schema, Tuple};
 use sitfact_prominence::{FactMonitor, MonitorConfig, ShardedMonitor};
 use std::time::Instant;
@@ -82,16 +84,17 @@ fn bench_algo<A, F>(
     let max_shards = shard_counts.iter().copied().max().unwrap_or(1).max(2);
 
     // --- Routing-soundness guard: sharded ≡ unsharded, byte-identical ------
+    // Both monitors are fed by the same generic driver
+    // (`drive_windows(&mut dyn StreamMonitor, …)`): since the StreamMonitor
+    // redesign, sharded vs unsharded is a construction choice, not a
+    // separate driving code path.
     {
         let window = &tuples[..eq_n.min(tuples.len())];
         let mut unsharded = FactMonitor::new(schema.clone(), make(schema, discovery), config);
-        let expected = unsharded.ingest_batch_slice(window).unwrap();
+        let expected = drive_windows(&mut unsharded, window, window.len().max(1));
         let mut sharded =
             ShardedMonitor::new(schema.clone(), routing_dim, max_shards, config, make).unwrap();
-        let mut actual = Vec::new();
-        for chunk in window.chunks(batch) {
-            actual.extend(sharded.ingest_batch_slice(chunk).unwrap());
-        }
+        let actual = drive_windows(&mut sharded, window, batch);
         assert_eq!(
             actual, expected,
             "{algo_name}: sharded reports drifted from the unsharded monitor"
@@ -107,11 +110,7 @@ fn bench_algo<A, F>(
     let n = tuples.len();
     let seconds = measure(reps, || {
         let mut monitor = FactMonitor::new(schema.clone(), make(schema, discovery), config);
-        let mut count = 0;
-        for window in tuples.chunks(batch) {
-            count += monitor.ingest_batch_slice(window).unwrap().len();
-        }
-        count
+        drive_windows_count(&mut monitor, tuples, batch)
     });
     legs.push(Leg {
         algo: algo_name,
@@ -126,11 +125,7 @@ fn bench_algo<A, F>(
         let seconds = measure(reps, || {
             let mut monitor =
                 ShardedMonitor::new(schema.clone(), routing_dim, num_shards, config, make).unwrap();
-            let mut count = 0;
-            for window in tuples.chunks(batch) {
-                count += monitor.ingest_batch_slice(window).unwrap().len();
-            }
-            count
+            drive_windows_count(&mut monitor, tuples, batch)
         });
         legs.push(Leg {
             algo: algo_name,

@@ -9,7 +9,7 @@ use sitfact_core::{DiscoveryConfig, Schema, Tuple};
 use sitfact_datagen::nba::{NbaConfig, NbaGenerator};
 use sitfact_datagen::weather::{WeatherConfig, WeatherGenerator};
 use sitfact_datagen::{DataGenerator, Row};
-use sitfact_prominence::{FactMonitor, MonitorConfig, RankedFact};
+use sitfact_prominence::{ArrivalReport, FactMonitor, MonitorConfig, RankedFact, StreamMonitor};
 use sitfact_storage::{FileSkylineStore, StoreStats, Table, WorkStats};
 use std::path::Path;
 use std::time::Instant;
@@ -89,6 +89,51 @@ pub fn build_algorithm(
             Box::new(STopDown::with_store(schema, config, store))
         }
     }
+}
+
+/// Streams pre-encoded tuples through any monitor in windows of `batch`
+/// tuples via the batched fast path, collecting every arrival's report.
+///
+/// This is the generic driver behind the shard-scaling and service
+/// experiments: it takes `&mut dyn StreamMonitor`, so whether the monitor is
+/// a [`FactMonitor`], a [`ShardedMonitor`](sitfact_prominence::ShardedMonitor)
+/// or anything else implementing the trait is the caller's construction
+/// choice — not a separate driving code path here.
+pub fn drive_windows(
+    monitor: &mut dyn StreamMonitor,
+    tuples: &[Tuple],
+    batch: usize,
+) -> Vec<ArrivalReport> {
+    let mut reports = Vec::with_capacity(tuples.len());
+    for window in tuples.chunks(batch.max(1)) {
+        reports.extend(
+            monitor
+                .ingest_batch_slice(window)
+                .expect("window matches schema"),
+        );
+    }
+    reports
+}
+
+/// [`drive_windows`] for timing loops: drops each window's reports after
+/// counting their facts, so the measured region never retains O(stream)
+/// report memory (which would skew throughput numbers against earlier
+/// count-only harnesses). Returns the total fact count as a checksum.
+pub fn drive_windows_count(
+    monitor: &mut dyn StreamMonitor,
+    tuples: &[Tuple],
+    batch: usize,
+) -> usize {
+    let mut facts = 0;
+    for window in tuples.chunks(batch.max(1)) {
+        facts += monitor
+            .ingest_batch_slice(window)
+            .expect("window matches schema")
+            .iter()
+            .map(|r| r.facts.len())
+            .sum::<usize>();
+    }
+    facts
 }
 
 /// One measurement along the stream.

@@ -20,7 +20,9 @@ pub enum SitFactError {
     InvalidConstraint(String),
     /// A measure subspace refers to measure indexes outside the schema.
     InvalidSubspace(String),
-    /// Discovery configuration (`d̂`, `m̂`) is inconsistent with the schema.
+    /// A configuration is invalid: discovery caps (`d̂`, `m̂`) inconsistent
+    /// with the schema, an unroutable anchor, a NaN/negative prominence
+    /// threshold, a zero retention cap, …
     InvalidConfig(String),
     /// The file-backed skyline store hit an I/O problem.
     Io(String),
@@ -35,7 +37,7 @@ impl fmt::Display for SitFactError {
             SitFactError::InvalidTuple(msg) => write!(f, "invalid tuple: {msg}"),
             SitFactError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
             SitFactError::InvalidSubspace(msg) => write!(f, "invalid measure subspace: {msg}"),
-            SitFactError::InvalidConfig(msg) => write!(f, "invalid discovery config: {msg}"),
+            SitFactError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
             SitFactError::Io(msg) => write!(f, "I/O error: {msg}"),
             SitFactError::Parse(msg) => write!(f, "parse error: {msg}"),
         }

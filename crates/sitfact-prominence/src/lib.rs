@@ -10,7 +10,11 @@
 //! tuple — ranks the facts of each arrival in descending prominence, and calls
 //! *prominent* those that attain the maximum and clear a threshold `τ`.
 //!
-//! The central type is [`FactMonitor`]: it owns the append-only table, a
+//! The central abstraction is the [`StreamMonitor`] trait — the one,
+//! object-safe ingest surface every monitor implements, and the type
+//! (`Box<dyn StreamMonitor>`) a generic driver such as the `sitfact-serve`
+//! TCP front-end holds. [`FactMonitor`] is its canonical implementation: it
+//! owns the append-only table, a
 //! [`ContextCounter`](sitfact_storage::ContextCounter), and any
 //! [`Discovery`](sitfact_algos::Discovery) algorithm, and turns a stream of
 //! raw tuples into a stream of [`ArrivalReport`]s. [`ShardedMonitor`]
@@ -31,9 +35,11 @@ pub mod fact;
 pub mod monitor;
 pub mod narrate;
 pub mod sharded;
+pub mod stream;
 
 pub use distribution::DistributionStats;
 pub use fact::{ArrivalReport, RankedFact};
 pub use monitor::{FactMonitor, MonitorConfig};
 pub use narrate::narrate;
 pub use sharded::ShardedMonitor;
+pub use stream::StreamMonitor;

@@ -1,8 +1,11 @@
 //! The [`FactMonitor`]: turn a stream of tuples into ranked situational facts.
 
 use crate::fact::{ArrivalReport, RankedFact};
+use crate::stream::StreamMonitor;
 use sitfact_algos::Discovery;
-use sitfact_core::{DiscoveryConfig, Result, Schema, SkylinePair, Tuple, TupleId};
+use sitfact_core::{
+    DiscoveryConfig, Result, Schema, SitFactError, SkylinePair, Tuple, TupleId, TupleRef,
+};
 use sitfact_storage::{ContextCounter, Table};
 
 /// Configuration of a [`FactMonitor`].
@@ -12,9 +15,12 @@ pub struct MonitorConfig {
     pub discovery: DiscoveryConfig,
     /// Prominence threshold `τ`: a fact is *prominent* only if its prominence
     /// is at least this value (and is maximal among the arrival's facts).
+    /// Must be finite and non-negative (see [`MonitorConfig::validate`]).
     pub tau: f64,
     /// Retain at most this many ranked facts per arrival in the report (the
-    /// full set is still used to determine the maximum). `None` keeps all.
+    /// full set is still used to determine the maximum). `None` keeps all;
+    /// `Some(0)` is rejected (it would silently discard every report's facts
+    /// — use a larger cap or `None`).
     pub keep_top: Option<usize>,
 }
 
@@ -40,7 +46,17 @@ impl MonitorConfig {
     }
 
     /// Builder-style setter for `τ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is NaN, infinite or negative — a NaN threshold would
+    /// make every `max ≥ τ` comparison silently false, reporting *nothing*
+    /// forever, so it is rejected at construction instead.
     pub fn with_tau(mut self, tau: f64) -> Self {
+        assert!(
+            tau.is_finite() && tau >= 0.0,
+            "MonitorConfig::with_tau: τ must be finite and non-negative, got {tau}"
+        );
         self.tau = tau;
         self
     }
@@ -52,19 +68,52 @@ impl MonitorConfig {
     }
 
     /// Builder-style setter for the per-arrival fact retention limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is zero: a monitor that drops every fact it ranks is
+    /// never what a caller meant (pass a positive cap, or leave the limit
+    /// unset to keep all facts).
     pub fn with_keep_top(mut self, keep: usize) -> Self {
+        assert!(
+            keep > 0,
+            "MonitorConfig::with_keep_top: the retention cap must be positive \
+             (omit the cap to keep every fact)"
+        );
         self.keep_top = Some(keep);
         self
+    }
+
+    /// Checks the invariants the builders enforce, for configurations
+    /// assembled field-by-field: `τ` finite and non-negative, `keep_top`
+    /// positive when set. Monitor constructors call this, so an invalid
+    /// config is rejected before it can silently swallow reports.
+    pub fn validate(&self) -> Result<()> {
+        if !self.tau.is_finite() || self.tau < 0.0 {
+            return Err(SitFactError::InvalidConfig(format!(
+                "prominence threshold τ must be finite and non-negative, got {}",
+                self.tau
+            )));
+        }
+        if self.keep_top == Some(0) {
+            return Err(SitFactError::InvalidConfig(
+                "keep_top = 0 would drop every ranked fact; use None to keep all".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
 /// Owns the table, the context-cardinality counter and a discovery algorithm,
 /// and produces one [`ArrivalReport`] per ingested tuple.
 ///
+/// All ingest entry points live on the [`StreamMonitor`] trait, which this
+/// type implements — bring it into scope to feed the monitor.
+///
 /// ```
 /// use sitfact_core::{Direction, SchemaBuilder, DiscoveryConfig};
 /// use sitfact_algos::SBottomUp;
-/// use sitfact_prominence::{FactMonitor, MonitorConfig};
+/// use sitfact_prominence::{FactMonitor, MonitorConfig, StreamMonitor};
 ///
 /// let schema = SchemaBuilder::new("gamelog")
 ///     .dimension("player").dimension("team")
@@ -87,7 +136,16 @@ pub struct FactMonitor<A: Discovery> {
 
 impl<A: Discovery> FactMonitor<A> {
     /// Creates a monitor over an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` violates [`MonitorConfig::validate`] (NaN or
+    /// negative `τ`, zero `keep_top`) — the builders reject these up front,
+    /// so only field-by-field construction can reach this.
     pub fn new(schema: Schema, algorithm: A, config: MonitorConfig) -> Self {
+        if let Err(err) = config.validate() {
+            panic!("FactMonitor::new: {err}");
+        }
         let d_hat = config.discovery.effective_d_hat(&schema);
         let counter = ContextCounter::new(schema.num_dimensions(), d_hat);
         FactMonitor {
@@ -106,85 +164,6 @@ impl<A: Discovery> FactMonitor<A> {
     /// The underlying algorithm (read access, e.g. for statistics).
     pub fn algorithm(&self) -> &A {
         &self.algorithm
-    }
-
-    /// The monitor configuration.
-    pub fn config(&self) -> &MonitorConfig {
-        &self.config
-    }
-
-    /// Interns a raw row against the monitor's schema and validates it,
-    /// without ingesting — the encoding half of [`FactMonitor::ingest_raw`],
-    /// for callers assembling a window for [`FactMonitor::ingest_batch`].
-    pub fn encode_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<Tuple> {
-        let ids = self.table.schema_mut().intern_dims(dims)?;
-        Tuple::validated(ids, measures, self.table.schema())
-    }
-
-    /// Ingests a tuple given as raw dimension strings plus measures.
-    pub fn ingest_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<ArrivalReport> {
-        let tuple = self.encode_raw(dims, measures)?;
-        self.ingest(tuple)
-    }
-
-    /// Ingests an already-encoded tuple: discovers its facts, appends it to
-    /// the table, and ranks the facts by prominence.
-    ///
-    /// When the discovery config carries an anchor
-    /// ([`DiscoveryConfig::with_anchor`]), facts whose constraint does not
-    /// bind the anchored attribute are dropped *before* ranking — this is the
-    /// constraint space a sharded monitor is provably equivalent over (see
-    /// `sitfact_core::routing`), and the dropped facts never pay the
-    /// cardinality lookups either.
-    pub fn ingest(&mut self, tuple: Tuple) -> Result<ArrivalReport> {
-        let mut pairs = self.algorithm.discover(&self.table, &tuple);
-        self.apply_anchor(&mut pairs);
-        let tuple_id = self.table.append(tuple)?;
-        // The appended row is observed through a zero-copy view — no
-        // materialisation on the per-arrival path.
-        self.counter.observe(self.table.tuple(tuple_id));
-        Ok(self.rank_arrival(tuple_id, pairs))
-    }
-
-    /// Ingests a whole window of arrivals through the batched fast path,
-    /// returning exactly the reports a sequential [`FactMonitor::ingest`]
-    /// loop would produce, in the same order.
-    ///
-    /// The window is appended to the table **once** ([`Table::append_batch`]
-    /// amortises validation, column growth and posting-list maintenance),
-    /// then each arrival is discovered and ranked against its true
-    /// time-ordered prefix: arrival `i` sees only rows `< i` — the discovery
-    /// algorithms receive the arrival's explicit id
-    /// ([`Discovery::discover_at`]) and the ranking truncates any table
-    /// recomputation at that id, even though later rows of the window are
-    /// already physically present.
-    ///
-    /// The batch is all-or-nothing: if any tuple fails validation, no tuple
-    /// of the window is ingested.
-    pub fn ingest_batch(&mut self, tuples: Vec<Tuple>) -> Result<Vec<ArrivalReport>> {
-        self.ingest_batch_slice(&tuples)
-    }
-
-    /// Borrowing form of [`FactMonitor::ingest_batch`]: the window is only
-    /// read (the columnar table copies the values anyway), so callers that
-    /// chunk a long-lived buffer into windows need not clone each chunk.
-    pub fn ingest_batch_slice(&mut self, tuples: &[Tuple]) -> Result<Vec<ArrivalReport>> {
-        if tuples.is_empty() {
-            return Ok(Vec::new());
-        }
-        let first = self.table.next_id();
-        self.table.append_batch_slice(tuples)?;
-        self.algorithm.begin_batch(tuples.len());
-        let mut reports = Vec::with_capacity(tuples.len());
-        for (i, tuple) in tuples.iter().enumerate() {
-            let tuple_id = first + i as TupleId;
-            let mut pairs = self.algorithm.discover_at(&self.table, tuple, tuple_id);
-            self.apply_anchor(&mut pairs);
-            self.counter.observe(self.table.tuple(tuple_id));
-            reports.push(self.rank_arrival(tuple_id, pairs));
-        }
-        self.algorithm.end_batch();
-        Ok(reports)
     }
 
     /// Drops the pairs excluded by the config's anchor restriction (no-op for
@@ -241,16 +220,82 @@ impl<A: Discovery> FactMonitor<A> {
             prominent_count,
         }
     }
+}
 
-    /// Ingests a whole batch through the sequential per-arrival path,
-    /// returning one report per tuple. Prefer [`FactMonitor::ingest_batch`],
-    /// which produces identical reports faster; this loop is kept as the
-    /// ground truth the equivalence property tests compare against.
-    pub fn ingest_all<I: IntoIterator<Item = Tuple>>(
-        &mut self,
-        tuples: I,
-    ) -> Result<Vec<ArrivalReport>> {
-        tuples.into_iter().map(|t| self.ingest(t)).collect()
+impl<A: Discovery> StreamMonitor for FactMonitor<A> {
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn tuple(&self, tuple_id: TupleId) -> Option<TupleRef<'_>> {
+        ((tuple_id as usize) < self.table.len()).then(|| self.table.tuple(tuple_id))
+    }
+
+    fn encode_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<Tuple> {
+        let ids = self.table.schema_mut().intern_dims(dims)?;
+        Tuple::validated(ids, measures, self.table.schema())
+    }
+
+    /// Ingests an already-encoded tuple: discovers its facts, appends it to
+    /// the table, and ranks the facts by prominence.
+    ///
+    /// When the discovery config carries an anchor
+    /// ([`DiscoveryConfig::with_anchor`]), facts whose constraint does not
+    /// bind the anchored attribute are dropped *before* ranking — this is the
+    /// constraint space a sharded monitor is provably equivalent over (see
+    /// `sitfact_core::routing`), and the dropped facts never pay the
+    /// cardinality lookups either.
+    fn ingest(&mut self, tuple: Tuple) -> Result<ArrivalReport> {
+        // Validate before discovery: the algorithms index the tuple's
+        // dimensions and would panic on a wrong-arity row, but an invalid
+        // tuple must surface as an error on every StreamMonitor impl.
+        tuple.validate(self.table.schema())?;
+        let mut pairs = self.algorithm.discover(&self.table, &tuple);
+        self.apply_anchor(&mut pairs);
+        let tuple_id = self.table.append(tuple)?;
+        // The appended row is observed through a zero-copy view — no
+        // materialisation on the per-arrival path.
+        self.counter.observe(self.table.tuple(tuple_id));
+        Ok(self.rank_arrival(tuple_id, pairs))
+    }
+
+    /// Ingests a whole window of arrivals through the batched fast path,
+    /// returning exactly the reports a sequential [`StreamMonitor::ingest`]
+    /// loop would produce, in the same order.
+    ///
+    /// The window is appended to the table **once** ([`Table::append_batch`]
+    /// amortises validation, column growth and posting-list maintenance),
+    /// then each arrival is discovered and ranked against its true
+    /// time-ordered prefix: arrival `i` sees only rows `< i` — the discovery
+    /// algorithms receive the arrival's explicit id
+    /// ([`Discovery::discover_at`]) and the ranking truncates any table
+    /// recomputation at that id, even though later rows of the window are
+    /// already physically present.
+    fn ingest_batch_slice(&mut self, tuples: &[Tuple]) -> Result<Vec<ArrivalReport>> {
+        if tuples.is_empty() {
+            return Ok(Vec::new());
+        }
+        let first = self.table.next_id();
+        self.table.append_batch_slice(tuples)?;
+        self.algorithm.begin_batch(tuples.len());
+        let mut reports = Vec::with_capacity(tuples.len());
+        for (i, tuple) in tuples.iter().enumerate() {
+            let tuple_id = first + i as TupleId;
+            let mut pairs = self.algorithm.discover_at(&self.table, tuple, tuple_id);
+            self.apply_anchor(&mut pairs);
+            self.counter.observe(self.table.tuple(tuple_id));
+            reports.push(self.rank_arrival(tuple_id, pairs));
+        }
+        self.algorithm.end_batch();
+        Ok(reports)
     }
 }
 
@@ -295,8 +340,7 @@ mod tests {
         // The fourth tuple tops everyone on both measures within team X.
         let report = monitor.ingest_raw(&["D", "X"], vec![12.0, 4.0]).unwrap();
         // Constraint team=X, full space: context 4 tuples, skyline {D} -> 4.
-        let team_x =
-            sitfact_core::Constraint::parse(monitor.table().schema(), &[("team", "X")]).unwrap();
+        let team_x = sitfact_core::Constraint::parse(monitor.schema(), &[("team", "X")]).unwrap();
         let full = sitfact_core::SubspaceMask::full(2);
         let fact = report
             .facts
@@ -403,7 +447,7 @@ mod tests {
             // Identical reports: ids, fact order, cardinalities, counts.
             assert_eq!(actual, expected);
         }
-        assert_eq!(batched.table().len(), sequential.table().len());
+        assert_eq!(batched.len(), sequential.len());
     }
 
     #[test]
@@ -419,7 +463,7 @@ mod tests {
         ];
         assert!(monitor.ingest_batch(window).is_err());
         // The invalid window left no trace.
-        assert_eq!(monitor.table().len(), 1);
+        assert_eq!(monitor.len(), 1);
         let report = monitor.ingest_raw(&["B", "X"], vec![2.0, 2.0]).unwrap();
         assert_eq!(report.tuple_id, 1);
     }
@@ -430,14 +474,14 @@ mod tests {
         let algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
         let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default());
         monitor.ingest_raw(&["A", "X"], vec![1.0, 1.0]).unwrap();
-        let len_before = monitor.table().len();
+        let len_before = monitor.len();
         let reports = monitor.ingest_batch(Vec::new()).unwrap();
         assert!(reports.is_empty());
         // A true no-op: nothing appended, nothing observed, and the returned
         // vec is the unallocated `Vec::new()` (capacity 0), so an idle feed
         // polling with empty windows costs nothing.
         assert_eq!(reports.capacity(), 0);
-        assert_eq!(monitor.table().len(), len_before);
+        assert_eq!(monitor.len(), len_before);
         let reports = monitor.ingest_batch_slice(&[]).unwrap();
         assert!(reports.is_empty() && reports.capacity() == 0);
         // The next arrival gets the id it would have had without the empty
@@ -492,11 +536,24 @@ mod tests {
         let t = monitor
             .encode_raw(&["Wesley", "Celtics"], vec![1.0, 2.0])
             .unwrap();
-        assert_eq!(monitor.table().len(), 0);
+        assert_eq!(monitor.len(), 0);
+        assert!(monitor.is_empty());
         assert!(monitor.encode_raw(&["Wesley"], vec![1.0, 2.0]).is_err());
         let reports = monitor.ingest_batch(vec![t]).unwrap();
         assert_eq!(reports.len(), 1);
-        assert_eq!(monitor.table().len(), 1);
+        assert_eq!(monitor.len(), 1);
+    }
+
+    #[test]
+    fn tuple_by_id_resolves_or_declines() {
+        let schema = schema();
+        let algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        let mut monitor = FactMonitor::new(schema, algo, MonitorConfig::default());
+        assert!(monitor.tuple(0).is_none());
+        monitor.ingest_raw(&["A", "X"], vec![3.0, 4.0]).unwrap();
+        let view = monitor.tuple(0).expect("tuple 0 exists");
+        assert_eq!(view.measures(), &[3.0, 4.0]);
+        assert!(monitor.tuple(1).is_none());
     }
 
     #[test]
@@ -510,5 +567,70 @@ mod tests {
             .with_discovery(DiscoveryConfig::capped(2, 2));
         assert_eq!(c.tau, 7.0);
         assert_eq!(c.keep_top, Some(3));
+        assert!(c.validate().is_ok());
+        // τ = 0 is explicitly allowed: every maximal fact is prominent.
+        assert!(MonitorConfig::default().with_tau(0.0).validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn with_tau_rejects_nan() {
+        let _ = MonitorConfig::default().with_tau(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn with_tau_rejects_negative() {
+        let _ = MonitorConfig::default().with_tau(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn with_tau_rejects_infinite() {
+        let _ = MonitorConfig::default().with_tau(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn with_keep_top_rejects_zero() {
+        let _ = MonitorConfig::default().with_keep_top(0);
+    }
+
+    #[test]
+    fn validate_rejects_field_level_violations() {
+        let config = MonitorConfig {
+            tau: f64::NAN,
+            ..MonitorConfig::default()
+        };
+        assert!(matches!(
+            config.validate(),
+            Err(SitFactError::InvalidConfig(_))
+        ));
+        let config = MonitorConfig {
+            tau: -3.0,
+            ..MonitorConfig::default()
+        };
+        assert!(config.validate().is_err());
+        let config = MonitorConfig {
+            keep_top: Some(0),
+            ..MonitorConfig::default()
+        };
+        assert!(matches!(
+            config.validate(),
+            Err(SitFactError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid config: prominence threshold")]
+    fn fact_monitor_new_rejects_invalid_config() {
+        // Field-level construction bypasses the builder's check on purpose.
+        let config = MonitorConfig {
+            tau: f64::NAN,
+            ..MonitorConfig::default()
+        };
+        let schema = schema();
+        let algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
+        let _ = FactMonitor::new(schema, algo, config);
     }
 }

@@ -19,7 +19,7 @@
 //!
 //! ## Parallelism
 //!
-//! A batched window ([`ShardedMonitor::ingest_batch`]) is partitioned by
+//! A batched window ([`StreamMonitor::ingest_batch`]) is partitioned by
 //! routing value and handed to the shards through a
 //! [`ThreadPool`]: each shard is *moved* into
 //! its task together with its sub-window and moved back with its reports
@@ -34,6 +34,7 @@
 
 use crate::fact::ArrivalReport;
 use crate::monitor::{FactMonitor, MonitorConfig};
+use crate::stream::StreamMonitor;
 use sitfact_algos::Discovery;
 use sitfact_core::pool::ThreadPool;
 use sitfact_core::{
@@ -44,6 +45,11 @@ use std::hash::BuildHasher;
 /// A router over `N` independent [`FactMonitor`] shards, partitioning the
 /// stream by one dimension attribute.
 ///
+/// All ingest entry points live on the [`StreamMonitor`] trait — a sharded
+/// monitor is fed exactly like an unsharded one, which is what lets callers
+/// hold either behind `Box<dyn StreamMonitor>` and make sharding a pure
+/// deployment choice.
+///
 /// The discovery config is anchored on the routing attribute, so the merged
 /// per-arrival reports are identical to an unsharded [`FactMonitor`] running
 /// the same anchored config — that is the routing-soundness restriction
@@ -52,7 +58,7 @@ use std::hash::BuildHasher;
 /// ```
 /// use sitfact_core::{Direction, SchemaBuilder};
 /// use sitfact_algos::STopDown;
-/// use sitfact_prominence::{FactMonitor, MonitorConfig, ShardedMonitor};
+/// use sitfact_prominence::{FactMonitor, MonitorConfig, ShardedMonitor, StreamMonitor};
 ///
 /// let schema = SchemaBuilder::new("gamelog")
 ///     .dimension("player")
@@ -122,6 +128,7 @@ impl<A: Discovery + Send + 'static> ShardedMonitor<A> {
                 "a sharded monitor needs at least one shard".into(),
             ));
         }
+        config.validate()?;
         config.discovery = routing::ensure_routable(config.discovery, &schema, routing_dim)?;
         let shards = (0..num_shards)
             .map(|_| FactMonitor::new(schema.clone(), make_algo(&schema, config.discovery), config))
@@ -154,16 +161,6 @@ impl<A: Discovery + Send + 'static> ShardedMonitor<A> {
         Self::new(schema, dim, num_shards, config, make_algo)
     }
 
-    /// The master schema (grows as raw rows are interned).
-    pub fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    /// The effective (anchored) monitor configuration every shard runs.
-    pub fn config(&self) -> &MonitorConfig {
-        &self.config
-    }
-
     /// Index of the routing dimension attribute.
     pub fn routing_dim(&self) -> usize {
         self.routing_dim
@@ -177,16 +174,6 @@ impl<A: Discovery + Send + 'static> ShardedMonitor<A> {
     /// Read access to the shards (e.g. for per-shard statistics).
     pub fn shards(&self) -> &[FactMonitor<A>] {
         &self.shards
-    }
-
-    /// Total number of tuples ingested across all shards.
-    pub fn len(&self) -> usize {
-        self.locations.len()
-    }
-
-    /// Whether no tuple was ingested yet.
-    pub fn is_empty(&self) -> bool {
-        self.locations.is_empty()
     }
 
     /// The shard that owns `routing_value`. Stable for the monitor's
@@ -203,69 +190,27 @@ impl<A: Discovery + Send + 'static> ShardedMonitor<A> {
         Some((shard as usize, local))
     }
 
-    /// Zero-copy view of a globally-numbered tuple (resolve its dimension
-    /// strings against [`ShardedMonitor::schema`]).
-    pub fn tuple(&self, tuple_id: TupleId) -> Option<TupleRef<'_>> {
-        let (shard, local) = self.locate(tuple_id)?;
-        Some(self.shards[shard].table().tuple(local))
-    }
-
-    /// Interns a raw row against the master schema and validates it, without
-    /// ingesting — for callers assembling a window for
-    /// [`ShardedMonitor::ingest_batch`].
-    pub fn encode_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<Tuple> {
-        let ids = self.schema.intern_dims(dims)?;
-        Tuple::validated(ids, measures, &self.schema)
-    }
-
-    /// Ingests a tuple given as raw dimension strings plus measures.
-    pub fn ingest_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<ArrivalReport> {
-        let tuple = self.encode_raw(dims, measures)?;
-        self.ingest(tuple)
-    }
-
-    /// Routes one already-encoded tuple to its shard and ingests it there,
-    /// returning the report with its global tuple id.
-    pub fn ingest(&mut self, tuple: Tuple) -> Result<ArrivalReport> {
-        self.assert_usable();
-        tuple.validate(&self.schema)?;
-        let routing_value = tuple.dim(self.routing_dim);
-        let shard = self.shard_of(routing_value);
-        let local_id = self.shards[shard].table().next_id();
-        let mut report = self.shards[shard].ingest(tuple)?;
-        debug_assert_eq!(report.tuple_id, local_id);
-        self.check_routing(&report, routing_value);
-        report.tuple_id = self.locations.len() as TupleId;
-        self.locations.push((shard as u32, local_id));
-        Ok(report)
-    }
-
-    /// Ingests a whole window through all shards **in parallel**: the window
-    /// is partitioned by routing value, every shard ingests its sub-window
-    /// through the batched fast path ([`FactMonitor::ingest_batch`]) on the
-    /// pool, and the reports are merged back into global arrival order with
-    /// global tuple ids.
-    ///
-    /// An empty window is a no-op returning an empty vec. Validation is
-    /// all-or-nothing against the master schema before any shard is touched.
-    /// The owned form partitions the window by move — no per-tuple clones on
-    /// the hot path.
-    pub fn ingest_batch(&mut self, tuples: Vec<Tuple>) -> Result<Vec<ArrivalReport>> {
-        self.assert_usable();
-        if tuples.is_empty() {
-            return Ok(Vec::new());
-        }
-        for tuple in &tuples {
-            tuple.validate(&self.schema)?;
-        }
+    /// The shared core of both batch forms: validates and partitions `n`
+    /// owned tuples into per-shard windows (by move — the owned entry point
+    /// pays no clones), then fans out and merges. Validation precedes any
+    /// dispatch, so a failure anywhere leaves every shard untouched
+    /// (all-or-nothing).
+    fn partition_dispatch(
+        &mut self,
+        n: usize,
+        tuples: impl Iterator<Item = Tuple>,
+    ) -> Result<Vec<ArrivalReport>> {
         let n_shards = self.shards.len();
         let mut windows: Vec<Vec<Tuple>> = (0..n_shards).map(|_| Vec::new()).collect();
         let mut positions: Vec<Vec<usize>> = (0..n_shards).map(|_| Vec::new()).collect();
-        // Routing values by global position, read before the tuples move into
-        // their shard windows (the merge's routing-consistency check needs
-        // them after the move).
-        let mut route_values: Vec<DimValueId> = Vec::with_capacity(tuples.len());
-        for (i, tuple) in tuples.into_iter().enumerate() {
+        // Routing values by global position, for the merge's
+        // routing-consistency check.
+        let mut route_values: Vec<DimValueId> = Vec::with_capacity(n);
+        for (i, tuple) in tuples.enumerate() {
+            // Validate before touching the routing dimension (a wrong-arity
+            // tuple may not have one); an error here only drops the local
+            // windows — nothing was ingested yet.
+            tuple.validate(&self.schema)?;
             let value = tuple.dim(self.routing_dim);
             let shard = self.shard_of(value);
             route_values.push(value);
@@ -273,18 +218,6 @@ impl<A: Discovery + Send + 'static> ShardedMonitor<A> {
             positions[shard].push(i);
         }
         self.dispatch_windows(windows, positions, route_values)
-    }
-
-    /// Borrowing form of [`ShardedMonitor::ingest_batch`]: pays one clone per
-    /// tuple (shard windows need owned tuples), so callers chunking a
-    /// long-lived buffer need not clone each chunk themselves.
-    pub fn ingest_batch_slice(&mut self, tuples: &[Tuple]) -> Result<Vec<ArrivalReport>> {
-        if tuples.is_empty() {
-            // Skip the to_vec so the no-op path stays allocation-free.
-            self.assert_usable();
-            return Ok(Vec::new());
-        }
-        self.ingest_batch(tuples.to_vec())
     }
 
     /// Fans pre-validated, pre-partitioned windows out to the shards and
@@ -357,15 +290,6 @@ impl<A: Discovery + Send + 'static> ShardedMonitor<A> {
             .collect())
     }
 
-    /// Ingests a batch through the sequential per-arrival path (no pool) —
-    /// ground truth for the parallel path in tests.
-    pub fn ingest_all<I: IntoIterator<Item = Tuple>>(
-        &mut self,
-        tuples: I,
-    ) -> Result<Vec<ArrivalReport>> {
-        tuples.into_iter().map(|t| self.ingest(t)).collect()
-    }
-
     /// The routing-consistency check of `sitfact_core::routing`: every fact a
     /// shard reports must bind the routing attribute to the arriving tuple's
     /// own value — never to a different shard's value, never leave it
@@ -388,6 +312,82 @@ impl<A: Discovery + Send + 'static> ShardedMonitor<A> {
             !self.shards.is_empty(),
             "ShardedMonitor is poisoned: a shard panicked during an earlier parallel ingest"
         );
+    }
+}
+
+impl<A: Discovery + Send + 'static> StreamMonitor for ShardedMonitor<A> {
+    /// The master schema (grows as raw rows are interned).
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The effective (anchored) monitor configuration every shard runs.
+    fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Total number of tuples ingested across all shards.
+    fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Zero-copy view of a globally-numbered tuple (resolve its dimension
+    /// strings against [`StreamMonitor::schema`]).
+    fn tuple(&self, tuple_id: TupleId) -> Option<TupleRef<'_>> {
+        let (shard, local) = self.locate(tuple_id)?;
+        Some(self.shards[shard].table().tuple(local))
+    }
+
+    fn encode_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<Tuple> {
+        let ids = self.schema.intern_dims(dims)?;
+        Tuple::validated(ids, measures, &self.schema)
+    }
+
+    /// Routes one already-encoded tuple to its shard and ingests it there,
+    /// returning the report with its global tuple id.
+    fn ingest(&mut self, tuple: Tuple) -> Result<ArrivalReport> {
+        self.assert_usable();
+        tuple.validate(&self.schema)?;
+        let routing_value = tuple.dim(self.routing_dim);
+        let shard = self.shard_of(routing_value);
+        let local_id = self.shards[shard].table().next_id();
+        let mut report = self.shards[shard].ingest(tuple)?;
+        debug_assert_eq!(report.tuple_id, local_id);
+        self.check_routing(&report, routing_value);
+        report.tuple_id = self.locations.len() as TupleId;
+        self.locations.push((shard as u32, local_id));
+        Ok(report)
+    }
+
+    /// Ingests a whole window through all shards **in parallel**: the window
+    /// is partitioned by routing value (one clone per tuple — shard windows
+    /// need owned tuples; callers holding an owned window should prefer
+    /// [`StreamMonitor::ingest_batch`], which partitions by move), every
+    /// shard ingests its sub-window through the batched fast path on the
+    /// pool, and the reports are merged back into global arrival order with
+    /// global tuple ids.
+    ///
+    /// An empty window is a no-op returning an empty vec. Validation is
+    /// all-or-nothing against the master schema before any shard is touched.
+    fn ingest_batch_slice(&mut self, tuples: &[Tuple]) -> Result<Vec<ArrivalReport>> {
+        self.assert_usable();
+        if tuples.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.partition_dispatch(tuples.len(), tuples.iter().cloned())
+    }
+
+    /// Overrides the provided slice-forwarding default: an owned window is
+    /// partitioned **by move**, so the hot path (e.g. the TCP server's
+    /// `INGEST_BATCH`) pays zero per-tuple clones. Both forms share
+    /// `partition_dispatch`; only the iterator differs.
+    fn ingest_batch(&mut self, tuples: Vec<Tuple>) -> Result<Vec<ArrivalReport>> {
+        self.assert_usable();
+        if tuples.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = tuples.len();
+        self.partition_dispatch(n, tuples.into_iter())
     }
 }
 
@@ -478,6 +478,25 @@ mod tests {
         assert_eq!(monitor.config().discovery.anchor_dim, Some(1));
         assert_eq!(monitor.num_shards(), 3);
         assert_eq!(monitor.routing_dim(), 1);
+    }
+
+    #[test]
+    fn construction_validates_monitor_config() {
+        // An invalid MonitorConfig is rejected with an error, not a panic,
+        // because ShardedMonitor::new is already fallible.
+        let config = MonitorConfig {
+            tau: f64::NAN,
+            ..MonitorConfig::default()
+        };
+        assert!(matches!(
+            ShardedMonitor::new(schema(), 1, 2, config, STopDown::new),
+            Err(SitFactError::InvalidConfig(_))
+        ));
+        let config = MonitorConfig {
+            keep_top: Some(0),
+            ..MonitorConfig::default()
+        };
+        assert!(ShardedMonitor::new(schema(), 1, 2, config, STopDown::new).is_err());
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! The [`StreamMonitor`] trait: one ingest surface for every monitor.
+//!
+//! [`FactMonitor`](crate::FactMonitor) and
+//! [`ShardedMonitor`](crate::ShardedMonitor) grew near-duplicate families of
+//! ingest entry points (`ingest`, `ingest_raw`, `ingest_batch`,
+//! `ingest_batch_slice`, `ingest_all`), which meant nothing generic — a
+//! network front-end, a bench driver, an example, a property test — could
+//! hold "some monitor" without committing to a concrete type. This trait is
+//! that missing abstraction: the monitors implement a small required core
+//! (encode, per-arrival ingest, batched slice ingest, plus read access to
+//! schema/config/size), and every convenience form is a *provided* method
+//! with one shared definition.
+//!
+//! The trait is deliberately **object-safe**: `Box<dyn StreamMonitor>` is the
+//! type the [`sitfact-serve`](https://docs.rs/sitfact-serve) TCP front-end
+//! serves, so whether a deployment runs sharded or unsharded is a
+//! construction-time config choice, not a code path.
+
+use crate::fact::ArrivalReport;
+use crate::monitor::MonitorConfig;
+use sitfact_core::{Result, Schema, Tuple, TupleId, TupleRef};
+
+/// A monitor that turns a stream of tuples into per-arrival fact reports.
+///
+/// Required methods are the minimal core each implementation must own (the
+/// batched slice form is required rather than the owned form because the
+/// columnar tables copy values out of the window anyway — borrowing is the
+/// fundamental operation, owning is the convenience). Everything else is
+/// provided once, so all monitors expose the same surface with the same
+/// semantics.
+///
+/// The trait is object-safe; generic drivers take `&mut dyn StreamMonitor`:
+///
+/// ```
+/// use sitfact_core::{Direction, DiscoveryConfig, SchemaBuilder};
+/// use sitfact_algos::STopDown;
+/// use sitfact_prominence::{FactMonitor, MonitorConfig, ShardedMonitor, StreamMonitor};
+///
+/// fn feed(monitor: &mut dyn StreamMonitor) -> usize {
+///     monitor.ingest_raw(&["Wesley", "Celtics"], vec![12.0]).unwrap();
+///     monitor.ingest_raw(&["Sherman", "Hawks"], vec![9.0]).unwrap();
+///     monitor.len()
+/// }
+///
+/// let schema = SchemaBuilder::new("gamelog")
+///     .dimension("player")
+///     .dimension("team")
+///     .measure("points", Direction::HigherIsBetter)
+///     .build()
+///     .unwrap();
+/// let config = MonitorConfig::default().with_tau(1.0);
+/// let mut flat: Box<dyn StreamMonitor> = Box::new(FactMonitor::new(
+///     schema.clone(),
+///     STopDown::new(&schema, config.discovery),
+///     config,
+/// ));
+/// let mut sharded: Box<dyn StreamMonitor> =
+///     Box::new(ShardedMonitor::by_attribute(schema, "team", 2, config, STopDown::new).unwrap());
+/// assert_eq!(feed(flat.as_mut()), 2);
+/// assert_eq!(feed(sharded.as_mut()), 2);
+/// ```
+pub trait StreamMonitor {
+    /// The schema the monitor ingests against (grows as raw rows intern new
+    /// dimension values).
+    fn schema(&self) -> &Schema;
+
+    /// The monitor configuration (for a sharded monitor: the effective,
+    /// anchored configuration every shard runs).
+    fn config(&self) -> &MonitorConfig;
+
+    /// Number of tuples ingested so far.
+    fn len(&self) -> usize;
+
+    /// Zero-copy view of an ingested tuple by its (global) id, or `None` if
+    /// no such tuple was ingested yet.
+    fn tuple(&self, tuple_id: TupleId) -> Option<TupleRef<'_>>;
+
+    /// Interns a raw row against [`StreamMonitor::schema`] and validates it,
+    /// without ingesting — the encoding half of [`StreamMonitor::ingest_raw`],
+    /// for callers assembling a window for [`StreamMonitor::ingest_batch`].
+    fn encode_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<Tuple>;
+
+    /// Ingests one already-encoded tuple and reports its ranked facts.
+    fn ingest(&mut self, tuple: Tuple) -> Result<ArrivalReport>;
+
+    /// Ingests a whole window of arrivals through the implementation's
+    /// batched fast path, returning exactly the reports a sequential
+    /// [`StreamMonitor::ingest`] loop would produce, in the same order.
+    ///
+    /// The window is only read (the columnar tables copy the values anyway).
+    /// The batch is all-or-nothing: if any tuple fails validation, no tuple
+    /// of the window is ingested.
+    fn ingest_batch_slice(&mut self, tuples: &[Tuple]) -> Result<Vec<ArrivalReport>>;
+
+    /// Whether no tuple was ingested yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ingests a tuple given as raw dimension strings plus measures.
+    fn ingest_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<ArrivalReport> {
+        let tuple = self.encode_raw(dims, measures)?;
+        self.ingest(tuple)
+    }
+
+    /// Owned-window form of [`StreamMonitor::ingest_batch_slice`] — by
+    /// default a thin wrapper, kept because windows are naturally assembled
+    /// as `Vec<Tuple>`. Implementations whose batching can exploit ownership
+    /// override it (a sharded monitor partitions an owned window by move,
+    /// paying zero per-tuple clones); semantics must stay identical to the
+    /// slice form.
+    fn ingest_batch(&mut self, tuples: Vec<Tuple>) -> Result<Vec<ArrivalReport>> {
+        self.ingest_batch_slice(&tuples)
+    }
+
+    /// Ingests a batch through the sequential per-arrival path, one report
+    /// per tuple. Prefer [`StreamMonitor::ingest_batch`], which produces
+    /// identical reports faster; this loop is the ground truth the
+    /// batch-equivalence tests compare against.
+    fn ingest_all(&mut self, tuples: Vec<Tuple>) -> Result<Vec<ArrivalReport>> {
+        tuples.into_iter().map(|t| self.ingest(t)).collect()
+    }
+}

@@ -1,0 +1,86 @@
+//! Demo / smoke-test server: a synthetic-NBA fact monitor behind the framed
+//! TCP protocol.
+//!
+//! ```text
+//! sitfact_serve [--addr 127.0.0.1:0] [--port-file PATH] [--shards N]
+//!               [--route team] [--tau 100] [--keep-top 16]
+//!               [--dims 5] [--measures 4] [--d-hat 3] [--m-hat 3]
+//!               [--workers 4]
+//! ```
+//!
+//! `--shards 0` (the default) serves an unsharded [`FactMonitor`];
+//! `--shards N` serves a [`ShardedMonitor`] routed on `--route`. Both sit
+//! behind the same `Box<dyn StreamMonitor>`, which is the whole point: the
+//! server code never branches on the deployment shape.
+//!
+//! The bound address is printed to stdout and, with `--port-file`, written
+//! atomically to a file a client can poll — that is how the CI smoke step
+//! finds the ephemeral port. The process exits when a client sends
+//! `SHUTDOWN`.
+
+use sitfact_algos::STopDown;
+use sitfact_core::DiscoveryConfig;
+use sitfact_datagen::nba::nba_schema;
+use sitfact_prominence::{FactMonitor, MonitorConfig, ShardedMonitor, StreamMonitor};
+use sitfact_serve::cli::{flag_value, parsed};
+use sitfact_serve::FactServer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = flag_value(&args, "--addr")
+        .unwrap_or("127.0.0.1:0")
+        .to_string();
+    let port_file = flag_value(&args, "--port-file").map(str::to_string);
+    let shards: usize = parsed(&args, "--shards", 0);
+    let route = flag_value(&args, "--route").unwrap_or("team").to_string();
+    let tau: f64 = parsed(&args, "--tau", 100.0);
+    let keep_top: usize = parsed(&args, "--keep-top", 16);
+    let dims: usize = parsed(&args, "--dims", 5);
+    let measures: usize = parsed(&args, "--measures", 4);
+    let d_hat: usize = parsed(&args, "--d-hat", 3);
+    let m_hat: usize = parsed(&args, "--m-hat", 3);
+    let workers: usize = parsed(&args, "--workers", FactServer::DEFAULT_WORKERS);
+
+    let schema = nba_schema(dims, measures);
+    let discovery = DiscoveryConfig::capped(d_hat, m_hat);
+    let config = MonitorConfig::default()
+        .with_discovery(discovery)
+        .with_tau(tau)
+        .with_keep_top(keep_top);
+
+    // The one place the deployment shape is decided; everything downstream
+    // of this Box is shape-agnostic.
+    let monitor: Box<dyn StreamMonitor + Send> = if shards == 0 {
+        Box::new(FactMonitor::new(
+            schema.clone(),
+            STopDown::new(&schema, discovery),
+            config,
+        ))
+    } else {
+        Box::new(ShardedMonitor::by_attribute(
+            schema,
+            &route,
+            shards,
+            config,
+            STopDown::new,
+        )?)
+    };
+
+    let server = FactServer::bind_with_workers(addr.as_str(), monitor, workers)?;
+    let bound = server.local_addr();
+    let shape = if shards == 0 {
+        "unsharded".to_string()
+    } else {
+        format!("sharded×{shards} by {route}")
+    };
+    println!("sitfact-serve listening on {bound} ({shape}, τ={tau}, keep_top={keep_top})");
+    if let Some(path) = port_file {
+        // Write-then-rename so a polling client never reads a torn address.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, bound.to_string())?;
+        std::fs::rename(&tmp, &path)?;
+    }
+    server.run()?;
+    println!("sitfact-serve: shutdown requested, exiting");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Minimal `--flag value` argument parsing shared by the demo binaries
+//! (`sitfact_serve`, `sitfact_client`). Deliberately tiny: unknown flags are
+//! ignored, a flag given without a value is treated as absent, and an
+//! unparsable value panics with the flag name (a smoke-test binary should
+//! fail loudly, not fall back to a default silently).
+
+/// Returns the value following `--name`, if present.
+pub fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses the value of `--name`, or returns `default` when the flag is
+/// absent.
+///
+/// # Panics
+///
+/// Panics if the flag is present but its value does not parse as `T`.
+pub fn parsed<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag_value(args, name) {
+        None => default,
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}: cannot parse {raw:?}")),
+    }
+}
+
+/// Whether the bare flag `--name` is present.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_with_defaults() {
+        let argv = args(&["--n", "12", "--verbose", "--name", "x"]);
+        assert_eq!(parsed(&argv, "--n", 5usize), 12);
+        assert_eq!(parsed(&argv, "--missing", 5usize), 5);
+        assert_eq!(flag_value(&argv, "--name"), Some("x"));
+        assert_eq!(flag_value(&argv, "--absent"), None);
+        assert!(has_flag(&argv, "--verbose"));
+        assert!(!has_flag(&argv, "--quiet"));
+        // A flag at the end without a value reads as absent.
+        assert_eq!(flag_value(&args(&["--n"]), "--n"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--n: cannot parse")]
+    fn unparsable_value_panics_with_the_flag_name() {
+        let _ = parsed(&args(&["--n", "many"]), "--n", 0usize);
+    }
+}

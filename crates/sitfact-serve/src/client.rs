@@ -1,0 +1,102 @@
+//! The blocking client: a typed veneer over the wire protocol.
+
+use crate::error::ServeError;
+use crate::protocol::{read_frame, write_frame, RawRow, Request, Response, ServerStats};
+use sitfact_prominence::ArrivalReport;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a [`FactServer`](crate::FactServer).
+///
+/// One request is in flight at a time; every method writes a frame and blocks
+/// for the matching response frame. Reports come back **byte-identical** to
+/// what the server-side monitor produced (the e2e test pins this with `==`
+/// against an in-process monitor).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One request → response round trip.
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.writer, &request.encode()?)?;
+        self.writer.flush()?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ServeError::Protocol("server closed the connection mid-request".into())
+        })?;
+        match Response::decode(&payload)? {
+            Response::Error { kind, message } => Err(ServeError::Remote { kind, message }),
+            response => Ok(response),
+        }
+    }
+
+    fn unexpected(what: &str, got: &Response) -> ServeError {
+        ServeError::Protocol(format!("expected {what}, got {got:?}"))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(Self::unexpected("PONG", &other)),
+        }
+    }
+
+    /// Monitor statistics.
+    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(Self::unexpected("STATS", &other)),
+        }
+    }
+
+    /// Ingests one row and returns its ranked-fact report.
+    pub fn ingest(&mut self, dims: &[&str], measures: &[f64]) -> Result<ArrivalReport, ServeError> {
+        match self.roundtrip(&Request::Ingest(RawRow::new(dims, measures)))? {
+            Response::Report(report) => Ok(report),
+            other => Err(Self::unexpected("REPORT", &other)),
+        }
+    }
+
+    /// Ingests a window of rows through the server's batched fast path,
+    /// returning one report per row in submission order.
+    pub fn ingest_batch(&mut self, rows: Vec<RawRow>) -> Result<Vec<ArrivalReport>, ServeError> {
+        let expected = rows.len();
+        match self.roundtrip(&Request::IngestBatch(rows))? {
+            Response::Reports(reports) if reports.len() == expected => Ok(reports),
+            Response::Reports(reports) => Err(ServeError::Protocol(format!(
+                "sent {expected} rows but received {} reports",
+                reports.len()
+            ))),
+            other => Err(Self::unexpected("REPORTS", &other)),
+        }
+    }
+
+    /// The top-`k` prefix of the most recent arrival's report.
+    pub fn top_k(&mut self, k: usize) -> Result<ArrivalReport, ServeError> {
+        match self.roundtrip(&Request::TopK(k))? {
+            Response::Report(report) => Ok(report),
+            other => Err(Self::unexpected("REPORT", &other)),
+        }
+    }
+
+    /// Asks the server to exit its accept loop; the connection closes after
+    /// the acknowledgement.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(Self::unexpected("BYE", &other)),
+        }
+    }
+}

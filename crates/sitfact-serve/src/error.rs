@@ -1,0 +1,97 @@
+//! Error type shared by the client, the server and the protocol codec.
+
+use sitfact_core::SitFactError;
+use std::fmt;
+
+/// Everything that can go wrong speaking the wire protocol.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket or stream failed.
+    Io(std::io::Error),
+    /// A frame or payload violated the grammar (either side).
+    Protocol(String),
+    /// The server executed the request and reported an error. For monitor
+    /// errors `kind` is the `SitFactError` variant name (`InvalidTuple`, …);
+    /// the server also uses `Protocol` (malformed request) and `State`
+    /// (e.g. `TOPK` before any arrival).
+    Remote {
+        /// Error class name as sent on the wire.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(err) => write!(f, "I/O error: {err}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Remote { kind, message } => {
+                write!(f, "server rejected the request ({kind}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(err: std::io::Error) -> Self {
+        ServeError::Io(err)
+    }
+}
+
+/// The wire name of a [`SitFactError`] variant — the `kind` field of an `ERR`
+/// response, stable across releases so clients can match on it.
+pub fn error_kind(err: &SitFactError) -> &'static str {
+    match err {
+        SitFactError::InvalidSchema(_) => "InvalidSchema",
+        SitFactError::InvalidTuple(_) => "InvalidTuple",
+        SitFactError::InvalidConstraint(_) => "InvalidConstraint",
+        SitFactError::InvalidSubspace(_) => "InvalidSubspace",
+        SitFactError::InvalidConfig(_) => "InvalidConfig",
+        SitFactError::Io(_) => "Io",
+        SitFactError::Parse(_) => "Parse",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_class() {
+        let err = ServeError::Protocol("bad frame".into());
+        assert!(err.to_string().contains("protocol error"));
+        let err = ServeError::Remote {
+            kind: "InvalidTuple".into(),
+            message: "arity".into(),
+        };
+        assert!(err.to_string().contains("InvalidTuple"));
+        let err: ServeError = std::io::Error::other("boom").into();
+        assert!(matches!(err, ServeError::Io(_)));
+    }
+
+    #[test]
+    fn every_sitfact_variant_has_a_wire_kind() {
+        let variants = [
+            SitFactError::InvalidSchema(String::new()),
+            SitFactError::InvalidTuple(String::new()),
+            SitFactError::InvalidConstraint(String::new()),
+            SitFactError::InvalidSubspace(String::new()),
+            SitFactError::InvalidConfig(String::new()),
+            SitFactError::Io(String::new()),
+            SitFactError::Parse(String::new()),
+        ];
+        let kinds: std::collections::HashSet<_> = variants.iter().map(error_kind).collect();
+        assert_eq!(kinds.len(), variants.len());
+    }
+}

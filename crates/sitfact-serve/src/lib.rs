@@ -1,0 +1,38 @@
+//! # sitfact-serve
+//!
+//! A TCP service front-end for the fact monitors — the paper's deployment
+//! story (a news organisation continuously feeds box scores / forecasts /
+//! ticks into the monitor and receives ranked situational facts per arrival)
+//! as an actual network service.
+//!
+//! * [`FactServer`] serves **any** `Box<dyn StreamMonitor + Send>` — sharded
+//!   vs unsharded is a construction-time flag of whoever builds the monitor,
+//!   never a code path in here. Connections are handled on the vendored
+//!   [`ThreadPool`](sitfact_core::pool::ThreadPool); there is no async
+//!   runtime in this offline workspace (no tokio), and the monitor is a
+//!   single mutable resource anyway, so blocking workers + a mutex is the
+//!   honest architecture.
+//! * [`Client`] is the matching blocking client; reports it returns are
+//!   byte-identical to what the server-side monitor produced.
+//! * [`protocol`] defines the wire format: length-prefixed frames around a
+//!   small TAB/LF text grammar (`PING` / `STATS` / `TOPK` / `INGEST` /
+//!   `INGEST_BATCH` / `SHUTDOWN`) — see the module docs for the full
+//!   grammar, also reproduced in the repository's ROADMAP.
+//!
+//! The crate ships two demo binaries: `sitfact_serve` (stand up a server
+//! over a synthetic-NBA monitor) and `sitfact_client` (stream rows into it
+//! and print a summary) — together they form the CI smoke test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use error::ServeError;
+pub use protocol::{RawRow, Request, Response, ServerStats};
+pub use server::{FactServer, ServerHandle};

@@ -1,0 +1,742 @@
+//! The wire protocol: length-prefixed frames carrying a small line-oriented
+//! text grammar.
+//!
+//! ## Framing
+//!
+//! Every message (request or response) is one **frame**: a `u32` little-endian
+//! payload length followed by that many bytes of UTF-8 text. Frames are
+//! self-delimiting, so a connection can pipeline messages back to back; the
+//! length prefix is capped at [`MAX_FRAME_LEN`] to bound a malicious or
+//! corrupt peer's allocation.
+//!
+//! ## Grammar
+//!
+//! Inside a frame, fields are TAB-separated and records are LF-separated
+//! (which is why raw dimension strings may not contain TAB, LF or CR):
+//!
+//! ```text
+//! request  := "PING" | "STATS" | "SHUTDOWN"
+//!           | "TOPK" TAB k
+//!           | "INGEST" TAB row
+//!           | "INGEST_BATCH" TAB count (LF row)*
+//! row      := ndims TAB nmeasures TAB dim* TAB measure*
+//!
+//! response := "PONG" | "BYE"
+//!           | "STATS" TAB len TAB tau TAB keep_top TAB anchor TAB schema
+//!           | "REPORT" LF report
+//!           | "REPORTS" TAB count (LF report)*
+//!           | "ERR" TAB kind TAB message
+//! report   := "R" TAB tuple_id TAB prominent_count TAB nfacts (LF fact)*
+//! fact     := "F" TAB context TAB skyline TAB subspace_bits TAB values
+//! values   := value ("," value)*          ; constraint values, "_" = unbound
+//! ```
+//!
+//! Measures travel as Rust's shortest-round-trip `f64` rendering, so a report
+//! decoded by the client is **byte-identical** to the [`ArrivalReport`] the
+//! server-side monitor produced — the end-to-end equivalence test in this
+//! crate asserts exactly that with `==`.
+
+use crate::error::ServeError;
+use bytes::{Buf, BufMut, BytesMut};
+use sitfact_core::{Constraint, SkylinePair, SubspaceMask, UNBOUND};
+use sitfact_prominence::{ArrivalReport, RankedFact};
+use std::io::{ErrorKind, Read, Write};
+
+/// Upper bound on a frame's payload length (64 MiB): far above any real
+/// window, low enough that a corrupt length prefix cannot trigger a giant
+/// allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Cap on what a declared wire count (batch rows, report facts) may
+/// *pre-allocate*. Counts are untrusted until the records are actually
+/// parsed — a 25-byte frame declaring a billion rows must not reserve
+/// gigabytes (a failed allocation aborts the process, which no
+/// `catch_unwind` can stop). Larger payloads still decode fine; the vector
+/// just grows normally past this reservation.
+const MAX_PREALLOC: usize = 4096;
+
+/// Writes one frame: `u32` LE payload length, then the payload bytes.
+///
+/// Payloads over [`MAX_FRAME_LEN`] are rejected with `InvalidInput` before
+/// anything hits the wire: the receiver would refuse the frame anyway, and
+/// past `u32::MAX` the length prefix would silently wrap and desynchronise
+/// the stream.
+pub fn write_frame(writer: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                bytes.len()
+            ),
+        ));
+    }
+    let mut frame = BytesMut::with_capacity(4 + bytes.len());
+    frame.put_u32_le(bytes.len() as u32);
+    frame.put_slice(bytes);
+    // One write_all for the whole frame, so a concurrent peer never observes
+    // a header without its payload mid-buffer.
+    writer.write_all(&frame)
+}
+
+/// Reads one frame's payload. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection).
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<String>, ServeError> {
+    let mut header = [0u8; 4];
+    match reader.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = (&header[..]).get_u32_le() as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ServeError::Protocol(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| ServeError::Protocol(format!("frame payload is not UTF-8: {e}")))
+}
+
+/// One raw row as the client submits it: dimension strings plus measures,
+/// interned and validated by the server against its schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawRow {
+    /// Raw dimension values (must not contain TAB, LF or CR — see the module
+    /// grammar).
+    pub dims: Vec<String>,
+    /// Measure values.
+    pub measures: Vec<f64>,
+}
+
+impl RawRow {
+    /// Builds a row from borrowed dimension strings and measures.
+    pub fn new(dims: &[&str], measures: &[f64]) -> Self {
+        RawRow {
+            dims: dims.iter().map(|d| d.to_string()).collect(),
+            measures: measures.to_vec(),
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Monitor statistics; answered with [`Response::Stats`].
+    Stats,
+    /// The top-`k` prefix of the most recent arrival's report; answered with
+    /// [`Response::Report`].
+    TopK(usize),
+    /// Ingest one row; answered with [`Response::Report`].
+    Ingest(RawRow),
+    /// Ingest a window of rows through the batched fast path; answered with
+    /// [`Response::Reports`], one report per row in submission order.
+    IngestBatch(Vec<RawRow>),
+    /// Ask the server to stop accepting connections and exit its accept
+    /// loop; answered with [`Response::Bye`], then the connection closes.
+    Shutdown,
+}
+
+/// Server statistics reported by [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Number of tuples ingested so far.
+    pub len: u64,
+    /// The monitor's prominence threshold `τ`.
+    pub tau: f64,
+    /// The monitor's per-arrival fact retention cap, if any.
+    pub keep_top: Option<u64>,
+    /// The discovery config's anchored dimension, if any (set for sharded
+    /// deployments).
+    pub anchor_dim: Option<u64>,
+    /// Name of the schema the server ingests against.
+    pub schema: String,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Acknowledgement of [`Request::Shutdown`].
+    Bye,
+    /// Answer to [`Request::Stats`].
+    Stats(ServerStats),
+    /// One arrival's report.
+    Report(ArrivalReport),
+    /// One report per row of a batched window, in submission order.
+    Reports(Vec<ArrivalReport>),
+    /// The request failed; `kind` names the error class (a
+    /// `SitFactError` variant for monitor errors, `Protocol` / `State` for
+    /// server-side ones) and `message` is human-readable detail.
+    Error {
+        /// Error class name.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn check_dim(dim: &str) -> Result<(), ServeError> {
+    if dim.contains(['\t', '\n', '\r']) {
+        return Err(ServeError::Protocol(format!(
+            "dimension value {dim:?} contains a TAB/LF/CR, which the line grammar reserves"
+        )));
+    }
+    Ok(())
+}
+
+fn encode_row_into(row: &RawRow, out: &mut String) -> Result<(), ServeError> {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{}\t{}", row.dims.len(), row.measures.len());
+    for dim in &row.dims {
+        check_dim(dim)?;
+        out.push('\t');
+        out.push_str(dim);
+    }
+    for measure in &row.measures {
+        let _ = write!(out, "\t{measure}");
+    }
+    Ok(())
+}
+
+fn decode_row(fields: &[&str]) -> Result<RawRow, ServeError> {
+    let bad = |why: &str| ServeError::Protocol(format!("malformed row: {why}"));
+    if fields.len() < 2 {
+        return Err(bad("missing the ndims/nmeasures header"));
+    }
+    let ndims: usize = fields[0].parse().map_err(|_| bad("ndims is not a count"))?;
+    let nmeasures: usize = fields[1]
+        .parse()
+        .map_err(|_| bad("nmeasures is not a count"))?;
+    if fields.len() != 2 + ndims + nmeasures {
+        return Err(bad(&format!(
+            "expected {} fields after the header, got {}",
+            ndims + nmeasures,
+            fields.len() - 2
+        )));
+    }
+    let dims = fields[2..2 + ndims].iter().map(|s| s.to_string()).collect();
+    let measures = fields[2 + ndims..]
+        .iter()
+        .map(|s| s.parse::<f64>().map_err(|_| bad("unparseable measure")))
+        .collect::<Result<_, _>>()?;
+    Ok(RawRow { dims, measures })
+}
+
+impl Request {
+    /// Renders the request as a frame payload.
+    pub fn encode(&self) -> Result<String, ServeError> {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match self {
+            Request::Ping => out.push_str("PING"),
+            Request::Stats => out.push_str("STATS"),
+            Request::Shutdown => out.push_str("SHUTDOWN"),
+            Request::TopK(k) => {
+                let _ = write!(out, "TOPK\t{k}");
+            }
+            Request::Ingest(row) => {
+                out.push_str("INGEST\t");
+                encode_row_into(row, &mut out)?;
+            }
+            Request::IngestBatch(rows) => {
+                let _ = write!(out, "INGEST_BATCH\t{}", rows.len());
+                for row in rows {
+                    out.push('\n');
+                    encode_row_into(row, &mut out)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses a frame payload into a request.
+    pub fn decode(payload: &str) -> Result<Request, ServeError> {
+        let bad = |why: String| ServeError::Protocol(why);
+        let mut lines = payload.split('\n');
+        let head = lines.next().unwrap_or("");
+        let fields: Vec<&str> = head.split('\t').collect();
+        let extra_lines_forbidden = |kind: &str| -> Result<(), ServeError> {
+            if payload.contains('\n') {
+                return Err(bad(format!("{kind} must be a single line")));
+            }
+            Ok(())
+        };
+        let bare = |kind: &str| -> Result<(), ServeError> {
+            extra_lines_forbidden(kind)?;
+            if fields.len() != 1 {
+                return Err(bad(format!("{kind} takes no fields")));
+            }
+            Ok(())
+        };
+        match fields[0] {
+            "PING" => {
+                bare("PING")?;
+                Ok(Request::Ping)
+            }
+            "STATS" => {
+                bare("STATS")?;
+                Ok(Request::Stats)
+            }
+            "SHUTDOWN" => {
+                bare("SHUTDOWN")?;
+                Ok(Request::Shutdown)
+            }
+            "TOPK" => {
+                extra_lines_forbidden("TOPK")?;
+                if fields.len() != 2 {
+                    return Err(bad("TOPK takes exactly one field".into()));
+                }
+                let k = fields[1]
+                    .parse()
+                    .map_err(|_| bad("TOPK count is not a number".into()))?;
+                Ok(Request::TopK(k))
+            }
+            "INGEST" => {
+                extra_lines_forbidden("INGEST")?;
+                Ok(Request::Ingest(decode_row(&fields[1..])?))
+            }
+            "INGEST_BATCH" => {
+                if fields.len() != 2 {
+                    return Err(bad("INGEST_BATCH header takes exactly one field".into()));
+                }
+                let count: usize = fields[1]
+                    .parse()
+                    .map_err(|_| bad("INGEST_BATCH count is not a number".into()))?;
+                let mut rows = Vec::with_capacity(count.min(MAX_PREALLOC));
+                for line in lines {
+                    // Bail the moment the declared count is exceeded — the
+                    // request is already known-invalid, so the remaining
+                    // (possibly megabytes of) rows are never parsed.
+                    if rows.len() == count {
+                        return Err(bad(format!(
+                            "INGEST_BATCH declared {count} rows but carried more"
+                        )));
+                    }
+                    let fields: Vec<&str> = line.split('\t').collect();
+                    rows.push(decode_row(&fields)?);
+                }
+                if rows.len() != count {
+                    return Err(bad(format!(
+                        "INGEST_BATCH declared {count} rows but carried {}",
+                        rows.len()
+                    )));
+                }
+                Ok(Request::IngestBatch(rows))
+            }
+            verb => Err(bad(format!("unknown request verb {verb:?}"))),
+        }
+    }
+}
+
+fn encode_report_into(report: &ArrivalReport, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "R\t{}\t{}\t{}",
+        report.tuple_id,
+        report.prominent_count,
+        report.facts.len()
+    );
+    for fact in &report.facts {
+        let _ = write!(
+            out,
+            "\nF\t{}\t{}\t{}\t",
+            fact.context_size, fact.skyline_size, fact.pair.subspace.0
+        );
+        for (i, &value) in fact.pair.constraint.values().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if value == UNBOUND {
+                out.push('_');
+            } else {
+                let _ = write!(out, "{value}");
+            }
+        }
+    }
+}
+
+fn decode_report<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+) -> Result<ArrivalReport, ServeError> {
+    let bad = |why: &str| ServeError::Protocol(format!("malformed report: {why}"));
+    let head = lines.next().ok_or_else(|| bad("missing R line"))?;
+    let fields: Vec<&str> = head.split('\t').collect();
+    if fields.len() != 4 || fields[0] != "R" {
+        return Err(bad("R line must be `R id prominent nfacts`"));
+    }
+    let tuple_id = fields[1].parse().map_err(|_| bad("bad tuple id"))?;
+    let prominent_count = fields[2].parse().map_err(|_| bad("bad prominent count"))?;
+    let nfacts: usize = fields[3].parse().map_err(|_| bad("bad fact count"))?;
+    let mut facts = Vec::with_capacity(nfacts.min(MAX_PREALLOC));
+    for _ in 0..nfacts {
+        let line = lines.next().ok_or_else(|| bad("truncated fact list"))?;
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 5 || fields[0] != "F" {
+            return Err(bad("F line must be `F context skyline subspace values`"));
+        }
+        let context_size = fields[1].parse().map_err(|_| bad("bad context size"))?;
+        let skyline_size = fields[2].parse().map_err(|_| bad("bad skyline size"))?;
+        let subspace = SubspaceMask(fields[3].parse().map_err(|_| bad("bad subspace mask"))?);
+        let values = fields[4]
+            .split(',')
+            .map(|v| {
+                if v == "_" {
+                    Ok(UNBOUND)
+                } else {
+                    v.parse().map_err(|_| bad("bad constraint value"))
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        facts.push(RankedFact {
+            pair: SkylinePair::new(Constraint::from_values(values), subspace),
+            context_size,
+            skyline_size,
+        });
+    }
+    if prominent_count > facts.len() {
+        return Err(bad("prominent count exceeds the fact count"));
+    }
+    Ok(ArrivalReport {
+        tuple_id,
+        facts,
+        prominent_count,
+    })
+}
+
+impl Response {
+    /// Renders the response as a frame payload.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match self {
+            Response::Pong => out.push_str("PONG"),
+            Response::Bye => out.push_str("BYE"),
+            Response::Stats(stats) => {
+                let _ = write!(out, "STATS\t{}\t{}\t", stats.len, stats.tau);
+                match stats.keep_top {
+                    Some(k) => {
+                        let _ = write!(out, "{k}");
+                    }
+                    None => out.push('_'),
+                }
+                out.push('\t');
+                match stats.anchor_dim {
+                    Some(d) => {
+                        let _ = write!(out, "{d}");
+                    }
+                    None => out.push('_'),
+                }
+                out.push('\t');
+                // The schema name is free text under SchemaBuilder; flatten
+                // the grammar's reserved characters so a TAB/LF in the name
+                // cannot render the STATS line undecodable (names never
+                // round-trip byte-exactly the way reports must).
+                if stats.schema.contains(['\t', '\n', '\r']) {
+                    out.push_str(&stats.schema.replace(['\t', '\n', '\r'], " "));
+                } else {
+                    out.push_str(&stats.schema);
+                }
+            }
+            Response::Report(report) => {
+                out.push_str("REPORT\n");
+                encode_report_into(report, &mut out);
+            }
+            Response::Reports(reports) => {
+                let _ = write!(out, "REPORTS\t{}", reports.len());
+                for report in reports {
+                    out.push('\n');
+                    encode_report_into(report, &mut out);
+                }
+            }
+            Response::Error { kind, message } => {
+                // The message must stay on one line for the grammar; errors
+                // never round-trip byte-identically, unlike reports.
+                let one_line = message.replace(['\n', '\r'], " ");
+                let _ = write!(out, "ERR\t{kind}\t{one_line}");
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload into a response.
+    pub fn decode(payload: &str) -> Result<Response, ServeError> {
+        let bad = |why: String| ServeError::Protocol(why);
+        let mut lines = payload.split('\n');
+        let head = lines.next().unwrap_or("");
+        let fields: Vec<&str> = head.split('\t').collect();
+        match fields[0] {
+            "PONG" => Ok(Response::Pong),
+            "BYE" => Ok(Response::Bye),
+            "STATS" => {
+                if fields.len() != 6 {
+                    return Err(bad("STATS must carry 5 fields".into()));
+                }
+                let parse_opt = |s: &str, what: &str| -> Result<Option<u64>, ServeError> {
+                    if s == "_" {
+                        Ok(None)
+                    } else {
+                        s.parse()
+                            .map(Some)
+                            .map_err(|_| ServeError::Protocol(format!("bad {what}")))
+                    }
+                };
+                Ok(Response::Stats(ServerStats {
+                    len: fields[1]
+                        .parse()
+                        .map_err(|_| bad("bad STATS length".into()))?,
+                    tau: fields[2].parse().map_err(|_| bad("bad STATS tau".into()))?,
+                    keep_top: parse_opt(fields[3], "STATS keep_top")?,
+                    anchor_dim: parse_opt(fields[4], "STATS anchor")?,
+                    schema: fields[5].to_string(),
+                }))
+            }
+            "REPORT" => Ok(Response::Report(decode_report(&mut lines)?)),
+            "REPORTS" => {
+                if fields.len() != 2 {
+                    return Err(bad("REPORTS header takes exactly one field".into()));
+                }
+                let count: usize = fields[1]
+                    .parse()
+                    .map_err(|_| bad("REPORTS count is not a number".into()))?;
+                let mut reports = Vec::with_capacity(count.min(MAX_PREALLOC));
+                for _ in 0..count {
+                    reports.push(decode_report(&mut lines)?);
+                }
+                if lines.next().is_some() {
+                    return Err(bad("REPORTS carried trailing lines".into()));
+                }
+                Ok(Response::Reports(reports))
+            }
+            "ERR" => {
+                if fields.len() < 3 {
+                    return Err(bad("ERR must carry a kind and a message".into()));
+                }
+                Ok(Response::Error {
+                    kind: fields[1].to_string(),
+                    // The message may itself contain TABs; rejoin the rest.
+                    message: fields[2..].join("\t"),
+                })
+            }
+            verb => Err(bad(format!("unknown response verb {verb:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(values: Vec<u32>, subspace: u32, context: u64, skyline: u64) -> RankedFact {
+        RankedFact {
+            pair: SkylinePair::new(Constraint::from_values(values), SubspaceMask(subspace)),
+            context_size: context,
+            skyline_size: skyline,
+        }
+    }
+
+    fn sample_report() -> ArrivalReport {
+        ArrivalReport {
+            tuple_id: 41,
+            facts: vec![
+                fact(vec![3, UNBOUND, 7], 0b101, 1200, 2),
+                fact(vec![UNBOUND, UNBOUND, 7], 0b001, 9000, 30),
+            ],
+            prominent_count: 1,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "hello\tworld").unwrap();
+        write_frame(&mut wire, "").unwrap();
+        let mut reader = &wire[..];
+        assert_eq!(
+            read_frame(&mut reader).unwrap().as_deref(),
+            Some("hello\tworld")
+        );
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_writing() {
+        let big = "x".repeat(MAX_FRAME_LEN + 1);
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, &big).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidInput);
+        // Nothing reached the wire: the stream stays in sync for the next
+        // (valid) frame.
+        assert!(wire.is_empty());
+    }
+
+    #[test]
+    fn stats_schema_reserved_characters_are_flattened() {
+        let response = Response::Stats(ServerStats {
+            len: 1,
+            tau: 1.0,
+            keep_top: None,
+            anchor_dim: None,
+            schema: "game\tlog\n2026".into(),
+        });
+        let Response::Stats(stats) = Response::decode(&response.encode()).unwrap() else {
+            panic!("wrong verb");
+        };
+        assert_eq!(stats.schema, "game log 2026");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.put_u32_le(u32::MAX);
+        let mut reader = &wire[..];
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let row = RawRow::new(&["Wesley", "Celtics"], &[12.0, 0.5]);
+        let batch = Request::IngestBatch(vec![
+            row.clone(),
+            RawRow::new(&["Sherman", "Hawks"], &[9.25, 3.0]),
+        ]);
+        for request in [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::TopK(7),
+            Request::Ingest(row),
+            batch,
+            Request::IngestBatch(Vec::new()),
+        ] {
+            let payload = request.encode().unwrap();
+            assert_eq!(Request::decode(&payload).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn measures_round_trip_exactly() {
+        // Shortest-round-trip f64 rendering: awkward values survive the wire.
+        let measures = [0.1, 1.0 / 3.0, f64::MAX, 5e-324, -0.0, 123456789.123456];
+        let row = RawRow::new(&["x"], &measures);
+        let payload = Request::Ingest(row.clone()).encode().unwrap();
+        let Request::Ingest(decoded) = Request::decode(&payload).unwrap() else {
+            panic!("wrong verb");
+        };
+        for (sent, got) in row.measures.iter().zip(&decoded.measures) {
+            assert_eq!(sent.to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn reserved_characters_in_dims_are_rejected() {
+        for dim in ["a\tb", "a\nb", "a\rb"] {
+            let row = RawRow::new(&[dim], &[1.0]);
+            assert!(matches!(
+                Request::Ingest(row).encode(),
+                Err(ServeError::Protocol(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for response in [
+            Response::Pong,
+            Response::Bye,
+            Response::Stats(ServerStats {
+                len: 12,
+                tau: 2.5,
+                keep_top: Some(8),
+                anchor_dim: None,
+                schema: "nba_gamelog".into(),
+            }),
+            Response::Report(sample_report()),
+            Response::Reports(vec![sample_report(), sample_report()]),
+            Response::Reports(Vec::new()),
+            Response::Error {
+                kind: "InvalidTuple".into(),
+                message: "wrong arity".into(),
+            },
+        ] {
+            let payload = response.encode();
+            assert_eq!(Response::decode(&payload).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = ArrivalReport {
+            tuple_id: 0,
+            facts: Vec::new(),
+            prominent_count: 0,
+        };
+        let payload = Response::Report(report.clone()).encode();
+        assert_eq!(
+            Response::decode(&payload).unwrap(),
+            Response::Report(report)
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_are_protocol_errors() {
+        for payload in [
+            "",
+            "NOSUCH",
+            "TOPK",
+            "TOPK\tx",
+            "INGEST\t1",
+            "INGEST\t1\t1\ta",                             // field count mismatch
+            "INGEST\t1\t1\ta\tnope",                       // unparseable measure
+            "INGEST_BATCH\t2\n1\t1\ta\t1.0",               // declared 2, carried 1
+            "INGEST_BATCH\t1\n1\t1\ta\t1.0\n1\t1\tb\t2.0", // declared 1, carried 2
+            "PING\textra",
+        ] {
+            assert!(
+                Request::decode(payload).is_err(),
+                "request {payload:?} should be rejected"
+            );
+        }
+        for payload in [
+            "",
+            "NOSUCH",
+            "STATS\t1\t2",
+            "REPORT",
+            "REPORT\nR\t0\t0\t1",                // truncated fact list
+            "REPORT\nR\t0\t2\t1\nF\t1\t1\t1\t0", // prominent > nfacts
+            "REPORTS\t1",
+            "ERR\tonly-kind",
+        ] {
+            assert!(
+                Response::decode(payload).is_err(),
+                "response {payload:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn error_message_newlines_are_flattened() {
+        let response = Response::Error {
+            kind: "Io".into(),
+            message: "line one\nline two".into(),
+        };
+        let payload = response.encode();
+        assert!(!payload.contains('\n'));
+        let Response::Error { message, .. } = Response::decode(&payload).unwrap() else {
+            panic!("wrong verb");
+        };
+        assert_eq!(message, "line one line two");
+    }
+}

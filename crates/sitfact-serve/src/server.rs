@@ -1,0 +1,431 @@
+//! The blocking TCP server: any [`StreamMonitor`] behind a listener.
+//!
+//! The server owns exactly one `Box<dyn StreamMonitor + Send>` — whether that
+//! monitor is a [`FactMonitor`](sitfact_prominence::FactMonitor), a
+//! [`ShardedMonitor`](sitfact_prominence::ShardedMonitor) or anything else is
+//! decided where the server is constructed, never inside it. Connections are
+//! handled on the vendored
+//! [`ThreadPool`] (no async runtime exists in
+//! this offline workspace, and none is needed: the monitor is a single
+//! mutable resource, so requests serialise on its mutex anyway; worker
+//! threads only buy concurrent framing/parsing and keep-alive for many
+//! connections).
+
+use crate::error::error_kind;
+use crate::protocol::{read_frame, write_frame, RawRow, Request, Response, ServerStats};
+use sitfact_core::pool::ThreadPool;
+use sitfact_prominence::{ArrivalReport, StreamMonitor};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything a connection handler needs, shared across workers.
+struct Shared {
+    state: Mutex<ServerState>,
+    running: AtomicBool,
+    addr: SocketAddr,
+    /// One registered clone per live connection, keyed by a connection id.
+    /// Shutdown half-closes them all, so a worker parked in `read_frame` on
+    /// an idle keep-alive peer observes EOF and exits instead of pinning
+    /// `run()`'s pool join forever. Handlers deregister on exit.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    next_connection_id: AtomicU64,
+}
+
+/// The monitor plus the per-server bookkeeping the protocol exposes.
+struct ServerState {
+    monitor: Box<dyn StreamMonitor + Send>,
+    /// Most recent arrival's report, served by `TOPK`.
+    last_report: Option<ArrivalReport>,
+}
+
+/// A handle for stopping a running [`FactServer`] from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Asks the accept loop to exit. Idempotent; returns once the request is
+    /// delivered (the loop itself finishes draining in-flight connections on
+    /// its own thread).
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+}
+
+impl Shared {
+    fn initiate_shutdown(&self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        // Half-close the *read* side of every live connection: workers parked
+        // in `read_frame` on idle peers see EOF and retire, so the pool join
+        // in `run()` cannot hang on a keep-alive client. The write side stays
+        // open, so a request that is still executing (e.g. a batch holding
+        // the monitor mutex) delivers its response before its worker observes
+        // the EOF and exits — in-flight work drains, it is not cut off.
+        if let Ok(connections) = self.connections.lock() {
+            for stream in connections.values() {
+                let _ = stream.shutdown(std::net::Shutdown::Read);
+            }
+        }
+        // The accept loop is blocked in `accept()`; poke it with a throwaway
+        // connection so it observes the cleared flag. Failure is fine — it
+        // means the listener is already gone.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Registers a connection for shutdown half-close; returns its id, or
+    /// `None` if the stream cannot be cloned (the caller should drop it).
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_connection_id.fetch_add(1, Ordering::Relaxed);
+        self.connections.lock().ok()?.insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        if let Ok(mut connections) = self.connections.lock() {
+            connections.remove(&id);
+        }
+    }
+}
+
+/// A blocking TCP front-end over one [`StreamMonitor`].
+///
+/// ```no_run
+/// use sitfact_core::{Direction, SchemaBuilder, DiscoveryConfig};
+/// use sitfact_algos::STopDown;
+/// use sitfact_prominence::{FactMonitor, MonitorConfig, StreamMonitor};
+/// use sitfact_serve::FactServer;
+///
+/// let schema = SchemaBuilder::new("gamelog")
+///     .dimension("player")
+///     .measure("points", Direction::HigherIsBetter)
+///     .build()
+///     .unwrap();
+/// let config = MonitorConfig::default().with_tau(2.0);
+/// let monitor: Box<dyn StreamMonitor + Send> = Box::new(FactMonitor::new(
+///     schema.clone(),
+///     STopDown::new(&schema, config.discovery),
+///     config,
+/// ));
+/// let server = FactServer::bind("127.0.0.1:0", monitor).unwrap();
+/// println!("listening on {}", server.local_addr());
+/// server.run().unwrap(); // blocks until a client sends SHUTDOWN
+/// ```
+pub struct FactServer {
+    listener: TcpListener,
+    pool: ThreadPool,
+    shared: Arc<Shared>,
+}
+
+impl FactServer {
+    /// Default number of connection-handler workers.
+    pub const DEFAULT_WORKERS: usize = 4;
+
+    /// Binds a listener and wraps `monitor` for serving, with
+    /// [`FactServer::DEFAULT_WORKERS`] connection handlers.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        monitor: Box<dyn StreamMonitor + Send>,
+    ) -> std::io::Result<Self> {
+        Self::bind_with_workers(addr, monitor, Self::DEFAULT_WORKERS)
+    }
+
+    /// [`FactServer::bind`] with an explicit worker count: at most `workers`
+    /// connections are serviced concurrently, later ones queue on the pool.
+    pub fn bind_with_workers(
+        addr: impl ToSocketAddrs,
+        monitor: Box<dyn StreamMonitor + Send>,
+        workers: usize,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(FactServer {
+            listener,
+            pool: ThreadPool::new(workers),
+            shared: Arc::new(Shared {
+                state: Mutex::new(ServerState {
+                    monitor,
+                    last_report: None,
+                }),
+                running: AtomicBool::new(true),
+                addr,
+                connections: Mutex::new(HashMap::new()),
+                next_connection_id: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Address the server is listening on (the ephemeral port when bound to
+    /// port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A clonable handle that can stop the accept loop from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Accepts and serves connections until a client sends `SHUTDOWN` (or a
+    /// [`ServerHandle::shutdown`] fires). In-flight connections finish before
+    /// this returns: dropping the pool joins every worker.
+    pub fn run(self) -> std::io::Result<()> {
+        while self.shared.running.load(Ordering::SeqCst) {
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(err) => {
+                    if !self.shared.running.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    return Err(err);
+                }
+            };
+            if !self.shared.running.load(Ordering::SeqCst) {
+                // The shutdown poke itself, or a client racing it; either
+                // way, stop without serving.
+                break;
+            }
+            let shared = Arc::clone(&self.shared);
+            self.pool
+                .execute(move || handle_connection(stream, &shared));
+        }
+        // `self.pool` drops here: the job queue drains and every worker
+        // joins, so no connection is abandoned mid-request.
+        Ok(())
+    }
+}
+
+/// Serves one connection: registers it for shutdown half-close, then loops
+/// request frame → response frame until EOF, an I/O error, or `SHUTDOWN`.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Some(connection_id) = shared.register(&stream) else {
+        return;
+    };
+    // Re-check after registering: a shutdown that raced the registration has
+    // already swept the connection map, so parking on this socket now could
+    // never be interrupted.
+    if !shared.running.load(Ordering::SeqCst) {
+        shared.deregister(connection_id);
+        return;
+    }
+    serve_connection(stream, shared);
+    shared.deregister(connection_id);
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF
+            Err(_) => return,   // torn frame or I/O failure: nothing to answer
+        };
+        let (response, shutdown) = match Request::decode(&payload) {
+            Ok(request) => {
+                let shutdown = request == Request::Shutdown;
+                (handle_request(request, shared), shutdown)
+            }
+            Err(err) => (
+                Response::Error {
+                    kind: "Protocol".into(),
+                    message: err.to_string(),
+                },
+                false,
+            ),
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+        if shutdown {
+            shared.initiate_shutdown();
+            return;
+        }
+    }
+}
+
+/// Executes one request against the shared monitor state.
+fn handle_request(request: Request, shared: &Arc<Shared>) -> Response {
+    // Liveness and shutdown take no monitor state and must answer even while
+    // another connection holds the mutex for a long batched ingest — a
+    // health probe with a short timeout must never see a busy server as
+    // dead, and a shutdown must never queue behind a window.
+    match request {
+        Request::Ping => return Response::Pong,
+        Request::Shutdown => return Response::Bye,
+        _ => {}
+    }
+    let mut state = match shared.state.lock() {
+        Ok(state) => state,
+        Err(_) => {
+            return Response::Error {
+                kind: "State".into(),
+                message: "monitor poisoned by a panic in an earlier request".into(),
+            }
+        }
+    };
+    match request {
+        Request::Ping | Request::Shutdown => unreachable!("answered above, before the lock"),
+        Request::Stats => {
+            let monitor = &state.monitor;
+            let config = monitor.config();
+            Response::Stats(ServerStats {
+                len: monitor.len() as u64,
+                tau: config.tau,
+                keep_top: config.keep_top.map(|k| k as u64),
+                anchor_dim: config.discovery.anchor_dim.map(|d| d as u64),
+                schema: monitor.schema().name().to_string(),
+            })
+        }
+        Request::TopK(k) => match &state.last_report {
+            None => Response::Error {
+                kind: "State".into(),
+                message: "TOPK before any arrival was ingested".into(),
+            },
+            Some(report) => {
+                let mut top = report.clone();
+                top.facts.truncate(k);
+                top.prominent_count = top.prominent_count.min(k);
+                Response::Report(top)
+            }
+        },
+        Request::Ingest(row) => match ingest_one(&mut state, &row) {
+            Ok(report) => Response::Report(report),
+            Err(err) => relay(&err),
+        },
+        Request::IngestBatch(rows) => match ingest_window(&mut state, &rows) {
+            Ok(reports) => Response::Reports(reports),
+            Err(err) => relay(&err),
+        },
+    }
+}
+
+fn ingest_one(
+    state: &mut ServerState,
+    row: &RawRow,
+) -> Result<ArrivalReport, sitfact_core::SitFactError> {
+    let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
+    let report = state.monitor.ingest_raw(&dims, row.measures.clone())?;
+    state.last_report = Some(report.clone());
+    Ok(report)
+}
+
+fn ingest_window(
+    state: &mut ServerState,
+    rows: &[RawRow],
+) -> Result<Vec<ArrivalReport>, sitfact_core::SitFactError> {
+    // Encode the whole window first so validation failures are all-or-nothing
+    // at the monitor level, exactly like an in-process `ingest_batch` caller.
+    let mut window = Vec::with_capacity(rows.len());
+    for row in rows {
+        let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
+        window.push(state.monitor.encode_raw(&dims, row.measures.clone())?);
+    }
+    let reports = state.monitor.ingest_batch(window)?;
+    if let Some(last) = reports.last() {
+        state.last_report = Some(last.clone());
+    }
+    Ok(reports)
+}
+
+fn relay(err: &sitfact_core::SitFactError) -> Response {
+    Response::Error {
+        kind: error_kind(err).into(),
+        message: err.to_string(),
+    }
+}
+
+// The end-to-end behaviour (server-mediated reports ≡ in-process reports for
+// both monitor types, error relay, shutdown) is pinned by `tests/e2e.rs`,
+// which exercises this module over real sockets.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitfact_algos::STopDown;
+    use sitfact_core::{Direction, SchemaBuilder};
+    use sitfact_prominence::{FactMonitor, MonitorConfig};
+
+    fn monitor() -> Box<dyn StreamMonitor + Send> {
+        let schema = SchemaBuilder::new("t")
+            .dimension("player")
+            .measure("points", Direction::HigherIsBetter)
+            .build()
+            .unwrap();
+        let config = MonitorConfig::default().with_tau(1.0);
+        Box::new(FactMonitor::new(
+            schema.clone(),
+            STopDown::new(&schema, config.discovery),
+            config,
+        ))
+    }
+
+    #[test]
+    fn bind_reports_the_ephemeral_port() {
+        let server = FactServer::bind("127.0.0.1:0", monitor()).unwrap();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+        assert_eq!(server.handle().addr(), addr);
+    }
+
+    #[test]
+    fn handle_shutdown_unblocks_run() {
+        let server = FactServer::bind("127.0.0.1:0", monitor()).unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        handle.shutdown();
+        handle.shutdown(); // idempotent
+        join.join().expect("no panic").expect("clean exit");
+    }
+
+    #[test]
+    fn topk_truncates_and_stats_reflect_config() {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(ServerState {
+                monitor: monitor(),
+                last_report: None,
+            }),
+            running: AtomicBool::new(true),
+            addr: "127.0.0.1:0".parse().unwrap(),
+            connections: Mutex::new(HashMap::new()),
+            next_connection_id: AtomicU64::new(0),
+        });
+        // TOPK before any arrival is a state error.
+        let response = handle_request(Request::TopK(3), &shared);
+        assert!(matches!(response, Response::Error { kind, .. } if kind == "State"));
+        // Ingest one row, then TOPK 1 returns a single-fact prefix.
+        let row = RawRow::new(&["Wesley"], &[10.0]);
+        let Response::Report(full) = handle_request(Request::Ingest(row), &shared) else {
+            panic!("ingest failed");
+        };
+        assert!(full.facts.len() > 1);
+        let Response::Report(top) = handle_request(Request::TopK(1), &shared) else {
+            panic!("topk failed");
+        };
+        assert_eq!(top.facts.len(), 1);
+        assert_eq!(top.prominent_count, 1);
+        assert_eq!(top.facts[0], full.facts[0]);
+        let Response::Stats(stats) = handle_request(Request::Stats, &shared) else {
+            panic!("stats failed");
+        };
+        assert_eq!(stats.len, 1);
+        assert_eq!(stats.schema, "t");
+        assert_eq!(stats.tau, 1.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! End-to-end socket tests: a real `FactServer` on an ephemeral port, a real
+//! `Client`, and the acceptance criterion of the service front-end — reports
+//! that crossed the wire are **byte-identical** (`==`) to the reports an
+//! in-process monitor produces from the same stream, for both monitor types.
+
+use rand::prelude::*;
+use sitfact_algos::STopDown;
+use sitfact_core::{Direction, Schema, SchemaBuilder};
+use sitfact_prominence::{
+    ArrivalReport, FactMonitor, MonitorConfig, ShardedMonitor, StreamMonitor,
+};
+use sitfact_serve::{Client, FactServer, RawRow, ServeError};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+fn schema() -> Schema {
+    SchemaBuilder::new("gamelog")
+        .dimension("player")
+        .dimension("team")
+        .dimension("month")
+        .measure("points", Direction::HigherIsBetter)
+        .measure("assists", Direction::HigherIsBetter)
+        .build()
+        .unwrap()
+}
+
+fn config() -> MonitorConfig {
+    MonitorConfig::default().with_tau(2.0).with_keep_top(16)
+}
+
+/// A reproducible raw stream: string dims from small pools, integer-ish
+/// measures (ties included, so prominence ties and `keep_top` truncation are
+/// exercised over the wire too).
+fn raw_stream(n: usize, seed: u64) -> Vec<(Vec<String>, Vec<f64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let dims = vec![
+                format!("P{}", rng.gen_range(0..6u32)),
+                format!("T{}", rng.gen_range(0..3u32)),
+                format!("M{}", rng.gen_range(0..4u32)),
+            ];
+            let measures = vec![rng.gen_range(0..8) as f64, rng.gen_range(0..8) as f64];
+            (dims, measures)
+        })
+        .collect()
+}
+
+fn spawn_server(monitor: Box<dyn StreamMonitor + Send>) -> (SocketAddr, JoinHandle<()>) {
+    let server = FactServer::bind("127.0.0.1:0", monitor).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let join = std::thread::spawn(move || server.run().expect("server exits cleanly"));
+    (addr, join)
+}
+
+/// Streams `rows` through a served monitor: a few per-arrival `INGEST`s, the
+/// rest in `INGEST_BATCH` windows — both wire paths contribute to the
+/// transcript that must match the in-process one.
+fn reports_via_server(
+    monitor: Box<dyn StreamMonitor + Send>,
+    rows: &[(Vec<String>, Vec<f64>)],
+) -> Vec<ArrivalReport> {
+    let (addr, join) = spawn_server(monitor);
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    let mut reports = Vec::with_capacity(rows.len());
+    let singles = rows.len().min(3);
+    for (dims, measures) in &rows[..singles] {
+        let dims: Vec<&str> = dims.iter().map(String::as_str).collect();
+        reports.push(client.ingest(&dims, measures).expect("ingest"));
+    }
+    for window in rows[singles..].chunks(7) {
+        let window: Vec<RawRow> = window
+            .iter()
+            .map(|(dims, measures)| {
+                let dims: Vec<&str> = dims.iter().map(String::as_str).collect();
+                RawRow::new(&dims, measures)
+            })
+            .collect();
+        reports.extend(client.ingest_batch(window).expect("ingest_batch"));
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.len as usize, rows.len());
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+    reports
+}
+
+/// The same stream through an in-process monitor, same single/batch split.
+fn reports_in_process(
+    monitor: &mut dyn StreamMonitor,
+    rows: &[(Vec<String>, Vec<f64>)],
+) -> Vec<ArrivalReport> {
+    let mut reports = Vec::with_capacity(rows.len());
+    let singles = rows.len().min(3);
+    for (dims, measures) in &rows[..singles] {
+        let dims: Vec<&str> = dims.iter().map(String::as_str).collect();
+        reports.push(monitor.ingest_raw(&dims, measures.clone()).unwrap());
+    }
+    for window in rows[singles..].chunks(7) {
+        let window: Vec<_> = window
+            .iter()
+            .map(|(dims, measures)| {
+                let dims: Vec<&str> = dims.iter().map(String::as_str).collect();
+                monitor.encode_raw(&dims, measures.clone()).unwrap()
+            })
+            .collect();
+        reports.extend(monitor.ingest_batch(window).unwrap());
+    }
+    reports
+}
+
+#[test]
+fn served_fact_monitor_reports_equal_in_process() {
+    let rows = raw_stream(40, 11);
+    let schema = schema();
+    let config = config();
+    let served: Box<dyn StreamMonitor + Send> = Box::new(FactMonitor::new(
+        schema.clone(),
+        STopDown::new(&schema, config.discovery),
+        config,
+    ));
+    let mut local = FactMonitor::new(
+        schema.clone(),
+        STopDown::new(&schema, config.discovery),
+        config,
+    );
+    let over_the_wire = reports_via_server(served, &rows);
+    let in_process = reports_in_process(&mut local, &rows);
+    assert_eq!(over_the_wire, in_process);
+}
+
+#[test]
+fn served_sharded_monitor_reports_equal_in_process() {
+    let rows = raw_stream(40, 23);
+    let make = |shards: usize| -> ShardedMonitor<STopDown> {
+        ShardedMonitor::by_attribute(schema(), "team", shards, config(), STopDown::new).unwrap()
+    };
+    let served: Box<dyn StreamMonitor + Send> = Box::new(make(3));
+    let mut local = make(3);
+    let over_the_wire = reports_via_server(served, &rows);
+    let in_process = reports_in_process(&mut local, &rows);
+    assert_eq!(over_the_wire, in_process);
+    // And — routing soundness end to end — the served *sharded* transcript
+    // equals the in-process *unsharded* monitor on the same anchored config.
+    let anchored = *local.config();
+    let s = schema();
+    let mut reference =
+        FactMonitor::new(s.clone(), STopDown::new(&s, anchored.discovery), anchored);
+    let unsharded = reports_in_process(&mut reference, &rows);
+    assert_eq!(over_the_wire, unsharded);
+}
+
+#[test]
+fn server_relays_monitor_errors_and_stays_usable() {
+    let schema = schema();
+    let config = config();
+    let monitor: Box<dyn StreamMonitor + Send> = Box::new(FactMonitor::new(
+        schema.clone(),
+        STopDown::new(&schema, config.discovery),
+        config,
+    ));
+    let (addr, join) = spawn_server(monitor);
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Wrong arity → the SitFactError comes back typed, connection survives.
+    let err = client.ingest(&["OnlyOneDim"], &[1.0]).unwrap_err();
+    match err {
+        ServeError::Remote { kind, .. } => assert_eq!(kind, "InvalidTuple"),
+        other => panic!("expected a relayed monitor error, got {other}"),
+    }
+    // NaN measure → also rejected server-side.
+    let err = client
+        .ingest(&["P0", "T0", "M0"], &[f64::NAN, 1.0])
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Remote { .. }));
+    // A bad row poisons nothing: a good row still ingests, and TOPK serves
+    // its report back.
+    let report = client
+        .ingest(&["P0", "T0", "M0"], &[5.0, 3.0])
+        .expect("good row");
+    assert!(!report.facts.is_empty());
+    let top = client.top_k(2).expect("top_k");
+    assert_eq!(
+        top.facts,
+        report.facts[..2.min(report.facts.len())].to_vec()
+    );
+
+    // A batch with one bad row is all-or-nothing on the server.
+    let window = vec![
+        RawRow::new(&["P1", "T1", "M1"], &[2.0, 2.0]),
+        RawRow::new(&["P2", "T2"], &[3.0, 3.0]), // bad arity
+    ];
+    assert!(client.ingest_batch(window).is_err());
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.len, 1, "failed batch must not ingest partially");
+
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
+fn concurrent_clients_interleave_safely() {
+    // Several clients hammer one served monitor concurrently. Interleaving
+    // order is nondeterministic, so per-report equality is not defined — but
+    // every request must succeed and the final count must add up.
+    let schema = schema();
+    let config = config();
+    let monitor: Box<dyn StreamMonitor + Send> = Box::new(FactMonitor::new(
+        schema.clone(),
+        STopDown::new(&schema, config.discovery),
+        config,
+    ));
+    let (addr, join) = spawn_server(monitor);
+    let n_clients = 3;
+    let per_client = 10;
+    let workers: Vec<_> = (0..n_clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..per_client {
+                    let dims = [format!("P{c}"), format!("T{c}"), format!("M{i}")];
+                    let dims: Vec<&str> = dims.iter().map(String::as_str).collect();
+                    let report = client.ingest(&dims, &[i as f64, c as f64]).expect("ingest");
+                    assert!(!report.facts.is_empty());
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.len as usize, n_clients * per_client);
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
+fn shutdown_is_not_blocked_by_idle_connections() {
+    // An idle keep-alive client must not pin the server: shutdown half-closes
+    // every live connection, so run()'s worker join completes immediately
+    // instead of waiting for the idle peer to hang up.
+    let schema = schema();
+    let config = config();
+    let monitor: Box<dyn StreamMonitor + Send> = Box::new(FactMonitor::new(
+        schema.clone(),
+        STopDown::new(&schema, config.discovery),
+        config,
+    ));
+    let (addr, join) = spawn_server(monitor);
+    let mut idle = Client::connect(addr).expect("idle client connects");
+    idle.ping().expect("idle client is live");
+    // …and now says nothing further, holding its connection open.
+    let mut active = Client::connect(addr).expect("active client connects");
+    active.shutdown().expect("shutdown acknowledged");
+    // Must return promptly; before connection tracking this joined forever.
+    join.join()
+        .expect("server thread exits with an idle peer attached");
+    // The idle client's connection was closed out from under it.
+    assert!(idle.ping().is_err());
+}

@@ -19,7 +19,7 @@ CARGO=${CARGO:-cargo}
 
 # Ordered step registry. Adding a step here without wiring it into ci.yml
 # (or vice versa) fails `parity`.
-CI_STEPS=(fmt clippy build test check-targets doc quickstart fig-ingest-smoke fig-shard-smoke)
+CI_STEPS=(fmt clippy build test check-targets doc quickstart fig-ingest-smoke fig-shard-smoke serve-smoke)
 
 run_step() {
   echo "==> $1"
@@ -42,6 +42,27 @@ run_step() {
       $CARGO run --release -p sitfact-bench --bin fig_shard -- \
         --n 1000 --baseline-n 400 --eq-n 600 --reps 1 \
         --out /tmp/BENCH_shard_smoke.json ;;
+    serve-smoke)
+      # Round-trip the TCP service front-end: start a sharded server on an
+      # ephemeral port (it writes the bound address to a file), stream rows
+      # through the client binary over both INGEST and INGEST_BATCH, assert a
+      # non-empty report, then shut the server down over the wire. The server
+      # binary is backgrounded directly (not via `cargo run`, whose wrapper
+      # PID would survive a kill and leak the real server on failure).
+      $CARGO build --release -p sitfact-serve
+      local port_file=/tmp/sitfact_serve_port
+      rm -f "$port_file"
+      target/release/sitfact_serve \
+        --addr 127.0.0.1:0 --port-file "$port_file" --shards 2 --tau 50 &
+      local server_pid=$!
+      if ! target/release/sitfact_client \
+        --port-file "$port_file" --n 48 --batch 16 --assert-facts --shutdown; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+        echo "serve-smoke: client round trip failed" >&2
+        return 1
+      fi
+      wait "$server_pid" ;;
     *) echo "ci_steps.sh: unknown step '$1'" >&2; exit 64 ;;
   esac
 }

@@ -12,10 +12,19 @@
 //! * [`storage`] — the append-only table, skyline stores and k-d tree;
 //! * [`algos`] — the discovery algorithms (`BottomUp`, `TopDown`, shared and
 //!   file-backed variants, plus the paper's baselines);
-//! * [`prominence`] — prominence ranking, thresholds and narration;
+//! * [`prominence`] — prominence ranking, thresholds and narration, unified
+//!   behind the [`StreamMonitor`](prominence::StreamMonitor) trait;
+//! * [`serve`] — the framed-TCP service front-end (server + client) over any
+//!   `Box<dyn StreamMonitor>`;
 //! * [`datagen`] — synthetic NBA / weather / stock workloads and CSV IO.
 //!
 //! ## Quickstart
+//!
+//! Every monitor is fed through the [`StreamMonitor`](prominence::StreamMonitor)
+//! trait (re-exported by the prelude): `ingest_raw` for one row, `ingest_batch`
+//! for amortised windows — identically on a [`FactMonitor`](prominence::FactMonitor),
+//! a [`ShardedMonitor`](prominence::ShardedMonitor), or a `Box<dyn StreamMonitor>`
+//! serving traffic over TCP.
 //!
 //! ```
 //! use situational_facts::prelude::*;
@@ -65,6 +74,7 @@ pub use sitfact_algos as algos;
 pub use sitfact_core as core;
 pub use sitfact_datagen as datagen;
 pub use sitfact_prominence as prominence;
+pub use sitfact_serve as serve;
 pub use sitfact_storage as storage;
 
 /// The most commonly used items, for glob import.
@@ -80,8 +90,9 @@ pub mod prelude {
     pub use sitfact_datagen::{DataGenerator, Row};
     pub use sitfact_prominence::{
         narrate, ArrivalReport, DistributionStats, FactMonitor, MonitorConfig, RankedFact,
-        ShardedMonitor,
+        ShardedMonitor, StreamMonitor,
     };
+    pub use sitfact_serve::{Client, FactServer, RawRow, ServeError, ServerHandle};
     pub use sitfact_storage::{
         ContextCounter, FileSkylineStore, KdTree, MemorySkylineStore, SkylineStore, StoreStats,
         Table, WorkStats,
