@@ -1,0 +1,9 @@
+//! Fixture fig binary (never compiled). Emits `bench`, `seconds` and an
+//! interpolated `speedup_at_{n}_shards` key; its README schema documents
+//! `reps` instead of `seconds`.
+
+fn main() {
+    let n = 4;
+    let seconds = 0.5;
+    println!("{{\"bench\": \"demo\", \"seconds\": {seconds}, \"speedup_at_{n}_shards\": 1.0}}");
+}

@@ -1,0 +1,312 @@
+//! A small hand-rolled Rust lexer: just enough to blank out strings, char
+//! literals and comments so the lint rules only ever match real code, while
+//! collecting string literals (for the drift checks) and line comments (for
+//! `// audit: allow(...)` markers).
+//!
+//! This is deliberately not a full Rust parser — it understands string
+//! escapes, raw strings (`r"…"`, `r#"…"#`), byte strings, nested block
+//! comments and the char-literal/lifetime ambiguity, which covers everything
+//! the rules need.
+
+/// A string literal found in the source.
+#[derive(Debug, Clone)]
+pub struct StringLit {
+    /// The literal's content (between the quotes, escapes unprocessed).
+    pub content: String,
+    /// Byte offset of the opening quote in the source.
+    pub offset: usize,
+}
+
+/// A line comment found in the source.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// The comment's text after the `//` (or `///`, `//!`), untrimmed.
+    pub text: String,
+    /// 0-based line index of the comment.
+    pub line: usize,
+    /// Byte offset of the `//` within the source.
+    pub offset: usize,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// The source with every string/char literal's content and every comment
+    /// blanked to spaces (newlines preserved, so byte offsets and line
+    /// numbers still agree with the original).
+    pub masked: String,
+    /// Every string literal, in source order.
+    pub strings: Vec<StringLit>,
+    /// Every line comment, in source order.
+    pub comments: Vec<LineComment>,
+    /// Byte offset of the start of each line (line 0 starts at 0).
+    pub line_starts: Vec<usize>,
+}
+
+impl LexedFile {
+    /// 0-based line index of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(line) => line,
+            Err(next) => next.saturating_sub(1),
+        }
+    }
+
+    /// The masked text of a 0-based line (without the trailing newline).
+    pub fn masked_line(&self, line: usize) -> &str {
+        let start = match self.line_starts.get(line) {
+            Some(&s) => s,
+            None => return "",
+        };
+        let end = self
+            .line_starts
+            .get(line + 1)
+            .map_or(self.masked.len(), |&e| e);
+        self.masked[start..end].trim_end_matches('\n')
+    }
+}
+
+/// Lexes `source`, blanking non-code regions. See [`LexedFile`].
+pub fn lex(source: &str) -> LexedFile {
+    let bytes = source.as_bytes();
+    let mut masked = bytes.to_vec();
+    let mut strings = Vec::new();
+    let mut comments = Vec::new();
+    let mut line_starts = vec![0usize];
+    for (pos, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            line_starts.push(pos + 1);
+        }
+    }
+    let line_of = |offset: usize| match line_starts.binary_search(&offset) {
+        Ok(line) => line,
+        Err(next) => next.saturating_sub(1),
+    };
+
+    let blank = |masked: &mut [u8], range: std::ops::Range<usize>| {
+        for b in &mut masked[range] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments). Blank to end of line.
+                let end = bytes[i..]
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .map_or(bytes.len(), |n| i + n);
+                comments.push(LineComment {
+                    text: source[i + 2..end].to_string(),
+                    line: line_of(i),
+                    offset: i,
+                });
+                blank(&mut masked, i..end);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested.
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut masked, start..i);
+            }
+            b'"' => {
+                i = scan_string(bytes, source, i, &mut masked, &mut strings, blank);
+            }
+            b'r' | b'b' if !prev_is_ident(bytes, i) => {
+                // Possible raw/byte string prefix: r"…", r#"…"#, b"…", br#"…"#.
+                let is_raw =
+                    bytes[i] == b'r' || (bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'r'));
+                let mut j = if bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'r') {
+                    i + 2
+                } else {
+                    i + 1
+                };
+                let mut hashes = 0usize;
+                while is_raw && bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    i = if is_raw {
+                        scan_raw_string(bytes, source, j, hashes, &mut masked, &mut strings, blank)
+                    } else {
+                        scan_string(bytes, source, j, &mut masked, &mut strings, blank)
+                    };
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime. `'\…'` is always a char; `'x'` is
+                // a char when the closing quote follows immediately; anything
+                // else (`'a`, `'static`) is a lifetime.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    blank(&mut masked, i + 1..j);
+                    i = (j + 1).min(bytes.len());
+                } else {
+                    // Find the end of the next UTF-8 scalar after the quote.
+                    let next_end = source[i + 1..]
+                        .chars()
+                        .next()
+                        .map_or(i + 1, |c| i + 1 + c.len_utf8());
+                    if bytes.get(next_end) == Some(&b'\'') {
+                        blank(&mut masked, i + 1..next_end);
+                        i = next_end + 1;
+                    } else {
+                        i += 1; // lifetime
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    LexedFile {
+        // The lexer only ever replaces whole ASCII bytes inside regions it
+        // blanks wholesale, so the result is still valid UTF-8.
+        masked: String::from_utf8_lossy(&masked).into_owned(),
+        strings,
+        comments,
+        line_starts,
+    }
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+fn scan_string(
+    bytes: &[u8],
+    source: &str,
+    open: usize,
+    masked: &mut [u8],
+    strings: &mut Vec<StringLit>,
+    blank: impl Fn(&mut [u8], std::ops::Range<usize>),
+) -> usize {
+    let mut j = open + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => break,
+            _ => j += 1,
+        }
+    }
+    let close = j.min(bytes.len());
+    strings.push(StringLit {
+        content: source.get(open + 1..close).unwrap_or_default().to_string(),
+        offset: open,
+    });
+    blank(masked, open + 1..close);
+    (close + 1).min(bytes.len())
+}
+
+fn scan_raw_string(
+    bytes: &[u8],
+    source: &str,
+    open: usize,
+    hashes: usize,
+    masked: &mut [u8],
+    strings: &mut Vec<StringLit>,
+    blank: impl Fn(&mut [u8], std::ops::Range<usize>),
+) -> usize {
+    let mut j = open + 1;
+    let close_pat: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    while j < bytes.len() {
+        if bytes[j] == b'"' && bytes[j..].starts_with(&close_pat) {
+            break;
+        }
+        j += 1;
+    }
+    let close = j.min(bytes.len());
+    strings.push(StringLit {
+        content: source.get(open + 1..close).unwrap_or_default().to_string(),
+        offset: open,
+    });
+    blank(masked, open + 1..close);
+    (close + close_pat.len()).min(bytes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"unsafe panic!\"; // unsafe here too\nunsafe { x.unwrap() }\n";
+        let lexed = lex(src);
+        assert!(!lexed.masked[..src.find('\n').expect("newline")].contains("unsafe"));
+        assert!(lexed.masked.contains("unsafe { x.unwrap() }"));
+        assert_eq!(lexed.strings.len(), 1);
+        assert_eq!(lexed.strings[0].content, "unsafe panic!");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text.trim(), "unsafe here too");
+    }
+
+    #[test]
+    fn doc_comments_and_doctests_do_not_leak_code() {
+        let src = "/// Example:\n/// ```\n/// foo().unwrap();\n/// ```\nfn foo() {}\n";
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(lexed.masked.contains("fn foo() {}"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let src = r###"let a = r#"panic! "quoted" unsafe"#; let b = "esc \" panic!";"###;
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("panic!"));
+        assert!(!lexed.masked.contains("unsafe"));
+        assert_eq!(lexed.strings.len(), 2);
+        assert_eq!(lexed.strings[0].content, r#"panic! "quoted" unsafe"#);
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; let l = 'x'; }";
+        let lexed = lex(src);
+        // The quote char literal must not open a string.
+        assert!(lexed.strings.is_empty());
+        assert!(lexed.masked.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unsafe */ still comment */ fn ok() {}";
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("unsafe"));
+        assert!(lexed.masked.contains("fn ok() {}"));
+    }
+
+    #[test]
+    fn line_bookkeeping() {
+        let src = "a\nbb\nccc\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.line_of(0), 0);
+        assert_eq!(lexed.line_of(2), 1);
+        assert_eq!(lexed.line_of(5), 2);
+        assert_eq!(lexed.masked_line(1), "bb");
+    }
+}

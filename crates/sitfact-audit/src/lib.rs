@@ -1,0 +1,117 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `sitfact-audit` — repo-specific static analysis for the workspace.
+//!
+//! The auditor walks every `.rs` file under a root, lexes it with a small
+//! hand-rolled lexer ([`lexer`]) so that strings, char literals, comments
+//! and doc-comment code fences never produce matches, and enforces the
+//! workspace's coding contracts ([`rules`]):
+//!
+//! * `no-unsafe` — no `unsafe` anywhere, plus `#![forbid(unsafe_code)]` in
+//!   every crate root (`forbid-unsafe-header`);
+//! * `no-panic` — no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in
+//!   non-test library code;
+//! * `no-thread-spawn` — `sitfact_core::pool` is the only thread spawner;
+//! * `no-wallclock` — `SystemTime::now`/`Instant::now` stay in bench/serve.
+//!
+//! A site can opt out with `// audit: allow(<rule>): <reason>`; reasonless
+//! or unused markers are themselves violations (`allow-syntax`,
+//! `stale-allow`).
+//!
+//! On top of the per-file rules, [`drift`] cross-checks prose against code:
+//! the ROADMAP wire-grammar block against the verb constants in
+//! `sitfact-serve::protocol`, and the bench README's `BENCH_*.json` schemas
+//! against the keys the fig binaries emit.
+//!
+//! Run it with `cargo run -p sitfact-audit` (the `analyze` CI step does).
+
+pub mod drift;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::Violation;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into: build output, VCS metadata, and the
+/// auditor's own deliberately-violating test fixtures.
+const SKIP_DIRS: [&str; 3] = ["target", "fixtures", "node_modules"];
+
+fn should_skip(name: &str) -> bool {
+    name.starts_with('.') || SKIP_DIRS.contains(&name)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if !should_skip(&name) {
+                walk(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes regardless of platform.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The outcome of one audit run.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Number of `.rs` files inspected.
+    pub files_checked: usize,
+    /// Every violation found, in path/line order.
+    pub violations: Vec<Violation>,
+}
+
+/// Audits the workspace rooted at `root`: every `.rs` file under it (minus
+/// `target/`, dot-directories and fixture trees) plus the cross-file drift
+/// checks. I/O failures on the root walk are errors; unreadable individual
+/// files are reported as `audit-io` violations so one bad file cannot hide
+/// the rest of the report.
+pub fn run_audit(root: &Path) -> io::Result<AuditReport> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = relative(root, path);
+        match std::fs::read_to_string(path) {
+            Ok(source) => violations.extend(rules::check_file(&rel, &source)),
+            Err(err) => violations.push(Violation {
+                rule: "audit-io",
+                path: rel,
+                line: 0,
+                message: format!("cannot read: {err}"),
+            }),
+        }
+    }
+    violations.extend(drift::check_grammar(root));
+    violations.extend(drift::check_bench_schemas(root));
+    violations.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+
+    Ok(AuditReport {
+        files_checked: files.len(),
+        violations,
+    })
+}

@@ -1,0 +1,81 @@
+//! `audit` — the CLI front end of [`sitfact_audit`].
+//!
+//! ```text
+//! audit [--root DIR] [--report FILE]
+//! ```
+//!
+//! Walks the workspace at `--root` (default: the current directory), prints
+//! every violation, optionally writes the same report to `--report`, and
+//! exits non-zero when anything is wrong. The `analyze` step of
+//! `scripts/ci_steps.sh` runs it over the real tree and uploads the report
+//! as a CI artifact.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("audit: {problem}");
+    eprintln!("usage: audit [--root DIR] [--report FILE]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(value) => root = PathBuf::from(value),
+                None => return usage("--root needs a directory argument"),
+            },
+            "--report" => match args.next() {
+                Some(value) => report_path = Some(PathBuf::from(value)),
+                None => return usage("--report needs a file argument"),
+            },
+            "--help" | "-h" => {
+                println!("usage: audit [--root DIR] [--report FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let outcome = match sitfact_audit::run_audit(&root) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("audit: cannot walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut report = String::new();
+    for violation in &outcome.violations {
+        let _ = writeln!(report, "{violation}");
+    }
+    let verdict = if outcome.violations.is_empty() {
+        format!("audit: clean ({} files checked)", outcome.files_checked)
+    } else {
+        format!(
+            "audit: {} violation(s) across {} files checked",
+            outcome.violations.len(),
+            outcome.files_checked
+        )
+    };
+    let _ = writeln!(report, "{verdict}");
+
+    print!("{report}");
+    if let Some(path) = report_path {
+        if let Err(err) = std::fs::write(&path, &report) {
+            eprintln!("audit: cannot write report to {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if outcome.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,418 @@
+//! The per-file lint rules and the `// audit: allow(<rule>)` allowlist.
+//!
+//! Every rule operates on the *masked* source produced by [`crate::lexer`],
+//! so matches inside strings, char literals, comments and doc-comment code
+//! fences never count. Rules are scoped by path (see [`scopes_for`]); the
+//! test-only rules additionally skip `#[cfg(test)]` regions.
+
+use crate::lexer::{lex, LexedFile};
+
+/// One finding of the auditor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated rule, e.g. `"no-panic"`.
+    pub rule: &'static str,
+    /// Path of the offending file, relative to the audited root.
+    pub path: String,
+    /// 1-based line number (0 for whole-file rules).
+    pub line: usize,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.path, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// Which line-anchored rules apply to a file, by its root-relative path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scopes {
+    /// `unsafe` is forbidden (everywhere, test code included).
+    pub no_unsafe: bool,
+    /// The file is a crate root that must carry `#![forbid(unsafe_code)]`.
+    pub forbid_header: bool,
+    /// `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` forbidden outside
+    /// `#[cfg(test)]` regions.
+    pub no_panic: bool,
+    /// `thread::spawn` forbidden (the vendored pool is the only spawner).
+    pub no_thread_spawn: bool,
+    /// `SystemTime::now`/`Instant::now` forbidden (bench/serve own timing).
+    pub no_wallclock: bool,
+}
+
+fn has_component(path: &str, component: &str) -> bool {
+    path.split('/').any(|c| c == component)
+}
+
+/// Decides rule applicability from a root-relative path (forward slashes).
+pub fn scopes_for(path: &str) -> Scopes {
+    if !path.ends_with(".rs") {
+        return Scopes::default();
+    }
+    let vendor = path.starts_with("vendor/");
+    let bench_crate = path.starts_with("crates/sitfact-bench/");
+    let serve_crate = path.starts_with("crates/sitfact-serve/");
+    let test_code = has_component(path, "tests") || has_component(path, "benches");
+    let example = has_component(path, "examples");
+    let bin = path.contains("/src/bin/");
+    let lib_source =
+        (path.starts_with("crates/") && path.contains("/src/") && !bin) || path == "src/lib.rs";
+    Scopes {
+        no_unsafe: true,
+        forbid_header: path.ends_with("src/lib.rs"),
+        no_panic: lib_source && !vendor && !bench_crate && !test_code,
+        no_thread_spawn: path != "crates/sitfact-core/src/pool.rs" && !test_code && !example,
+        no_wallclock: !vendor && !bench_crate && !serve_crate && !test_code && !example,
+    }
+}
+
+/// A parsed `// audit: allow(<rule>): <reason>` marker.
+#[derive(Debug)]
+struct AllowMarker {
+    rule: String,
+    /// 0-based line the marker suppresses findings on.
+    target: usize,
+    /// 0-based line of the comment itself (for reporting).
+    line: usize,
+    used: bool,
+}
+
+/// Byte ranges covered by `#[cfg(test)]` items (attribute through the
+/// closing brace of the annotated item).
+fn test_regions(lexed: &LexedFile) -> Vec<std::ops::Range<usize>> {
+    let masked = lexed.masked.as_bytes();
+    let mut regions = Vec::new();
+    let mut search = 0usize;
+    while let Some(found) = lexed.masked[search..].find("#[cfg(test)]") {
+        let attr = search + found;
+        // The annotated item's body is the next brace-balanced block.
+        let mut i = attr;
+        while i < masked.len() && masked[i] != b'{' {
+            i += 1;
+        }
+        let mut depth = 0usize;
+        let mut end = masked.len();
+        while i < masked.len() {
+            match masked[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        regions.push(attr..end);
+        search = end.max(attr + 1);
+    }
+    regions
+}
+
+fn parse_allow_markers(
+    path: &str,
+    lexed: &LexedFile,
+    violations: &mut Vec<Violation>,
+) -> Vec<AllowMarker> {
+    let mut markers = Vec::new();
+    for comment in &lexed.comments {
+        let text = comment.text.trim();
+        let Some(rest) = text.strip_prefix("audit: allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            violations.push(Violation {
+                rule: "allow-syntax",
+                path: path.to_string(),
+                line: comment.line + 1,
+                message: "malformed allow marker: missing `)` after the rule name".into(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..]
+            .trim()
+            .strip_prefix(':')
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            violations.push(Violation {
+                rule: "allow-syntax",
+                path: path.to_string(),
+                line: comment.line + 1,
+                message: format!(
+                    "allow({rule}) carries no reason — write \
+                     `// audit: allow({rule}): <why this site is sound>`"
+                ),
+            });
+            continue;
+        }
+        // The marker covers its own line when code precedes the comment,
+        // otherwise the next line that holds any code.
+        let line_start = lexed.line_starts[comment.line];
+        let before = &lexed.masked[line_start..comment.offset];
+        let target = if !before.trim().is_empty() {
+            comment.line
+        } else {
+            let mut t = comment.line + 1;
+            while t < lexed.line_starts.len() && lexed.masked_line(t).trim().is_empty() {
+                t += 1;
+            }
+            t
+        };
+        markers.push(AllowMarker {
+            rule,
+            target,
+            line: comment.line,
+            used: false,
+        });
+    }
+    markers
+}
+
+/// Word-boundary occurrences of `word` in `masked` (identifier characters on
+/// either side disqualify a match).
+fn word_offsets<'a>(masked: &'a str, word: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let bytes = masked.as_bytes();
+    let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    masked.match_indices(word).filter_map(move |(pos, _)| {
+        let before_ok = pos == 0 || !ident(bytes[pos - 1]);
+        let after = pos + word.len();
+        let after_ok = after >= bytes.len() || !ident(bytes[after]);
+        (before_ok && after_ok).then_some(pos)
+    })
+}
+
+/// Substring occurrences (for patterns that carry their own delimiters,
+/// like `.unwrap()`).
+fn substr_offsets<'a>(masked: &'a str, pattern: &'a str) -> impl Iterator<Item = usize> + 'a {
+    masked.match_indices(pattern).map(|(pos, _)| pos)
+}
+
+/// Runs every applicable line-anchored rule over one file.
+pub fn check_file(path: &str, source: &str) -> Vec<Violation> {
+    let scopes = scopes_for(path);
+    let lexed = lex(source);
+    let mut violations = Vec::new();
+    let mut markers = parse_allow_markers(path, &lexed, &mut violations);
+    let regions = test_regions(&lexed);
+    let in_test_region = |offset: usize| regions.iter().any(|r| r.contains(&offset));
+
+    // (rule, offset, message, skip_in_tests)
+    let mut findings: Vec<(&'static str, usize, String)> = Vec::new();
+
+    if scopes.no_unsafe {
+        for offset in word_offsets(&lexed.masked, "unsafe") {
+            findings.push((
+                "no-unsafe",
+                offset,
+                "`unsafe` is forbidden throughout the workspace".into(),
+            ));
+        }
+    }
+    if scopes.no_panic {
+        let patterns: [(&str, bool); 5] = [
+            (".unwrap()", false),
+            (".expect(", false),
+            ("panic!", true),
+            ("todo!", true),
+            ("unimplemented!", true),
+        ];
+        for (pattern, word) in patterns {
+            let offsets: Vec<usize> = if word {
+                word_offsets(&lexed.masked, pattern.trim_end_matches('!'))
+                    .filter(|&o| lexed.masked.as_bytes().get(o + pattern.len() - 1) == Some(&b'!'))
+                    .collect()
+            } else {
+                substr_offsets(&lexed.masked, pattern).collect()
+            };
+            for offset in offsets {
+                if in_test_region(offset) {
+                    continue;
+                }
+                findings.push((
+                    "no-panic",
+                    offset,
+                    format!(
+                        "`{pattern}` in library code — return a typed error, or justify with \
+                         `// audit: allow(no-panic): <reason>`"
+                    ),
+                ));
+            }
+        }
+    }
+    if scopes.no_thread_spawn {
+        for offset in substr_offsets(&lexed.masked, "thread::spawn") {
+            if in_test_region(offset) {
+                continue;
+            }
+            findings.push((
+                "no-thread-spawn",
+                offset,
+                "spawn threads through `sitfact_core::pool::ThreadPool`, not `thread::spawn`"
+                    .into(),
+            ));
+        }
+    }
+    if scopes.no_wallclock {
+        for pattern in ["SystemTime::now", "Instant::now"] {
+            for offset in substr_offsets(&lexed.masked, pattern) {
+                if in_test_region(offset) {
+                    continue;
+                }
+                findings.push((
+                    "no-wallclock",
+                    offset,
+                    format!(
+                        "`{pattern}` outside bench/serve — library code must stay \
+                             deterministic"
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (rule, offset, message) in findings {
+        let line = lexed.line_of(offset);
+        let allowed = markers
+            .iter_mut()
+            .find(|m| m.rule == rule && m.target == line);
+        if let Some(marker) = allowed {
+            marker.used = true;
+            continue;
+        }
+        violations.push(Violation {
+            rule,
+            path: path.to_string(),
+            line: line + 1,
+            message,
+        });
+    }
+
+    if scopes.forbid_header && !lexed.masked.contains("forbid(unsafe_code)") {
+        violations.push(Violation {
+            rule: "forbid-unsafe-header",
+            path: path.to_string(),
+            line: 0,
+            message: "crate root lacks `#![forbid(unsafe_code)]`".into(),
+        });
+    }
+
+    for marker in markers {
+        if !marker.used {
+            violations.push(Violation {
+                rule: "stale-allow",
+                path: path.to_string(),
+                line: marker.line + 1,
+                message: format!(
+                    "allow({}) suppresses nothing on line {} — remove the marker",
+                    marker.rule,
+                    marker.target + 1
+                ),
+            });
+        }
+    }
+
+    violations.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_classify_paths() {
+        assert!(scopes_for("crates/sitfact-core/src/pool.rs").no_panic);
+        assert!(!scopes_for("crates/sitfact-core/src/pool.rs").no_thread_spawn);
+        assert!(!scopes_for("crates/sitfact-bench/src/harness.rs").no_panic);
+        assert!(!scopes_for("vendor/proptest/src/lib.rs").no_panic);
+        assert!(scopes_for("vendor/proptest/src/lib.rs").no_unsafe);
+        assert!(scopes_for("vendor/proptest/src/lib.rs").forbid_header);
+        assert!(scopes_for("src/lib.rs").no_panic);
+        assert!(!scopes_for("crates/sitfact-serve/src/bin/sitfact_serve.rs").no_panic);
+        assert!(!scopes_for("crates/sitfact-serve/src/server.rs").no_wallclock);
+        assert!(!scopes_for("examples/nba_sharded.rs").no_wallclock);
+        assert!(!scopes_for("crates/sitfact-storage/tests/x.rs").no_thread_spawn);
+        assert!(!scopes_for("ROADMAP.md").no_unsafe);
+    }
+
+    #[test]
+    fn unsafe_is_flagged_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { unsafe { } }\n}\n";
+        let out = check_file("crates/x/src/lib.rs", src);
+        assert!(out.iter().any(|v| v.rule == "no-unsafe" && v.line == 3));
+    }
+
+    #[test]
+    fn panics_in_test_regions_are_fine() {
+        let src = "#![forbid(unsafe_code)]\nfn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { lib(); Some(1).unwrap(); panic!(\"x\"); }\n}\n";
+        let out = check_file("crates/x/src/lib.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn library_unwrap_is_flagged_and_allows_suppress() {
+        let src = "#![forbid(unsafe_code)]\nfn a() { Some(1).unwrap(); }\nfn b() {\n    // audit: allow(no-panic): demo reason\n    Some(1).unwrap();\n}\n";
+        let out = check_file("crates/x/src/lib.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "no-panic");
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn trailing_allow_on_the_same_line() {
+        let src = "#![forbid(unsafe_code)]\nfn a() { Some(1).unwrap() } // audit: allow(no-panic): same line\n";
+        let out = check_file("crates/x/src/lib.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn stale_and_reasonless_allows_are_violations() {
+        let src = "#![forbid(unsafe_code)]\n// audit: allow(no-panic): nothing here\nfn fine() {}\n// audit: allow(no-panic)\nfn g() { Some(1).unwrap(); }\n";
+        let out = check_file("crates/x/src/lib.rs", src);
+        assert!(out.iter().any(|v| v.rule == "stale-allow" && v.line == 2));
+        assert!(out.iter().any(|v| v.rule == "allow-syntax" && v.line == 4));
+        // The reasonless marker does not suppress.
+        assert!(out.iter().any(|v| v.rule == "no-panic" && v.line == 5));
+    }
+
+    #[test]
+    fn missing_forbid_header_is_flagged() {
+        let out = check_file("crates/x/src/lib.rs", "fn f() {}\n");
+        assert!(out.iter().any(|v| v.rule == "forbid-unsafe-header"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_match() {
+        let src = "#![forbid(unsafe_code)]\nfn f() -> i32 { Some(1).unwrap_or(2) + Some(3).unwrap_or_default() }\n";
+        let out = check_file("crates/x/src/lib.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn spawn_and_wallclock_rules() {
+        let src = "#![forbid(unsafe_code)]\nfn f() { std::thread::spawn(|| {}); }\nfn g() { let _ = std::time::SystemTime::now(); }\n";
+        let out = check_file("crates/x/src/lib.rs", src);
+        assert!(out
+            .iter()
+            .any(|v| v.rule == "no-thread-spawn" && v.line == 2));
+        assert!(out.iter().any(|v| v.rule == "no-wallclock" && v.line == 3));
+        // pool.rs is the one sanctioned spawner.
+        let pool = check_file("crates/sitfact-core/src/pool.rs", src);
+        assert!(!pool.iter().any(|v| v.rule == "no-thread-spawn"));
+    }
+}

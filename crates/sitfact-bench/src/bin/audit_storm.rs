@@ -1,0 +1,230 @@
+//! `audit_storm` — randomized deep-audit smoke binary for the CI `analyze`
+//! step.
+//!
+//! Hammers every audited structure with seeded random workloads and runs its
+//! deep [`Audit`](sitfact_core::Audit) after every round: `Table` under mixed
+//! `append`/`append_batch` sequences (including the sparse posting-list
+//! fallback), `KdTree` under random inserts, both `SkylineStore`
+//! implementations under random insert/remove/read churn, and
+//! `FactMonitor`/`ShardedMonitor` under windowed ingest. Any violation
+//! prints its `explain()` and exits non-zero.
+//!
+//! The validators only exist under
+//! `cfg(any(test, debug_assertions, feature = "deep-audit"))`, so a release
+//! build without the feature gets a stub that says so and exits 0 —
+//! `ci_steps.sh run analyze` runs the real storm via
+//! `--release --features deep-audit`.
+//!
+//! Usage: `audit_storm [--seed N] [--rounds N]`
+
+#[cfg(any(debug_assertions, feature = "deep-audit"))]
+fn main() {
+    storm::run();
+}
+
+#[cfg(not(any(debug_assertions, feature = "deep-audit")))]
+fn main() {
+    println!(
+        "audit_storm: deep-audit validators are compiled out in this build; \
+         rerun with --features deep-audit (or a debug build)"
+    );
+}
+
+#[cfg(any(debug_assertions, feature = "deep-audit"))]
+mod storm {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sitfact_algos::STopDown;
+    use sitfact_bench::params::arg_value;
+    use sitfact_core::{Audit, Constraint, Direction, Schema, SchemaBuilder, SubspaceMask, Tuple};
+    use sitfact_prominence::{FactMonitor, MonitorConfig, ShardedMonitor, StreamMonitor};
+    use sitfact_storage::{
+        FileSkylineStore, KdTree, MemorySkylineStore, SkylineStore, StoredEntry, Table,
+    };
+
+    fn fail(what: &str, violation: sitfact_core::AuditViolation) -> ! {
+        eprintln!("audit_storm: {what}: {}", violation.explain());
+        std::process::exit(1);
+    }
+
+    fn schema(n_dims: usize) -> Schema {
+        let mut builder = SchemaBuilder::new("storm");
+        for d in 0..n_dims {
+            builder = builder.dimension(format!("d{d}"));
+        }
+        builder
+            .measure("m0", Direction::HigherIsBetter)
+            .measure("m1", Direction::LowerIsBetter)
+            .build()
+            .expect("storm schema is valid")
+    }
+
+    fn random_tuple(rng: &mut StdRng, n_dims: usize) -> Tuple {
+        let dims = (0..n_dims)
+            .map(|_| {
+                let v: u32 = rng.gen_range(0..1000);
+                // Occasional huge ids force the sparse posting-list fallback.
+                if v >= 995 {
+                    v * 100_000
+                } else {
+                    v % 5
+                }
+            })
+            .collect();
+        let measures = vec![rng.gen_range(0..8) as f64, rng.gen_range(0..8) as f64];
+        Tuple::new(dims, measures)
+    }
+
+    fn storm_table(rng: &mut StdRng, rounds: usize) {
+        let mut table = Table::new(schema(3));
+        for _ in 0..rounds {
+            let window: Vec<Tuple> = (0..rng.gen_range(0..12))
+                .map(|_| random_tuple(rng, 3))
+                .collect();
+            if rng.gen_range(0..2) == 0 {
+                for t in window {
+                    table.append(t).expect("schema-valid tuple appends");
+                }
+            } else {
+                table
+                    .append_batch(window)
+                    .expect("schema-valid batch appends");
+            }
+            if let Err(v) = table.audit() {
+                fail("Table", v);
+            }
+        }
+    }
+
+    fn storm_kdtree(rng: &mut StdRng, rounds: usize) {
+        let directions = [Direction::HigherIsBetter, Direction::LowerIsBetter];
+        let mut tree = KdTree::new(&directions);
+        for round in 0..rounds {
+            for i in 0..rng.gen_range(1..10) {
+                let t = random_tuple(rng, 1);
+                tree.insert((round * 16 + i) as sitfact_core::TupleId, &t);
+            }
+            if let Err(v) = tree.audit() {
+                fail("KdTree", v);
+            }
+        }
+    }
+
+    fn random_cell(rng: &mut StdRng) -> (Constraint, SubspaceMask) {
+        let values = (0..2)
+            .map(|_| {
+                if rng.gen_range(0..3) == 0 {
+                    sitfact_core::UNBOUND
+                } else {
+                    rng.gen_range(0..3)
+                }
+            })
+            .collect();
+        let subspace = SubspaceMask((rng.gen_range(0..3) + 1) as u32);
+        (Constraint::from_values(values), subspace)
+    }
+
+    fn storm_store(
+        rng: &mut StdRng,
+        rounds: usize,
+        store: &mut (impl SkylineStore + Audit),
+        what: &str,
+    ) {
+        let mut next_id: sitfact_core::TupleId = 0;
+        let mut live: Vec<(Constraint, SubspaceMask, sitfact_core::TupleId)> = Vec::new();
+        for _ in 0..rounds {
+            for _ in 0..rng.gen_range(1..12) {
+                let (constraint, subspace) = random_cell(rng);
+                match rng.gen_range(0..4) {
+                    // Insert a fresh entry most of the time.
+                    0 | 1 => {
+                        let measures = [rng.gen_range(0..8) as f64, rng.gen_range(0..8) as f64];
+                        store.insert(&constraint, subspace, StoredEntry::new(next_id, &measures));
+                        live.push((constraint, subspace, next_id));
+                        next_id += 1;
+                    }
+                    // Remove a previously inserted entry.
+                    2 => {
+                        if !live.is_empty() {
+                            let at = rng.gen_range(0..live.len() as u32) as usize;
+                            let (c, s, id) = live.swap_remove(at);
+                            assert!(store.remove(&c, s, id), "{what}: live entry removes");
+                        }
+                    }
+                    // Read back a random cell (exercises caching paths).
+                    _ => {
+                        let _ = store.read(&constraint, subspace);
+                    }
+                }
+            }
+            store.flush();
+            if let Err(v) = store.check() {
+                fail(what, v);
+            }
+        }
+    }
+
+    fn storm_monitors(rng: &mut StdRng, rounds: usize) {
+        let schema = schema(3);
+        let config = MonitorConfig::default().with_tau(2.0).with_keep_top(4);
+        let mut monitor = FactMonitor::new(
+            schema.clone(),
+            STopDown::new(&schema, config.discovery),
+            config,
+        );
+        let mut sharded = ShardedMonitor::new(schema.clone(), 0, 3, config, STopDown::new)
+            .expect("routing dim 0 of 3 is valid");
+        for _ in 0..rounds {
+            let window: Vec<Tuple> = (0..rng.gen_range(1..6))
+                .map(|_| {
+                    // Dense dimension values keep discovery fast.
+                    let dims = (0..3).map(|_| rng.gen_range(0..4)).collect();
+                    let measures = vec![rng.gen_range(0..6) as f64, rng.gen_range(0..6) as f64];
+                    Tuple::new(dims, measures)
+                })
+                .collect();
+            let reports = monitor
+                .ingest_batch_slice(&window)
+                .expect("schema-valid window ingests");
+            for report in &reports {
+                if let Err(v) = report.check() {
+                    fail("ArrivalReport", v);
+                }
+            }
+            sharded
+                .ingest_batch_slice(&window)
+                .expect("schema-valid window ingests");
+            if let Err(v) = monitor.audit() {
+                fail("FactMonitor", v);
+            }
+            if let Err(v) = sharded.audit() {
+                fail("ShardedMonitor", v);
+            }
+        }
+    }
+
+    pub fn run() {
+        let args: Vec<String> = std::env::args().collect();
+        let seed: u64 = arg_value(&args, "--seed", 7);
+        let rounds: usize = arg_value(&args, "--rounds", 12);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        storm_table(&mut rng, rounds);
+        storm_kdtree(&mut rng, rounds);
+        storm_store(
+            &mut rng,
+            rounds,
+            &mut MemorySkylineStore::new(),
+            "MemorySkylineStore",
+        );
+        let dir = std::env::temp_dir().join(format!("sitfact_audit_storm_{seed}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut file_store = FileSkylineStore::new(&dir).expect("temp dir for the file store");
+        storm_store(&mut rng, rounds, &mut file_store, "FileSkylineStore");
+        drop(file_store);
+        let _ = std::fs::remove_dir_all(&dir);
+        storm_monitors(&mut rng, rounds);
+
+        println!("audit_storm: all deep audits passed (seed {seed}, {rounds} rounds)");
+    }
+}

@@ -30,7 +30,10 @@
 //! * [`routing`] — the routing-soundness predicates that make a partitioned
 //!   stream provably equivalent to an unsharded one;
 //! * [`pool`] — a vendored worker thread-pool (no crates.io access here) used
-//!   to fan batched windows out across shards.
+//!   to fan batched windows out across shards;
+//! * [`audit`] — the [`Audit`] trait and [`AuditViolation`] record behind the
+//!   deep structural validators every data structure exposes under
+//!   `cfg(any(test, debug_assertions, feature = "deep-audit"))`.
 //!
 //! ## Example
 //!
@@ -55,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod constraint;
 pub mod dictionary;
@@ -70,6 +74,7 @@ pub mod subspace;
 pub mod tuple;
 pub mod value;
 
+pub use audit::{Audit, AuditViolation};
 pub use config::DiscoveryConfig;
 pub use constraint::{BoundMask, Constraint};
 pub use dictionary::Dictionary;

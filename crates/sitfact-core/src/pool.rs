@@ -67,7 +67,7 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("sitfact-pool-{i}"))
                     .spawn(move || worker_loop(&receiver, &caught))
-                    .expect("spawn pool worker")
+                    .expect("spawn pool worker") // audit: allow(no-panic): OS thread-spawn failure at pool construction is unrecoverable
             })
             .collect();
         ThreadPool {
@@ -104,9 +104,9 @@ impl ThreadPool {
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
         self.sender
             .as_ref()
-            .expect("pool sender alive until drop")
+            .expect("pool sender alive until drop") // audit: allow(no-panic): sender is Some until Drop; a None here is pool misuse, not input
             .send(Box::new(job))
-            .expect("pool workers alive until drop");
+            .expect("pool workers alive until drop"); // audit: allow(no-panic): workers only hang up after the sender drops, so send cannot fail
     }
 
     /// Runs every task on the pool and returns their results **in submission
@@ -141,11 +141,12 @@ impl ThreadPool {
         for _ in 0..n {
             let (index, outcome) = result_rx
                 .recv()
-                .expect("a pool worker died before returning a result");
+                .expect("a pool worker died before returning a result"); // audit: allow(no-panic): worker panics are caught in worker_loop; a dead worker is a pool bug
             slots[index] = Some(outcome);
         }
         let mut results = Vec::with_capacity(n);
         let mut first_panic = None;
+        // audit: allow(no-panic): the loop above filled exactly one slot per received result
         for outcome in slots.into_iter().map(|s| s.expect("every slot filled")) {
             match outcome {
                 Ok(value) => results.push(value),

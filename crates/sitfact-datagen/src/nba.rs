@@ -26,6 +26,7 @@ pub fn nba_dimension_names(d: usize) -> Vec<&'static str> {
         8 => vec![
             "player", "position", "college", "state", "season", "month", "team", "opp_team",
         ],
+        // audit: allow(no-panic): documented precondition of the synthetic dataset catalog
         _ => panic!("the NBA dataset defines dimension spaces for d in 4..=8, got {d}"),
     }
 }
@@ -53,7 +54,7 @@ pub fn nba_schema(d: usize, m: usize) -> Schema {
     for (name, dir) in nba_measure_names(m) {
         builder = builder.measure(name, dir);
     }
-    builder.build().expect("NBA schema is valid")
+    builder.build().expect("NBA schema is valid") // audit: allow(no-panic): fixed name catalog, duplicates impossible
 }
 
 /// Configuration of the [`NbaGenerator`].

@@ -59,10 +59,7 @@ impl ZipfSampler {
     /// Draws an index in `0..n`.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen_range(0.0..1.0);
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
         }

@@ -77,7 +77,7 @@ impl StockGenerator {
             .measure("market_cap_b", Direction::HigherIsBetter)
             .measure("drawdown_pct", Direction::LowerIsBetter)
             .build()
-            .expect("stock schema is valid");
+            .expect("stock schema is valid"); // audit: allow(no-panic): fixed name catalog, duplicates impossible
         let mut rng = StdRng::seed_from_u64(config.seed);
         let tickers = (0..config.tickers)
             .map(|i| TickerProfile {

@@ -36,6 +36,7 @@ pub fn weather_dimension_names(d: usize) -> Vec<&'static str> {
             "wind_dir_night",
             "visibility",
         ],
+        // audit: allow(no-panic): documented precondition of the synthetic dataset catalog
         _ => panic!("the weather dataset defines dimension spaces for d in 4..=7, got {d}"),
     }
 }
@@ -64,7 +65,7 @@ pub fn weather_schema(d: usize, m: usize) -> Schema {
     for (name, dir) in weather_measure_names(m) {
         builder = builder.measure(name, dir);
     }
-    builder.build().expect("weather schema is valid")
+    builder.build().expect("weather schema is valid") // audit: allow(no-panic): fixed name catalog, duplicates impossible
 }
 
 /// Configuration of the [`WeatherGenerator`].

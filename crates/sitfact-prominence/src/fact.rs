@@ -102,6 +102,85 @@ impl ArrivalReport {
     pub fn normalize(&mut self) {
         self.facts.sort_by(RankedFact::ranking_cmp);
     }
+
+    /// Deep structural self-check; see [`sitfact_core::audit::Audit`].
+    #[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+    pub fn audit(&self) -> Result<(), sitfact_core::AuditViolation> {
+        sitfact_core::Audit::check(self)
+    }
+}
+
+/// Checks that a report is in the canonical normalized form every monitor
+/// emits: facts sorted by [`RankedFact::ranking_cmp`] (so `normalize` is a
+/// no-op) and `prominent_count` marking exactly the prefix of facts tied
+/// with the maximum prominence.
+#[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+impl sitfact_core::Audit for ArrivalReport {
+    fn check(&self) -> Result<(), sitfact_core::AuditViolation> {
+        use sitfact_core::AuditViolation;
+        let fail = |invariant: &'static str, detail: String| {
+            Err(AuditViolation::new("ArrivalReport", invariant, detail))
+        };
+        for (pos, pair) in self.facts.windows(2).enumerate() {
+            if RankedFact::ranking_cmp(&pair[0], &pair[1]) == std::cmp::Ordering::Greater {
+                return fail(
+                    "facts-normalized",
+                    format!(
+                        "tuple {}: facts {pos} and {} are out of canonical ranking order \
+                         (prominence {} before {})",
+                        self.tuple_id,
+                        pos + 1,
+                        pair[0].prominence(),
+                        pair[1].prominence()
+                    ),
+                );
+            }
+        }
+        if self.prominent_count > self.facts.len() {
+            return fail(
+                "prominent-count-bounded",
+                format!(
+                    "tuple {}: prominent_count = {} exceeds the {} retained facts",
+                    self.tuple_id,
+                    self.prominent_count,
+                    self.facts.len()
+                ),
+            );
+        }
+        // `prominent_count = 0` can also mean "maximum below τ", which the
+        // report does not record — only a positive count is checkable.
+        if self.prominent_count > 0 {
+            let max = self.facts[0].prominence();
+            let tied = |f: &RankedFact| (f.prominence() - max).abs() < f64::EPSILON;
+            if let Some(pos) = self.facts[..self.prominent_count]
+                .iter()
+                .position(|f| !tied(f))
+            {
+                return fail(
+                    "prominent-prefix-tied",
+                    format!(
+                        "tuple {}: fact {pos} is marked prominent but its prominence {} is \
+                         not tied with the maximum {max}",
+                        self.tuple_id,
+                        self.facts[pos].prominence()
+                    ),
+                );
+            }
+            if let Some(f) = self.facts.get(self.prominent_count) {
+                if tied(f) {
+                    return fail(
+                        "prominent-prefix-tied",
+                        format!(
+                            "tuple {}: fact {} ties the maximum prominence {max} but is not \
+                             counted prominent",
+                            self.tuple_id, self.prominent_count
+                        ),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

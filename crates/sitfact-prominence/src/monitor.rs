@@ -144,6 +144,7 @@ impl<A: Discovery> FactMonitor<A> {
     /// so only field-by-field construction can reach this.
     pub fn new(schema: Schema, algorithm: A, config: MonitorConfig) -> Self {
         if let Err(err) = config.validate() {
+            // audit: allow(no-panic): documented panic; builders validate configs before this
             panic!("FactMonitor::new: {err}");
         }
         let d_hat = config.discovery.effective_d_hat(&schema);
@@ -164,6 +165,12 @@ impl<A: Discovery> FactMonitor<A> {
     /// The underlying algorithm (read access, e.g. for statistics).
     pub fn algorithm(&self) -> &A {
         &self.algorithm
+    }
+
+    /// Deep structural self-check; see [`sitfact_core::audit::Audit`].
+    #[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+    pub fn audit(&self) -> std::result::Result<(), sitfact_core::AuditViolation> {
+        sitfact_core::Audit::check(self)
     }
 
     /// Drops the pairs excluded by the config's anchor restriction (no-op for
@@ -296,6 +303,60 @@ impl<A: Discovery> StreamMonitor for FactMonitor<A> {
         }
         self.algorithm.end_batch();
         Ok(reports)
+    }
+}
+
+/// Re-derives the monitor's denormalized state from the table: a fresh
+/// [`ContextCounter`] rebuilt from the rows must agree with the incrementally
+/// maintained one entry-for-entry (same constraints, same cardinalities),
+/// after the table passes its own deep audit.
+#[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+impl<A: Discovery> sitfact_core::Audit for FactMonitor<A> {
+    fn check(&self) -> std::result::Result<(), sitfact_core::AuditViolation> {
+        use sitfact_core::AuditViolation;
+        let fail = |invariant: &'static str, detail: String| {
+            Err(AuditViolation::new("FactMonitor", invariant, detail))
+        };
+        self.table.audit()?;
+        if self.counter.observed_tuples() != self.table.len() as u64 {
+            return fail(
+                "counter-observed-len",
+                format!(
+                    "counter observed {} tuples, table holds {}",
+                    self.counter.observed_tuples(),
+                    self.table.len()
+                ),
+            );
+        }
+        let schema = self.table.schema();
+        let mut rebuilt = ContextCounter::new(
+            schema.num_dimensions(),
+            self.config.discovery.effective_d_hat(schema),
+        );
+        rebuilt.observe_batch(self.table.iter().map(|(_, view)| view));
+        if rebuilt.tracked_constraints() != self.counter.tracked_constraints() {
+            return fail(
+                "counter-rebuildable",
+                format!(
+                    "counter tracks {} constraints, a rebuild from the table tracks {}",
+                    self.counter.tracked_constraints(),
+                    rebuilt.tracked_constraints()
+                ),
+            );
+        }
+        for (constraint, count) in self.counter.iter_counts() {
+            let truth = rebuilt.cardinality(constraint);
+            if truth != count {
+                return fail(
+                    "counter-rebuildable",
+                    format!(
+                        "counter says |σ_{constraint:?}| = {count}, rebuilding from the \
+                         table gives {truth}"
+                    ),
+                );
+            }
+        }
+        Ok(())
     }
 }
 

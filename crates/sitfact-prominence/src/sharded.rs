@@ -273,6 +273,7 @@ impl<A: Discovery + Send + 'static> ShardedMonitor<A> {
         self.locations
             .extend(std::iter::repeat_n((u32::MAX, 0), total));
         for (shard, outcome) in outcomes.into_iter().enumerate() {
+            // audit: allow(no-panic): the error pass over `outcomes` above returned early
             let reports = outcome.expect("errors were handled above");
             debug_assert_eq!(reports.len(), positions[shard].len());
             for (j, mut report) in reports.into_iter().enumerate() {
@@ -286,6 +287,7 @@ impl<A: Discovery + Send + 'static> ShardedMonitor<A> {
         }
         Ok(merged
             .into_iter()
+            // audit: allow(no-panic): each position was routed to exactly one shard batch
             .map(|r| r.expect("every arrival produced exactly one report"))
             .collect())
     }
@@ -312,6 +314,104 @@ impl<A: Discovery + Send + 'static> ShardedMonitor<A> {
             !self.shards.is_empty(),
             "ShardedMonitor is poisoned: a shard panicked during an earlier parallel ingest"
         );
+    }
+
+    /// Deep structural self-check; see [`sitfact_core::audit::Audit`].
+    #[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+    pub fn audit(&self) -> std::result::Result<(), sitfact_core::AuditViolation> {
+        sitfact_core::Audit::check(self)
+    }
+}
+
+/// Re-derives the global-to-local routing table: `locations` must be a
+/// bijection onto the shard rows, every recorded shard must be the one
+/// [`ShardedMonitor::shard_of`] routes the tuple's routing value to, and
+/// every shard must pass its own [`FactMonitor`] audit.
+#[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+impl<A: Discovery + Send + 'static> sitfact_core::Audit for ShardedMonitor<A> {
+    fn check(&self) -> std::result::Result<(), sitfact_core::AuditViolation> {
+        use sitfact_core::AuditViolation;
+        let fail = |invariant: &'static str, detail: String| {
+            Err(AuditViolation::new("ShardedMonitor", invariant, detail))
+        };
+        if self.shards.is_empty() {
+            if self.locations.is_empty() {
+                // A poisoned monitor with no history is merely unusable.
+                return Ok(());
+            }
+            return fail(
+                "poisoned-with-history",
+                format!(
+                    "no shards remain but {} tuples are still located",
+                    self.locations.len()
+                ),
+            );
+        }
+        let total: usize = self.shards.iter().map(|s| s.table().len()).sum();
+        if total != self.locations.len() {
+            return fail(
+                "location-coverage",
+                format!(
+                    "shards hold {total} rows in total but {} global ids are located",
+                    self.locations.len()
+                ),
+            );
+        }
+        let mut seen: Vec<Vec<bool>> = self
+            .shards
+            .iter()
+            .map(|s| vec![false; s.table().len()])
+            .collect();
+        for (global, &(shard, local)) in self.locations.iter().enumerate() {
+            let Some(monitor) = self.shards.get(shard as usize) else {
+                return fail(
+                    "location-in-range",
+                    format!(
+                        "global id {global} routes to shard {shard} of {}",
+                        self.shards.len()
+                    ),
+                );
+            };
+            if local as usize >= monitor.table().len() {
+                return fail(
+                    "location-in-range",
+                    format!(
+                        "global id {global} routes to row {local} of shard {shard}, which \
+                         holds {} rows",
+                        monitor.table().len()
+                    ),
+                );
+            }
+            if std::mem::replace(&mut seen[shard as usize][local as usize], true) {
+                return fail(
+                    "location-bijective",
+                    format!(
+                        "shard {shard} row {local} is claimed by global id {global} and an \
+                         earlier global id"
+                    ),
+                );
+            }
+            let value = monitor.table().tuple(local).dim(self.routing_dim);
+            let expect = self.shard_of(value);
+            if expect != shard as usize {
+                return fail(
+                    "routing-consistent",
+                    format!(
+                        "global id {global} (routing value {value}) lives on shard {shard} \
+                         but shard_of routes it to {expect}"
+                    ),
+                );
+            }
+        }
+        for (index, monitor) in self.shards.iter().enumerate() {
+            if let Err(violation) = monitor.audit() {
+                return fail(
+                    "shard-audit",
+                    format!("shard {index}: {}", violation.explain()),
+                );
+            }
+        }
+        Ok(())
     }
 }
 

@@ -23,6 +23,7 @@ pub fn parsed<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
         None => default,
         Some(raw) => raw
             .parse()
+            // audit: allow(no-panic): demo-binary CLI parsing, documented to panic on bad flags
             .unwrap_or_else(|_| panic!("{name}: cannot parse {raw:?}")),
     }
 }

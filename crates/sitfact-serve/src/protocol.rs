@@ -102,6 +102,25 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<String>, ServeError> 
         .map_err(|e| ServeError::Protocol(format!("frame payload is not UTF-8: {e}")))
 }
 
+/// Every request verb of the grammar, exactly as it travels on the wire.
+///
+/// This is the machine-readable form of the grammar documented above and in
+/// ROADMAP.md — the `sitfact-audit` drift check compares the two, and unit
+/// tests in this module tie the list to what `encode`/`decode` actually
+/// produce and accept.
+pub const REQUEST_VERBS: [&str; 6] = [
+    "PING",
+    "STATS",
+    "SHUTDOWN",
+    "TOPK",
+    "INGEST",
+    "INGEST_BATCH",
+];
+
+/// Every response verb of the grammar, exactly as it travels on the wire.
+/// See [`REQUEST_VERBS`] for why this list exists.
+pub const RESPONSE_VERBS: [&str; 6] = ["PONG", "BYE", "STATS", "REPORT", "REPORTS", "ERR"];
+
 /// One raw row as the client submits it: dimension strings plus measures,
 /// interned and validated by the server against its schema.
 #[derive(Debug, Clone, PartialEq)]
@@ -552,6 +571,75 @@ mod tests {
             ],
             prominent_count: 1,
         }
+    }
+
+    #[test]
+    fn verb_constants_match_encode_and_decode() {
+        // Every request variant's encoding starts with a verb from
+        // REQUEST_VERBS, and together they cover the whole list — so the
+        // constants (and the ROADMAP grammar audited against them) cannot
+        // drift from the codec.
+        let requests = [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::TopK(3),
+            Request::Ingest(RawRow::new(&["a"], &[1.0])),
+            Request::IngestBatch(vec![RawRow::new(&["a"], &[1.0])]),
+        ];
+        let mut seen: Vec<&str> = Vec::new();
+        for request in &requests {
+            let payload = request.encode().unwrap();
+            let verb = payload
+                .split(['\t', '\n'])
+                .next()
+                .expect("encoded request is non-empty");
+            let canonical = REQUEST_VERBS
+                .iter()
+                .find(|&&v| v == verb)
+                .unwrap_or_else(|| panic!("verb {verb:?} missing from REQUEST_VERBS"));
+            seen.push(canonical);
+            // The codec accepts its own rendering back.
+            assert_eq!(&Request::decode(&payload).unwrap(), request);
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), REQUEST_VERBS.len());
+
+        let responses = [
+            Response::Pong,
+            Response::Bye,
+            Response::Stats(ServerStats {
+                len: 1,
+                tau: 2.0,
+                keep_top: None,
+                anchor_dim: None,
+                schema: "s".into(),
+            }),
+            Response::Report(sample_report()),
+            Response::Reports(vec![sample_report()]),
+            Response::Error {
+                kind: "State".into(),
+                message: "m".into(),
+            },
+        ];
+        let mut seen: Vec<&str> = Vec::new();
+        for response in &responses {
+            let payload = response.encode();
+            let verb = payload
+                .split(['\t', '\n'])
+                .next()
+                .expect("encoded response is non-empty");
+            let canonical = RESPONSE_VERBS
+                .iter()
+                .find(|&&v| v == verb)
+                .unwrap_or_else(|| panic!("verb {verb:?} missing from RESPONSE_VERBS"));
+            seen.push(canonical);
+            assert_eq!(&Response::decode(&payload).unwrap(), response);
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), RESPONSE_VERBS.len());
     }
 
     #[test]

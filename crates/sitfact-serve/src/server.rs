@@ -358,6 +358,7 @@ fn relay(err: &sitfact_core::SitFactError) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ServeError;
     use sitfact_algos::STopDown;
     use sitfact_core::{Direction, SchemaBuilder};
     use sitfact_prominence::{FactMonitor, MonitorConfig};
@@ -391,6 +392,53 @@ mod tests {
         let join = std::thread::spawn(move || server.run());
         handle.shutdown();
         handle.shutdown(); // idempotent
+        join.join().expect("no panic").expect("clean exit");
+    }
+
+    #[test]
+    fn poisoned_monitor_relays_typed_err_and_survives_reconnects() {
+        let server = FactServer::bind("127.0.0.1:0", monitor()).unwrap();
+        let addr = server.local_addr();
+        let shared = Arc::clone(&server.shared);
+        let join = std::thread::spawn(move || server.run());
+
+        let mut first = crate::client::Client::connect(addr).unwrap();
+        first.ingest(&["Wesley"], &[10.0]).unwrap();
+
+        // Poison the monitor mutex the way a buggy request handler would:
+        // panic while holding the lock.
+        let poisoner = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let _guard = shared.state.lock().unwrap();
+                panic!("deliberate poison");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(shared.state.lock().is_err(), "mutex must be poisoned");
+
+        // The already-open connection gets a typed ERR, not a hangup...
+        match first.stats() {
+            Err(ServeError::Remote { kind, message }) => {
+                assert_eq!(kind, "State");
+                assert!(message.contains("poisoned"), "{message}");
+            }
+            other => panic!("expected a State error, got {other:?}"),
+        }
+        // ...and liveness still answers, because PING never takes the lock.
+        first.ping().unwrap();
+
+        // A fresh connection (client reconnect) sees the same typed error
+        // instead of a dead server.
+        let mut second = crate::client::Client::connect(addr).unwrap();
+        match second.ingest(&["Dirk"], &[20.0]) {
+            Err(ServeError::Remote { kind, .. }) => assert_eq!(kind, "State"),
+            other => panic!("expected a State error, got {other:?}"),
+        }
+        second.ping().unwrap();
+
+        // Shutdown still works over the wire: it never touches the monitor.
+        second.shutdown().unwrap();
         join.join().expect("no panic").expect("clean exit");
     }
 

@@ -210,6 +210,81 @@ impl FileSkylineStore {
     pub fn file_count(&self) -> usize {
         self.index.len()
     }
+
+    /// Deep structural self-check; see [`sitfact_core::audit::Audit`].
+    #[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+    pub fn audit(&self) -> Result<(), sitfact_core::AuditViolation> {
+        sitfact_core::Audit::check(self)
+    }
+}
+
+/// Checks the index-≡-disk invariant the store's "empty cells cost no I/O"
+/// property rests on: every indexed cell decodes from its file to exactly
+/// the indexed entry count with unique ids. The currently buffered cell is
+/// checked against the buffer instead (a dirty buffer is deliberately ahead
+/// of its file until the next flush).
+#[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+impl sitfact_core::Audit for FileSkylineStore {
+    fn check(&self) -> Result<(), sitfact_core::AuditViolation> {
+        use sitfact_core::AuditViolation;
+        let fail = |invariant: &'static str, detail: String| {
+            Err(AuditViolation::new("FileSkylineStore", invariant, detail))
+        };
+        for (key, &count) in &self.index {
+            if count == 0 {
+                return fail(
+                    "index-counts-positive",
+                    format!(
+                        "cell {:?} is indexed with zero entries",
+                        Self::file_name(key)
+                    ),
+                );
+            }
+            let buffered = self.buffer.as_ref().filter(|b| b.key == *key);
+            if let Some(buffer) = buffered {
+                if !buffer.dirty && buffer.entries.len() != count as usize {
+                    return fail(
+                        "buffer-matches-index",
+                        format!(
+                            "clean buffer for cell {:?} holds {} entries, index says {count}",
+                            Self::file_name(key),
+                            buffer.entries.len()
+                        ),
+                    );
+                }
+                continue;
+            }
+            let path = self.path_for(key);
+            let data = match fs::read(&path) {
+                Ok(data) => data,
+                Err(err) => {
+                    return fail(
+                        "index-has-file",
+                        format!("indexed cell file {path:?} is unreadable: {err}"),
+                    )
+                }
+            };
+            let entries = Self::decode(&data);
+            if entries.len() != count as usize {
+                return fail(
+                    "file-matches-index",
+                    format!(
+                        "cell file {path:?} decodes to {} entries, index says {count}",
+                        entries.len()
+                    ),
+                );
+            }
+            for (pos, entry) in entries.iter().enumerate() {
+                if entries[..pos].iter().any(|prior| prior.id == entry.id) {
+                    return fail(
+                        "unique-ids-per-cell",
+                        format!("cell file {path:?} stores id {} twice", entry.id),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Drop for FileSkylineStore {

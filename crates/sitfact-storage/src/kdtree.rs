@@ -153,6 +153,119 @@ impl KdTree {
     pub fn approx_heap_bytes(&self) -> usize {
         self.nodes.len() * (self.dims * 8 + std::mem::size_of::<Node>())
     }
+
+    /// Deep structural self-check; see [`sitfact_core::audit::Audit`].
+    #[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+    pub fn audit(&self) -> Result<(), sitfact_core::AuditViolation> {
+        sitfact_core::Audit::check(self)
+    }
+}
+
+/// Checks the spatial invariant `candidates_at_least` prunes by: every node
+/// in a left subtree is strictly below its ancestor on the ancestor's split
+/// axis, every node on the right is at least it — propagated as per-axis
+/// interval bounds down the tree — plus arena reachability (the root reaches
+/// each node exactly once) and point arity.
+#[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+impl sitfact_core::Audit for KdTree {
+    fn check(&self) -> Result<(), sitfact_core::AuditViolation> {
+        use sitfact_core::AuditViolation;
+        let fail = |invariant: &'static str, detail: String| {
+            Err(AuditViolation::new("KdTree", invariant, detail))
+        };
+        if self.root.is_none() != self.nodes.is_empty() {
+            return fail(
+                "root-consistent",
+                format!(
+                    "root = {:?} but the arena holds {} nodes",
+                    self.root,
+                    self.nodes.len()
+                ),
+            );
+        }
+        if self.directions.len() != self.dims {
+            return fail(
+                "direction-arity",
+                format!(
+                    "{} directions for {} axes",
+                    self.directions.len(),
+                    self.dims
+                ),
+            );
+        }
+        let mut visited = vec![false; self.nodes.len()];
+        // (node, depth, per-axis lower bound inclusive, upper bound exclusive)
+        let mut stack: Vec<(u32, usize, Vec<f64>, Vec<f64>)> = Vec::new();
+        if let Some(root) = self.root {
+            stack.push((
+                root,
+                0,
+                vec![f64::NEG_INFINITY; self.dims],
+                vec![f64::INFINITY; self.dims],
+            ));
+        }
+        while let Some((index, depth, lo, hi)) = stack.pop() {
+            let Some(node) = self.nodes.get(index as usize) else {
+                return fail(
+                    "child-in-arena",
+                    format!(
+                        "child index {index} out of range ({} nodes)",
+                        self.nodes.len()
+                    ),
+                );
+            };
+            if std::mem::replace(&mut visited[index as usize], true) {
+                return fail(
+                    "tree-shape",
+                    format!("node {index} is reachable twice (shared child or cycle)"),
+                );
+            }
+            if node.point.len() != self.dims {
+                return fail(
+                    "point-arity",
+                    format!(
+                        "node {index} holds {} coordinates, want {}",
+                        node.point.len(),
+                        self.dims
+                    ),
+                );
+            }
+            for axis in 0..self.dims {
+                let v = node.point[axis];
+                if v.is_nan() || v < lo[axis] || v >= hi[axis] {
+                    return fail(
+                        "bounding-box",
+                        format!(
+                            "node {index} (id {}) coordinate {v} on axis {axis} escapes the \
+                             interval [{}, {}) its ancestors imply",
+                            node.id, lo[axis], hi[axis]
+                        ),
+                    );
+                }
+            }
+            let axis = depth % self.dims;
+            if let Some(left) = node.left {
+                let mut child_hi = hi.clone();
+                child_hi[axis] = child_hi[axis].min(node.point[axis]);
+                stack.push((left, depth + 1, lo.clone(), child_hi));
+            }
+            if let Some(right) = node.right {
+                let mut child_lo = lo;
+                child_lo[axis] = child_lo[axis].max(node.point[axis]);
+                stack.push((right, depth + 1, child_lo, hi));
+            }
+        }
+        if let Some(unreached) = visited.iter().position(|&v| !v) {
+            return fail(
+                "tree-shape",
+                format!(
+                    "node {unreached} (id {}) is in the arena but unreachable from the root",
+                    self.nodes[unreached].id
+                ),
+            );
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,153 @@ impl MemorySkylineStore {
             .and_then(|by_subspace| by_subspace.get(&subspace))
             .map_or(0, |entries| entries.len())
     }
+
+    /// Deep structural self-check; see [`sitfact_core::audit::Audit`].
+    #[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+    pub fn audit(&self) -> Result<(), sitfact_core::AuditViolation> {
+        sitfact_core::Audit::check(self)
+    }
+
+    /// Extends [`MemorySkylineStore::audit`] with the semantic skyline
+    /// invariant, which needs the measure directions the store itself does
+    /// not hold: every stored cell must *be* its own skyline — recomputing
+    /// the skyline of the stored members in the cell's subspace must keep
+    /// them all (no stored entry dominates another).
+    #[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+    pub fn audit_with_directions(
+        &self,
+        directions: &[sitfact_core::Direction],
+    ) -> Result<(), sitfact_core::AuditViolation> {
+        self.audit()?;
+        for (constraint, subspace, entries) in self.iter_cells() {
+            for a in entries {
+                for b in entries {
+                    if dominates_measures(&a.measures, &b.measures, subspace, directions) {
+                        return Err(sitfact_core::AuditViolation::new(
+                            "MemorySkylineStore",
+                            "cell-is-own-skyline",
+                            format!(
+                                "in cell ({constraint:?}, {subspace:?}) stored entry {} \
+                                 dominates stored entry {} — recomputing the skyline from \
+                                 the members would drop {}",
+                                a.id, b.id, b.id
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `dominates` over raw measure slices (a [`StoredEntry`] has no dimension
+/// columns, so it cannot be a `TupleView`).
+#[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+fn dominates_measures(
+    left: &[f64],
+    right: &[f64],
+    m: SubspaceMask,
+    directions: &[sitfact_core::Direction],
+) -> bool {
+    let mut strictly_better = false;
+    for i in m.indices() {
+        let (a, b) = (left[i], right[i]);
+        if a == b {
+            continue;
+        }
+        if directions[i].better(a, b) {
+            strictly_better = true;
+        } else {
+            return false;
+        }
+    }
+    strictly_better
+}
+
+/// Re-derives the store's denormalized bookkeeping from the cell contents:
+/// entry/cell counters, no retained empty cells or inner maps (reads of
+/// absent cells must stay allocation-free), and id uniqueness plus uniform
+/// measure arity within each cell.
+#[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+impl sitfact_core::Audit for MemorySkylineStore {
+    fn check(&self) -> Result<(), sitfact_core::AuditViolation> {
+        use sitfact_core::AuditViolation;
+        let fail = |invariant: &'static str, detail: String| {
+            Err(AuditViolation::new("MemorySkylineStore", invariant, detail))
+        };
+        let mut entries = 0u64;
+        let mut cells = 0u64;
+        for (constraint, by_subspace) in &self.cells {
+            if by_subspace.is_empty() {
+                return fail(
+                    "no-empty-cells",
+                    format!("constraint {constraint:?} maps to an empty subspace map"),
+                );
+            }
+            for (&subspace, cell) in by_subspace {
+                if cell.is_empty() {
+                    return fail(
+                        "no-empty-cells",
+                        format!("cell ({constraint:?}, {subspace:?}) is retained but empty"),
+                    );
+                }
+                cells += 1;
+                entries += cell.len() as u64;
+                let arity = cell[0].measures.len();
+                for (pos, entry) in cell.iter().enumerate() {
+                    if entry.measures.len() != arity {
+                        return fail(
+                            "uniform-measure-arity",
+                            format!(
+                                "cell ({constraint:?}, {subspace:?}) entry {} holds {} \
+                                 measures where the cell's first entry holds {arity}",
+                                entry.id,
+                                entry.measures.len()
+                            ),
+                        );
+                    }
+                    if cell[..pos].iter().any(|prior| prior.id == entry.id) {
+                        return fail(
+                            "unique-ids-per-cell",
+                            format!(
+                                "cell ({constraint:?}, {subspace:?}) stores id {} twice",
+                                entry.id
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if entries != self.stored_entries {
+            return fail(
+                "entry-counter",
+                format!(
+                    "stored_entries = {} but the cells hold {entries} entries",
+                    self.stored_entries
+                ),
+            );
+        }
+        if cells != self.non_empty_cells {
+            return fail(
+                "cell-counter",
+                format!(
+                    "non_empty_cells = {} but {cells} non-empty cells exist",
+                    self.non_empty_cells
+                ),
+            );
+        }
+        if !self.empty.is_empty() {
+            return fail(
+                "empty-sentinel",
+                format!(
+                    "the shared empty-cell sentinel holds {} entries",
+                    self.empty.len()
+                ),
+            );
+        }
+        Ok(())
+    }
 }
 
 impl SkylineStore for MemorySkylineStore {

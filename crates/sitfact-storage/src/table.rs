@@ -445,6 +445,157 @@ impl Table {
         self.get(id)
             .ok_or_else(|| SitFactError::InvalidTuple(format!("tuple id {id} out of range")))
     }
+
+    /// Deep structural self-check; see [`sitfact_core::audit::Audit`].
+    #[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+    pub fn audit(&self) -> std::result::Result<(), sitfact_core::AuditViolation> {
+        sitfact_core::Audit::check(self)
+    }
+}
+
+/// Re-derives every piece of denormalized table state from the primary
+/// columns: column strides, posting-list sortedness/dedup/exact coverage of
+/// the dimension columns, measure validity and the heap-bytes formula.
+#[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+impl sitfact_core::Audit for Table {
+    fn check(&self) -> std::result::Result<(), sitfact_core::AuditViolation> {
+        use sitfact_core::AuditViolation;
+        let fail = |invariant: &'static str, detail: String| {
+            Err(AuditViolation::new("Table", invariant, detail))
+        };
+
+        // Columns are flat row-major arrays: exactly `len` strides each.
+        if self.dims.len() != self.len * self.n_dims {
+            return fail(
+                "column-stride",
+                format!(
+                    "dims column holds {} ids, want len × n_dims = {} × {} = {}",
+                    self.dims.len(),
+                    self.len,
+                    self.n_dims,
+                    self.len * self.n_dims
+                ),
+            );
+        }
+        if self.measures.len() != self.len * self.n_measures {
+            return fail(
+                "column-stride",
+                format!(
+                    "measures column holds {} values, want len × n_measures = {} × {} = {}",
+                    self.measures.len(),
+                    self.len,
+                    self.n_measures,
+                    self.len * self.n_measures
+                ),
+            );
+        }
+        // Append-time validation rejects NaN measures; none may sneak in.
+        if let Some(pos) = self.measures.iter().position(|m| m.is_nan()) {
+            return fail(
+                "measures-not-nan",
+                format!(
+                    "measures[{pos}] (row {}, attr {}) is NaN",
+                    pos / self.n_measures.max(1),
+                    pos % self.n_measures.max(1)
+                ),
+            );
+        }
+
+        // One posting map per dimension attribute.
+        if self.postings.len() != self.n_dims {
+            return fail(
+                "posting-arity",
+                format!(
+                    "{} posting maps for {} dimension attributes",
+                    self.postings.len(),
+                    self.n_dims
+                ),
+            );
+        }
+        for (attr, map) in self.postings.iter().enumerate() {
+            let mut total = 0usize;
+            for (&value, list) in map {
+                if list.is_empty() {
+                    return fail(
+                        "posting-list-nonempty",
+                        format!("attr {attr} value {value} maps to an empty posting list"),
+                    );
+                }
+                // Strictly ascending ⇒ sorted *and* deduplicated.
+                for pair in list.windows(2) {
+                    if pair[0] >= pair[1] {
+                        return fail(
+                            "posting-list-sorted",
+                            format!(
+                                "attr {attr} value {value}: ids {} then {} are not strictly \
+                                 ascending",
+                                pair[0], pair[1]
+                            ),
+                        );
+                    }
+                }
+                if let Some(&last) = list.last() {
+                    if last as usize >= self.len {
+                        return fail(
+                            "posting-id-in-range",
+                            format!(
+                                "attr {attr} value {value}: id {last} out of range (len {})",
+                                self.len
+                            ),
+                        );
+                    }
+                }
+                total += list.len();
+            }
+            // Every row appears in exactly one list per attribute…
+            if total != self.len {
+                return fail(
+                    "posting-coverage",
+                    format!(
+                        "attr {attr}: posting lists hold {total} ids in total, want one per \
+                         row = {}",
+                        self.len
+                    ),
+                );
+            }
+            // …namely the list of the value its dims column records. Together
+            // with the count above this makes the column exactly
+            // reconstructible from the posting lists.
+            for row in 0..self.len {
+                let value = self.dims[row * self.n_dims + attr];
+                let found = map
+                    .get(&value)
+                    .is_some_and(|list| list.binary_search(&(row as TupleId)).is_ok());
+                if !found {
+                    return fail(
+                        "posting-reconstructible",
+                        format!(
+                            "row {row} has value {value} for attr {attr}, but the posting \
+                             list for that value does not contain it"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // The documented memory formula must track the actual layout.
+        let distinct: usize = self.postings.iter().map(PostingMap::len).sum();
+        let expect = self.len * self.n_dims * std::mem::size_of::<DimValueId>()
+            + self.len * self.n_measures * std::mem::size_of::<f64>()
+            + self.len * self.n_dims * std::mem::size_of::<TupleId>()
+            + distinct * (std::mem::size_of::<DimValueId>() + std::mem::size_of::<Vec<TupleId>>())
+            + self.schema.approx_heap_bytes();
+        if self.approx_heap_bytes() != expect {
+            return fail(
+                "heap-bytes-formula",
+                format!(
+                    "approx_heap_bytes() = {}, independent recomputation = {expect}",
+                    self.approx_heap_bytes()
+                ),
+            );
+        }
+        Ok(())
+    }
 }
 
 /// Iterator over a context `σ_C(R)`, yielding `(id, view)` pairs in arrival
@@ -587,6 +738,31 @@ mod tests {
         assert!(t.get(5).is_none());
         assert!(t.require(5).is_err());
         assert!(t.require(1).is_ok());
+    }
+
+    #[test]
+    fn audit_passes_on_real_tables_and_catches_corrupted_postings() {
+        let mut t = Table::new(schema());
+        t.append_raw(&["Wesley", "Celtics"], vec![12.0, 13.0])
+            .unwrap();
+        t.append_raw(&["Bogues", "Hornets"], vec![4.0, 12.0])
+            .unwrap();
+        t.append_raw(&["Wesley", "Hornets"], vec![7.0, 9.0])
+            .unwrap();
+        assert!(t.audit().is_ok());
+
+        // Corrupt one posting list behind the index's back: row 2's entry for
+        // ("player" == "Wesley") now points at row 1, which holds "Bogues".
+        let wesley = t.schema().dictionary(0).lookup("Wesley").unwrap();
+        let list = t.postings[0].get_mut(&wesley).unwrap();
+        assert_eq!(list, &vec![0, 2]);
+        list[1] = 1;
+        let violation = t.audit().expect_err("corruption must be caught");
+        let explained = violation.explain();
+        assert!(
+            explained.contains("Table") && explained.contains("posting"),
+            "explain must name the structure and the broken invariant: {explained}"
+        );
     }
 
     #[test]

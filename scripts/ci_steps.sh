@@ -19,7 +19,7 @@ CARGO=${CARGO:-cargo}
 
 # Ordered step registry. Adding a step here without wiring it into ci.yml
 # (or vice versa) fails `parity`.
-CI_STEPS=(fmt clippy build test check-targets doc quickstart fig-ingest-smoke fig-shard-smoke serve-smoke)
+CI_STEPS=(fmt clippy build test check-targets doc analyze quickstart fig-ingest-smoke fig-shard-smoke serve-smoke)
 
 run_step() {
   echo "==> $1"
@@ -30,6 +30,20 @@ run_step() {
     test) $CARGO test --workspace -q ;;
     check-targets) $CARGO check --workspace --examples --benches --bins ;;
     doc) RUSTDOCFLAGS="-D warnings" $CARGO doc --workspace --no-deps --quiet ;;
+    analyze)
+      # Static analysis + deep invariants (see ROADMAP "Static analysis &
+      # invariants"). Three legs:
+      #  1. the sitfact-audit lint/drift pass over the whole tree (its report
+      #     is uploaded as a CI artifact),
+      #  2. the test suite re-run in release mode with the deep `Audit`
+      #     validators compiled in (debug test runs get them for free via
+      #     debug_assertions; this leg proves the release gate too),
+      #  3. the randomized audit_storm smoke over every audited structure.
+      $CARGO run --release -p sitfact-audit --bin audit -- \
+        --report /tmp/sitfact_audit_report.txt
+      $CARGO test --release -q -p situational-facts --features deep-audit
+      $CARGO run --release -p sitfact-bench --features deep-audit \
+        --bin audit_storm ;;
     quickstart) $CARGO run --release --example quickstart ;;
     fig-ingest-smoke)
       # Small n keeps it fast; the binary asserts batched ingest produces

@@ -84,8 +84,9 @@ pub mod prelude {
         FsTopDown, SBottomUp, STopDown, TopDown,
     };
     pub use sitfact_core::{
-        BoundMask, Constraint, ConstraintLattice, Dictionary, Direction, DiscoveryConfig, Schema,
-        SchemaBuilder, SkylinePair, SubspaceMask, Tuple, TupleId, TupleRef, TupleView,
+        Audit, AuditViolation, BoundMask, Constraint, ConstraintLattice, Dictionary, Direction,
+        DiscoveryConfig, Schema, SchemaBuilder, SkylinePair, SubspaceMask, Tuple, TupleId,
+        TupleRef, TupleView,
     };
     pub use sitfact_datagen::{DataGenerator, Row};
     pub use sitfact_prominence::{

@@ -10,6 +10,12 @@ use sitfact_core::dominance::{self, DominancePartition};
 use sitfact_core::pair::canonical_sort;
 use situational_facts::prelude::*;
 
+/// Ends a property with a structure's deep [`Audit`], converting a violation
+/// into a failing case carrying its `explain()` message.
+fn deep_audit(subject: &impl Audit) -> Result<(), String> {
+    subject.check().map_err(|v| v.explain())
+}
+
 const DIRS: [Direction; 3] = [
     Direction::HigherIsBetter,
     Direction::LowerIsBetter,
@@ -112,6 +118,7 @@ proptest! {
                 );
             }
         }
+        deep_audit(&table)?;
     }
 
     /// The flagship incremental algorithm (STopDown) matches BruteForce on
@@ -139,6 +146,7 @@ proptest! {
             prop_assert_eq!(expected, actual);
             table.append(t).unwrap();
         }
+        deep_audit(&table)?;
     }
 
     /// The inverted-index context (posting-list intersection) returns exactly
@@ -197,6 +205,7 @@ proptest! {
             prop_assert!(indexed.len() <= table.context_probe_bound(c));
             prop_assert!(table.context_probe_bound(c) <= table.len());
         }
+        deep_audit(&table)?;
     }
 
     /// `append_batch` ≡ a loop of `append`: identical table contents (length,
@@ -276,6 +285,8 @@ proptest! {
             prop_assert_eq!(a, b);
             prop_assert_eq!(batched.context_probe_bound(&c), looped.context_probe_bound(&c));
         }
+        deep_audit(&batched)?;
+        deep_audit(&looped)?;
     }
 
     /// `FactMonitor::ingest_batch` ≡ a sequential `ingest` loop: identical
@@ -308,8 +319,13 @@ proptest! {
         for window in stream.chunks(window_seed) {
             actual.extend(batched.ingest_batch_slice(window).unwrap());
         }
+        for report in &actual {
+            deep_audit(report)?;
+        }
         prop_assert_eq!(actual, expected);
         prop_assert_eq!(batched.table().len(), sequential.table().len());
+        deep_audit(&sequential)?;
+        deep_audit(&batched)?;
     }
 
     /// A `ShardedMonitor` produces reports byte-identical to an unsharded
@@ -371,11 +387,63 @@ proptest! {
             actual.extend(sharded.ingest_batch_slice(window).unwrap());
         }
         let expected = unsharded.ingest_all(stream.clone()).unwrap();
+        for report in &actual {
+            deep_audit(report)?;
+        }
         prop_assert_eq!(actual, expected);
         // Shard tables partition the stream exactly.
         let sharded_rows: usize = sharded.shards().iter().map(|s| s.table().len()).sum();
         prop_assert_eq!(sharded_rows, stream.len());
         prop_assert_eq!(sharded.len(), stream.len());
+        deep_audit(&sharded)?;
+        deep_audit(&unsharded)?;
+    }
+
+    /// `Table::audit()` holds after *every* prefix of an arbitrary mixed
+    /// `append`/`append_batch` sequence — including batches whose huge value
+    /// ids push the posting-list build onto its sparse sort-merge fallback.
+    #[test]
+    fn table_audit_passes_after_mixed_append_sequences(
+        n_dims in 1usize..4,
+        ops in prop::collection::vec(
+            (
+                prop::collection::vec(
+                    (prop::collection::vec(0u32..1000, 3), 0i32..9),
+                    0..8,
+                ),
+                0u32..2,
+            ),
+            1..8,
+        ),
+    ) {
+        let mut builder = SchemaBuilder::new("p");
+        for d in 0..n_dims {
+            builder = builder.dimension(format!("d{d}"));
+        }
+        let schema = builder.measure("m0", Direction::HigherIsBetter).build().unwrap();
+        let mut table = Table::new(schema);
+        for (rows, mode) in &ops {
+            let tuples: Vec<Tuple> = rows
+                .iter()
+                .map(|(dims, measure)| {
+                    let dims = dims[..n_dims]
+                        .iter()
+                        .map(|&v| if v >= 995 { v * 100_000 } else { v % 6 })
+                        .collect();
+                    Tuple::new(dims, vec![*measure as f64])
+                })
+                .collect();
+            if *mode == 0 {
+                for t in tuples {
+                    table.append(t).unwrap();
+                }
+            } else {
+                table.append_batch(tuples).unwrap();
+            }
+            // The invariant must hold after every operation, not just at the
+            // end of the sequence.
+            deep_audit(&table)?;
+        }
     }
 
     /// Prominence is always ≥ 1 for facts pertinent to the newly added tuple,
@@ -399,6 +467,8 @@ proptest! {
                 prop_assert!(fact.context_size >= fact.skyline_size);
                 prop_assert!(fact.prominence() >= 1.0);
             }
+            deep_audit(&report)?;
         }
+        deep_audit(&monitor)?;
     }
 }

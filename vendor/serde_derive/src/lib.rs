@@ -7,6 +7,8 @@
 //! positions stay valid (and documented as serde-ready), while no trait
 //! impls are emitted — see the `serde` vendored crate for the marker traits.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op `#[derive(Serialize)]`.
