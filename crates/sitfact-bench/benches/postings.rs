@@ -1,0 +1,97 @@
+//! Criterion micro-benchmark of the compressed posting-list primitives: block
+//! packing (`extend_from_slice` + `compact`), full-list decode through a cursor,
+//! and two-list intersection — galloping cursors over compressed blocks vs
+//! the PR 2 merge over raw `Vec<TupleId>` slices.
+//!
+//! The lists mimic the two shapes the context index actually holds: a dense
+//! head-value list (every 3rd id — small deltas, narrow blocks) and a sparse
+//! driver list (every 97th id — the shortest-list side of a gallop).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sitfact_core::TupleId;
+use sitfact_storage::CompressedPostings;
+
+const UNIVERSE: TupleId = 200_000;
+
+fn strided(stride: TupleId) -> Vec<TupleId> {
+    (0..UNIVERSE).step_by(stride as usize).collect()
+}
+
+fn compress(ids: &[TupleId]) -> CompressedPostings {
+    let mut list = CompressedPostings::with_capacity(ids.len());
+    list.extend_from_slice(ids);
+    list.compact();
+    list
+}
+
+/// The PR 2 baseline: shortest raw slice drives, the other catches up by
+/// binary search.
+fn merge_intersect(short: &[TupleId], long: &[TupleId]) -> u64 {
+    let mut rest = long;
+    let mut hits = 0u64;
+    for &candidate in short {
+        let skip = rest.partition_point(|&id| id < candidate);
+        rest = &rest[skip..];
+        match rest.first() {
+            Some(&id) if id == candidate => hits += 1,
+            Some(_) => {}
+            None => break,
+        }
+    }
+    hits
+}
+
+fn gallop_intersect(short: &CompressedPostings, long: &CompressedPostings) -> u64 {
+    let driver = short.cursor();
+    let mut other = long.cursor();
+    let mut hits = 0u64;
+    for candidate in driver {
+        match other.seek(candidate) {
+            Some(id) if id == candidate => hits += 1,
+            Some(_) => {}
+            None => break,
+        }
+    }
+    hits
+}
+
+fn bench_postings(c: &mut Criterion) {
+    let dense_ids = strided(3);
+    let sparse_ids = strided(97);
+    let dense = compress(&dense_ids);
+    let sparse = compress(&sparse_ids);
+    assert_eq!(
+        merge_intersect(&sparse_ids, &dense_ids),
+        gallop_intersect(&sparse, &dense),
+        "intersection legs disagree"
+    );
+
+    let mut group = c.benchmark_group("postings");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_with_input(
+        BenchmarkId::new("pack", dense_ids.len()),
+        &dense_ids,
+        |b, ids| b.iter(|| black_box(compress(ids).approx_heap_bytes())),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("decode", dense.len()),
+        &dense,
+        |b, list| b.iter(|| black_box(list.iter().map(u64::from).sum::<u64>())),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("intersect_merge", sparse_ids.len()),
+        &(&sparse_ids, &dense_ids),
+        |b, (s, d)| b.iter(|| black_box(merge_intersect(s, d))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("intersect_gallop", sparse.len()),
+        &(&sparse, &dense),
+        |b, (s, d)| b.iter(|| black_box(gallop_intersect(s, d))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_postings);
+criterion_main!(benches);

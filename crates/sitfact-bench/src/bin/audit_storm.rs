@@ -4,7 +4,8 @@
 //! Hammers every audited structure with seeded random workloads and runs its
 //! deep [`Audit`](sitfact_core::Audit) after every round: `Table` under mixed
 //! `append`/`append_batch` sequences (including the sparse posting-list
-//! fallback), `KdTree` under random inserts, both `SkylineStore`
+//! fallback), `CompressedPostings` under push/extend/compact churn against a
+//! plain-vector model, `KdTree` under random inserts, both `SkylineStore`
 //! implementations under random insert/remove/read churn, and
 //! `FactMonitor`/`ShardedMonitor` under windowed ingest. Any violation
 //! prints its `explain()` and exits non-zero.
@@ -164,6 +165,56 @@ mod storm {
         }
     }
 
+    /// Random push / extend_from_slice / compact churn against a plain
+    /// `Vec<TupleId>` model: the compressed list must audit clean and decode
+    /// to exactly the model after every round, from both `iter` and a
+    /// seek-walking cursor.
+    fn storm_postings(rng: &mut StdRng, rounds: usize) {
+        let mut list = sitfact_storage::CompressedPostings::new();
+        let mut model: Vec<sitfact_core::TupleId> = Vec::new();
+        let mut next: sitfact_core::TupleId = 0;
+        for _ in 0..rounds * 4 {
+            match rng.gen_range(0..4) {
+                0 | 1 => {
+                    // Skewed gaps: mostly dense, occasionally a large jump.
+                    next += if rng.gen_range(0..10) == 0 {
+                        rng.gen_range(1..50_000)
+                    } else {
+                        rng.gen_range(1..4)
+                    };
+                    list.push(next);
+                    model.push(next);
+                }
+                2 => {
+                    let run: Vec<sitfact_core::TupleId> = (0..rng.gen_range(0..200))
+                        .map(|_| {
+                            next += rng.gen_range(1..9);
+                            next
+                        })
+                        .collect();
+                    list.extend_from_slice(&run);
+                    model.extend_from_slice(&run);
+                }
+                _ => list.compact(),
+            }
+            if let Err(v) = list.audit() {
+                fail("CompressedPostings", v);
+            }
+            assert!(
+                list.iter().eq(model.iter().copied()),
+                "CompressedPostings: decoded ids drifted from the model"
+            );
+            let mut cursor = list.cursor();
+            for &id in model.iter().step_by(7) {
+                assert_eq!(
+                    cursor.seek(id),
+                    Some(id),
+                    "CompressedPostings: seek missed a stored id"
+                );
+            }
+        }
+    }
+
     fn storm_monitors(rng: &mut StdRng, rounds: usize) {
         let schema = schema(3);
         let config = MonitorConfig::default().with_tau(2.0).with_keep_top(4);
@@ -210,6 +261,7 @@ mod storm {
         let mut rng = StdRng::seed_from_u64(seed);
 
         storm_table(&mut rng, rounds);
+        storm_postings(&mut rng, rounds);
         storm_kdtree(&mut rng, rounds);
         storm_store(
             &mut rng,

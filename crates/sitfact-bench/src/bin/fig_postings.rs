@@ -1,0 +1,378 @@
+//! Compressed-postings experiment: raw vs compressed context-index footprint
+//! and scan vs merge vs galloping σ_C(R) retrieval, on NBA-shaped data and a
+//! zipf-skewed high-cardinality workload. Results go to `BENCH_postings.json`
+//! (schema documented in `crates/sitfact-bench/README.md`).
+//!
+//! Usage: `fig_postings [--n 20000] [--queries 400] [--batch 8192] [--reps 5]
+//! [--seed S] [--out BENCH_postings.json]`
+//!
+//! Before any timing, the binary asserts the compressed index is *exactly*
+//! equivalent to the uncompressed model: every posting list decodes to the
+//! plain `Vec<TupleId>` built from the raw columns, and every benchmark query
+//! returns identical ids through the full scan, the PR 2-style merge
+//! intersection over raw lists, and the galloping compressed intersection —
+//! so a CI smoke run doubles as an end-to-end equivalence test.
+
+use sitfact_bench::params::arg_value;
+use sitfact_bench::{generate_rows, DatasetKind, ExperimentParams};
+use sitfact_core::{
+    BoundMask, Constraint, DimValueId, FxHashMap, Schema, Tuple, TupleId, TupleRef,
+};
+use sitfact_storage::{CompressedPostings, Table};
+use std::time::Instant;
+
+/// Uncompressed ground-truth index: the PR 2 layout (`DimValueId →
+/// Vec<TupleId>` per attribute), rebuilt from the raw rows.
+type RawIndex = Vec<FxHashMap<DimValueId, Vec<TupleId>>>;
+
+/// One measured retrieval leg.
+struct Leg {
+    op: &'static str,
+    queries: usize,
+    seconds: f64,
+}
+
+/// Runs `run` `reps` times and keeps the best wall-clock time; the closure
+/// returns a checksum so the work cannot be optimised away.
+fn measure(reps: usize, mut run: impl FnMut() -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0u64;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        checksum = checksum.wrapping_add(run());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(checksum);
+    best
+}
+
+fn encode(schema: &mut Schema, rows: &[sitfact_datagen::Row]) -> Vec<Tuple> {
+    rows.iter()
+        .map(|row| {
+            let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
+            let ids = schema.intern_dims(&dims).expect("row matches schema");
+            Tuple::new(ids, row.measures.clone())
+        })
+        .collect()
+}
+
+/// Per-match checksum contribution. Every leg delivers the matching *row*,
+/// not just its id — retrieval in the discovery algorithms always reads the
+/// tuple — so the checksum folds in a measure read to keep the three legs
+/// doing identical per-match work.
+fn match_term(id: TupleId, row: TupleRef<'_>) -> u64 {
+    u64::from(id).wrapping_add(row.measure(0) as u64)
+}
+
+/// The PR 2 merge intersection, verbatim: shortest list drives, the other
+/// slices shrink from the front via binary-search catch-up, each match
+/// fetches its row from `table` (the old `ContextIter` yielded
+/// `(TupleId, TupleRef)` pairs too). Returns the checksum all legs agree on.
+fn merge_intersect(mut lists: Vec<&[TupleId]>, table: &Table) -> u64 {
+    lists.sort_unstable_by_key(|l| l.len());
+    let mut checksum = 0u64;
+    'candidates: loop {
+        let Some((first, rest)) = lists.split_first_mut() else {
+            return checksum;
+        };
+        let Some((&candidate, remainder)) = first.split_first() else {
+            return checksum;
+        };
+        *first = remainder;
+        for list in rest.iter_mut() {
+            let skip = list.partition_point(|&id| id < candidate);
+            *list = &list[skip..];
+            match list.first() {
+                Some(&id) if id == candidate => {}
+                Some(_) => continue 'candidates,
+                None => return checksum,
+            }
+        }
+        checksum = checksum.wrapping_add(match_term(candidate, table.tuple(candidate)));
+    }
+}
+
+/// Gathers the raw posting slices of a constraint's bound values, or `None`
+/// when a bound value was never observed (empty context).
+fn raw_lists<'a>(index: &'a RawIndex, constraint: &Constraint) -> Option<Vec<&'a [TupleId]>> {
+    let mut lists = Vec::new();
+    for (attr, &value) in constraint.values().iter().enumerate() {
+        if value == sitfact_core::UNBOUND {
+            continue;
+        }
+        lists.push(index[attr].get(&value)?.as_slice());
+    }
+    Some(lists)
+}
+
+/// Deterministic query workload: rows sampled round-robin along the table,
+/// each binding a rotating subset of attributes (1–3 bound values), so the
+/// mix covers streaming, easy and selective intersections.
+fn build_queries(table: &Table, queries: usize) -> Vec<Constraint> {
+    let masks = [vec![0usize], vec![3], vec![0, 3], vec![2, 3], vec![1, 2, 3]];
+    let step = (table.len() / queries.max(1)).max(1);
+    (0..queries)
+        .map(|q| {
+            let probe = table.tuple(((q * step) % table.len()) as TupleId);
+            let mask = BoundMask::from_indices(masks[q % masks.len()].iter().copied());
+            Constraint::from_tuple_mask(probe, mask)
+        })
+        .collect()
+}
+
+struct Workload {
+    dataset: &'static str,
+    rows: usize,
+    stats: sitfact_storage::PostingIndexStats,
+    raw_index_bytes: usize,
+    compressed_index_bytes: usize,
+    legs: Vec<Leg>,
+    blocks_decoded: usize,
+    blocks_total: usize,
+}
+
+fn run_workload(
+    kind: DatasetKind,
+    n: usize,
+    queries: usize,
+    batch: usize,
+    reps: usize,
+    seed: u64,
+) -> Workload {
+    let params = ExperimentParams {
+        d: 5,
+        m: 4,
+        d_hat: 3,
+        m_hat: 3,
+        n,
+        sample_points: 1,
+        seed,
+    };
+    let (mut schema, rows) = generate_rows(kind, &params);
+    let tuples = encode(&mut schema, &rows);
+
+    // Build the compressed table through the batched path, then seal the
+    // tails — the bulk-load recipe the memory numbers are about.
+    let mut table = Table::with_capacity(schema.clone(), tuples.len());
+    for window in tuples.chunks(batch) {
+        table.append_batch_slice(window).expect("rows match schema");
+    }
+    table.compact_postings();
+
+    // Uncompressed ground truth straight from the raw rows.
+    let mut raw: RawIndex = vec![FxHashMap::default(); schema.num_dimensions()];
+    for (id, tuple) in tuples.iter().enumerate() {
+        for (attr, &value) in tuple.dims().iter().enumerate() {
+            raw[attr].entry(value).or_default().push(id as TupleId);
+        }
+    }
+
+    // --- Equivalence: compressed ≡ uncompressed, asserted before timing ---
+    let mut lists = 0usize;
+    for (attr, map) in raw.iter().enumerate() {
+        for (&value, expected) in map {
+            let list = table
+                .posting_list(attr, value)
+                .unwrap_or_else(|| panic!("attr {attr} value {value} missing"));
+            assert_eq!(
+                &list.to_vec(),
+                expected,
+                "attr {attr} value {value}: compressed list drifted from raw"
+            );
+            lists += 1;
+        }
+    }
+    let constraints = build_queries(&table, queries);
+    for c in &constraints {
+        let gallop: Vec<TupleId> = table.context(c).map(|(id, _)| id).collect();
+        let scan: Vec<TupleId> = table.context_scan(c).map(|(id, _)| id).collect();
+        assert_eq!(gallop, scan, "constraint {c:?}: gallop drifted from scan");
+        let merged: u64 = raw_lists(&raw, c).map_or(0, |lists| merge_intersect(lists, &table));
+        assert_eq!(
+            table
+                .context(c)
+                .map(|(id, row)| match_term(id, row))
+                .fold(0u64, u64::wrapping_add),
+            merged,
+            "constraint {c:?}: merge drifted"
+        );
+    }
+    eprintln!(
+        "  {}: equivalence check passed ({lists} lists, {} queries)",
+        kind.name(),
+        constraints.len()
+    );
+
+    // --- Memory accounting ------------------------------------------------
+    let stats = table.posting_index_stats();
+    assert_eq!(stats.lists, lists);
+    use std::mem::size_of;
+    let raw_index_bytes =
+        stats.uncompressed_bytes + lists * (size_of::<DimValueId>() + size_of::<Vec<TupleId>>());
+    let compressed_index_bytes = stats.compressed_bytes
+        + lists * (size_of::<DimValueId>() + size_of::<CompressedPostings>());
+
+    // --- Retrieval legs ---------------------------------------------------
+    let mut legs = Vec::new();
+    legs.push(Leg {
+        op: "scan",
+        queries: constraints.len(),
+        seconds: measure(reps.clamp(1, 3), || {
+            let mut sum = 0u64;
+            for c in &constraints {
+                sum = table
+                    .context_scan(c)
+                    .map(|(id, row)| match_term(id, row))
+                    .fold(sum, u64::wrapping_add);
+            }
+            sum
+        }),
+    });
+    legs.push(Leg {
+        op: "merge",
+        queries: constraints.len(),
+        seconds: measure(reps, || {
+            let mut sum = 0u64;
+            for c in &constraints {
+                sum = sum.wrapping_add(
+                    raw_lists(&raw, c).map_or(0, |lists| merge_intersect(lists, &table)),
+                );
+            }
+            sum
+        }),
+    });
+    legs.push(Leg {
+        op: "gallop",
+        queries: constraints.len(),
+        seconds: measure(reps, || {
+            let mut sum = 0u64;
+            for c in &constraints {
+                sum = table
+                    .context(c)
+                    .map(|(id, row)| match_term(id, row))
+                    .fold(sum, u64::wrapping_add);
+            }
+            sum
+        }),
+    });
+
+    // Decoded-block accounting for the sub-linearity story: how many sealed
+    // blocks the whole query mix decompressed vs how many the index holds.
+    let mut blocks_decoded = 0usize;
+    for c in &constraints {
+        let mut it = table.context(c);
+        for _ in it.by_ref() {}
+        blocks_decoded += it.blocks_decoded();
+    }
+
+    Workload {
+        dataset: kind.name(),
+        rows: n,
+        stats,
+        raw_index_bytes,
+        compressed_index_bytes,
+        legs,
+        blocks_decoded,
+        blocks_total: stats.sealed_blocks,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = arg_value(&args, "--n", 20_000);
+    let queries: usize = arg_value(&args, "--queries", 400);
+    let batch: usize = arg_value(&args, "--batch", 8_192).max(1);
+    let reps: usize = arg_value(&args, "--reps", 5);
+    let seed: u64 = arg_value(&args, "--seed", 42);
+    let out: String = arg_value(&args, "--out", "BENCH_postings.json".to_string());
+    eprintln!("fig_postings: n={n}, queries={queries}, batch={batch}, reps={reps}");
+
+    let workloads: Vec<Workload> = [DatasetKind::Nba, DatasetKind::Zipf]
+        .into_iter()
+        .map(|kind| run_workload(kind, n, queries, batch, reps, seed))
+        .collect();
+
+    println!("\n=== Compressed postings: footprint and retrieval (n={n}) ===");
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"compressed_postings\",\n");
+    json.push_str(&format!(
+        "  \"params\": {{\"n\": {n}, \"queries\": {queries}, \"batch\": {batch}, \"reps\": {reps}, \"seed\": {seed}, \"d\": 5, \"m\": 4, \"block\": 128}},\n"
+    ));
+    json.push_str("  \"workloads\": [\n");
+    for (w_idx, w) in workloads.iter().enumerate() {
+        let s = &w.stats;
+        let list_compression = s.uncompressed_bytes as f64 / s.compressed_bytes.max(1) as f64;
+        let index_compression = w.raw_index_bytes as f64 / w.compressed_index_bytes.max(1) as f64;
+        let seconds_of = |op: &str| {
+            w.legs
+                .iter()
+                .find(|l| l.op == op)
+                .map_or(f64::INFINITY, |l| l.seconds)
+        };
+        let gallop_vs_merge = seconds_of("merge") / seconds_of("gallop").max(1e-12);
+        let gallop_vs_scan = seconds_of("scan") / seconds_of("gallop").max(1e-12);
+        let decoded_fraction =
+            w.blocks_decoded as f64 / (w.blocks_total.max(1) * queries.max(1)) as f64;
+
+        println!(
+            "{:>8}: lists {:>6}, ids {:>8}, raw {:>9} B, compressed {:>9} B ({:.2}x lists, {:.2}x index)",
+            w.dataset, s.lists, s.ids, s.uncompressed_bytes, s.compressed_bytes,
+            list_compression, index_compression
+        );
+        for l in &w.legs {
+            let us = l.seconds / l.queries.max(1) as f64 * 1e6;
+            println!(
+                "{:>8}  {:>7}: {:>10.6} s ({us:>9.2} µs/query)",
+                "", l.op, l.seconds
+            );
+            println!("csv,fig_postings,{}_{},{},{us}", w.dataset, l.op, l.queries);
+        }
+        println!(
+            "{:>8}  gallop vs merge {gallop_vs_merge:.2}x, vs scan {gallop_vs_scan:.2}x, decoded {:.4} of blocks/query",
+            "", decoded_fraction
+        );
+
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"dataset\": \"{}\",\n", w.dataset));
+        json.push_str(&format!(
+            "      \"rows\": {}, \"lists\": {}, \"ids\": {}, \"sealed_blocks\": {}, \"tail_ids\": {},\n",
+            w.rows, s.lists, s.ids, s.sealed_blocks, s.tail_ids
+        ));
+        json.push_str(&format!(
+            "      \"raw_list_bytes\": {}, \"compressed_list_bytes\": {}, \"list_compression\": {list_compression:.2},\n",
+            s.uncompressed_bytes, s.compressed_bytes
+        ));
+        json.push_str(&format!(
+            "      \"raw_index_bytes\": {}, \"compressed_index_bytes\": {}, \"index_compression\": {index_compression:.2},\n",
+            w.raw_index_bytes, w.compressed_index_bytes
+        ));
+        json.push_str("      \"legs\": [\n");
+        for (i, l) in w.legs.iter().enumerate() {
+            json.push_str(&format!(
+                "        {{\"op\": \"{}\", \"queries\": {}, \"seconds\": {:.6}, \"us_per_query\": {:.3}}}{}\n",
+                l.op,
+                l.queries,
+                l.seconds,
+                l.seconds / l.queries.max(1) as f64 * 1e6,
+                if i + 1 < w.legs.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("      ],\n");
+        json.push_str(&format!(
+            "      \"gallop_vs_merge\": {gallop_vs_merge:.2}, \"gallop_vs_scan\": {gallop_vs_scan:.2},\n"
+        ));
+        json.push_str(&format!(
+            "      \"blocks_decoded\": {}, \"blocks_total\": {}, \"decoded_block_fraction\": {decoded_fraction:.4}\n",
+            w.blocks_decoded, w.blocks_total
+        ));
+        json.push_str(&format!(
+            "    }}{}\n",
+            if w_idx + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write results file");
+    eprintln!("wrote {out}");
+}

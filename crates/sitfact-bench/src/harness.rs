@@ -8,6 +8,7 @@ use sitfact_algos::{
 use sitfact_core::{DiscoveryConfig, Schema, Tuple};
 use sitfact_datagen::nba::{NbaConfig, NbaGenerator};
 use sitfact_datagen::weather::{WeatherConfig, WeatherGenerator};
+use sitfact_datagen::zipf::{ZipfConfig, ZipfGenerator};
 use sitfact_datagen::{DataGenerator, Row};
 use sitfact_prominence::{ArrivalReport, FactMonitor, MonitorConfig, RankedFact, StreamMonitor};
 use sitfact_storage::{FileSkylineStore, StoreStats, Table, WorkStats};
@@ -21,6 +22,10 @@ pub enum DatasetKind {
     Nba,
     /// Synthetic UK weather forecasts (the paper's larger dataset).
     Weather,
+    /// Zipf-skewed high-cardinality dimensions — the adversarial shape for
+    /// the compressed context index (posting lists from table-sized to
+    /// singleton).
+    Zipf,
 }
 
 impl DatasetKind {
@@ -29,6 +34,7 @@ impl DatasetKind {
         match self {
             DatasetKind::Nba => "nba",
             DatasetKind::Weather => "weather",
+            DatasetKind::Zipf => "zipf",
         }
     }
 }
@@ -55,6 +61,19 @@ pub fn generate_rows(kind: DatasetKind, params: &ExperimentParams) -> (Schema, V
                 measures: params.m,
                 locations: 1_200,
                 records_per_day: 1_200,
+                seed: params.seed,
+            });
+            (gen.schema().clone(), gen.take_rows(params.n))
+        }
+        DatasetKind::Zipf => {
+            // Cardinalities descend from adversarially high (thousands of
+            // mostly-singleton posting lists) to hot (table-sized lists).
+            let cards = [5_000, 500, 32, 8, 2_000, 64, 16, 4];
+            let take = params.d.clamp(1, cards.len());
+            let mut gen = ZipfGenerator::new(ZipfConfig {
+                dim_cardinalities: cards[..take].to_vec(),
+                exponent: 1.2,
+                measures: params.m,
                 seed: params.seed,
             });
             (gen.schema().clone(), gen.take_rows(params.n))

@@ -15,6 +15,8 @@
 //! * [`stocks`] — a small stock-tick generator used by the examples;
 //! * [`generic`] — classic correlated / independent / anti-correlated skyline
 //!   workloads with configurable dimensionality and cardinalities;
+//! * [`zipf`] — Zipf-skewed high-cardinality dimensions, the adversarial
+//!   shape for the compressed context index;
 //! * [`csv`] — plain-text import/export so users can run the library on their
 //!   own data.
 
@@ -27,6 +29,7 @@ pub mod nba;
 pub mod rand_util;
 pub mod stocks;
 pub mod weather;
+pub mod zipf;
 
 use sitfact_core::{Result, Schema, Tuple};
 use sitfact_storage::Table;

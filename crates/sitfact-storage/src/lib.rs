@@ -3,6 +3,9 @@
 //! Storage substrates for incremental situational-fact discovery:
 //!
 //! * [`Table`] — the append-only relation `R` holding the historical tuples;
+//! * [`CompressedPostings`] — delta-packed block posting lists with a
+//!   galloping skip index, the representation behind the table's context
+//!   index;
 //! * [`ContextCounter`] — incremental maintenance of the context cardinalities
 //!   `|σ_C(R)|` needed by the prominence measure;
 //! * [`SkylineStore`] — the `µ_{C,M}` abstraction of the paper (one cell of
@@ -21,6 +24,7 @@ pub mod context;
 pub mod file_store;
 pub mod kdtree;
 pub mod memory_store;
+pub mod postings;
 pub mod stats;
 pub mod store;
 pub mod table;
@@ -29,6 +33,7 @@ pub use context::ContextCounter;
 pub use file_store::FileSkylineStore;
 pub use kdtree::KdTree;
 pub use memory_store::MemorySkylineStore;
+pub use postings::{CompressedPostings, PostingsCursor};
 pub use stats::{StoreStats, WorkStats};
 pub use store::{SkylineStore, StoredEntry};
-pub use table::Table;
+pub use table::{PostingIndexStats, Table};

@@ -1,0 +1,942 @@
+//! Compressed block posting lists with a galloping skip index.
+//!
+//! A posting list is a strictly ascending sequence of [`TupleId`]s. Raw
+//! `u32`s waste most of their bits on such sequences: consecutive ids differ
+//! by small, skew-friendly gaps. [`CompressedPostings`] therefore stores each
+//! list as a chain of *sealed blocks* of [`BLOCK`] ids — delta-encoded
+//! against the previous id and bit-packed to the block's widest gap — plus a
+//! small uncompressed *tail* that absorbs in-order appends. Sealing happens
+//! exactly once per [`BLOCK`] appends (one pack pass over the full tail), so
+//! append stays amortised O(1) and batched ingest throughput is unaffected.
+//!
+//! Each sealed block records its last id in a 10-byte `BlockMeta` skip
+//! entry. Intersections use [`CompressedPostings::cursor`] to *gallop*: a
+//! [`PostingsCursor::seek`] binary-searches the block maxima and decodes only
+//! the one candidate block, so a k-way intersection driven by the shortest
+//! list touches `O(candidates)` blocks instead of every id. The cursor counts
+//! its block decodes, keeping sub-linearity assertable from tests.
+//!
+//! ## Encoding
+//!
+//! Ids are *delta-1* coded: with `base` = the previous id + 1 (or the start
+//! of the chain), each id is stored as `id - base`, so a run of consecutive
+//! ids packs to width 0 — zero payload words, the 10-byte skip entry is the
+//! whole block. The first id of a block is chained to the previous block's
+//! maximum, which keeps the skip entry small and makes strict ascent a
+//! structural property: any decodable list is valid.
+//!
+//! # Examples
+//!
+//! ```
+//! use sitfact_storage::CompressedPostings;
+//!
+//! let mut list = CompressedPostings::new();
+//! for id in 0..300u32 {
+//!     list.push(id);
+//! }
+//! // Two sealed 128-id blocks of consecutive ids (width 0) plus a 44-id tail.
+//! assert_eq!((list.len(), list.num_blocks(), list.tail_len()), (300, 2, 44));
+//! assert!(list.iter().eq(0..300));
+//! assert!(list.approx_heap_bytes() < 300 * 4);
+//!
+//! // A cursor seeks without decoding earlier blocks.
+//! let mut cursor = list.cursor();
+//! assert_eq!(cursor.seek(250), Some(250));
+//! assert_eq!(cursor.next(), Some(250));
+//! assert_eq!(cursor.blocks_decoded(), 1);
+//! ```
+
+use sitfact_core::TupleId;
+
+/// Ids per sealed block. A power of two keeps the seal cadence aligned with
+/// the batched ingest path, and 128 ids amortise the 10-byte skip entry to
+/// under one bit per id while keeping candidate-block decodes cheap.
+pub const BLOCK: usize = 128;
+
+/// Skip entry of one sealed block: 10 bytes covering up to 128 ids. Packed —
+/// the two `u32` fields are read by value everywhere (references to them
+/// would be unaligned), and the 2 bytes saved per block are what push the
+/// NBA-shaped index past its 4× compression target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C, packed)]
+struct BlockMeta {
+    /// Last (largest) id in the block — the skip index key.
+    max: TupleId,
+    /// Word offset of the block's packed payload in the arena.
+    offset: u32,
+    /// Bits per stored delta; 0 for a run of consecutive ids (no payload).
+    width: u8,
+    /// Ids in the block (1..=[`BLOCK`]). Full chains seal at exactly
+    /// [`BLOCK`]; [`CompressedPostings::compact`] may seal shorter blocks.
+    count: u8,
+}
+
+impl BlockMeta {
+    /// Payload words occupied by this block in the arena.
+    #[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+    fn words(&self) -> usize {
+        words_for(self.width as usize, self.count as usize)
+    }
+}
+
+/// Packed words needed for `count` deltas of `width` bits each.
+fn words_for(width: usize, count: usize) -> usize {
+    (width * count).div_ceil(32)
+}
+
+/// Bits needed to store `delta` (0 needs 0 bits under delta-1 coding).
+fn bits_for(delta: u32) -> u8 {
+    (32 - delta.leading_zeros()) as u8
+}
+
+/// An append-only compressed posting list: sealed delta-packed blocks plus an
+/// uncompressed in-order tail. See the [module docs](self) for the layout.
+///
+/// The arena `data` holds every sealed block's packed words first, then the
+/// raw tail ids — one allocation per list regardless of block count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompressedPostings {
+    /// Packed sealed-block words, then raw tail ids.
+    data: Vec<u32>,
+    /// One skip entry per sealed block, maxima strictly ascending.
+    blocks: Vec<BlockMeta>,
+    /// Total ids stored (sealed + tail).
+    len: u32,
+    /// Arena index where the raw tail begins (= end of the packed region).
+    tail_start: u32,
+}
+
+impl CompressedPostings {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty list sized for about `ids` appends. Only the tail and
+    /// packed words live in the arena, so the reservation assumes the typical
+    /// post-seal footprint rather than `ids` raw words.
+    pub fn with_capacity(ids: usize) -> Self {
+        CompressedPostings {
+            data: Vec::with_capacity(ids.min(BLOCK)),
+            ..Self::default()
+        }
+    }
+
+    /// Number of ids stored.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list holds no ids.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of sealed blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of ids still in the uncompressed tail.
+    pub fn tail_len(&self) -> usize {
+        self.data.len() - self.tail_start as usize
+    }
+
+    /// The largest (= most recent) id, if any.
+    pub fn last(&self) -> Option<TupleId> {
+        self.tail()
+            .last()
+            .copied()
+            .or_else(|| self.blocks.last().map(|b| b.max))
+    }
+
+    /// The raw uncompressed tail.
+    fn tail(&self) -> &[TupleId] {
+        &self.data[self.tail_start as usize..]
+    }
+
+    /// Base id the block at `index` is delta-chained to.
+    fn base_of(&self, index: usize) -> TupleId {
+        if index == 0 {
+            0
+        } else {
+            self.blocks[index - 1].max + 1
+        }
+    }
+
+    /// Appends one id, which must be strictly greater than every id already
+    /// stored (tuple ids arrive in order). A full tail is sealed in place.
+    pub fn push(&mut self, id: TupleId) {
+        debug_assert!(
+            self.last().is_none_or(|last| last < id),
+            "posting ids must be strictly ascending: {:?} then {id}",
+            self.last()
+        );
+        self.data.push(id);
+        self.len += 1;
+        if self.data.len() - self.tail_start as usize == BLOCK {
+            self.seal_tail();
+        }
+    }
+
+    /// Appends a strictly ascending run of ids (the batched counting-sort
+    /// ingest path). Equivalent to a loop of [`CompressedPostings::push`] —
+    /// and produces the identical representation, which the batched ≡ looped
+    /// property tests rely on.
+    pub fn extend_from_slice(&mut self, ids: &[TupleId]) {
+        for &id in ids {
+            self.push(id);
+        }
+    }
+
+    /// Packs the whole tail into a sealed block. Only called with 1..=[`BLOCK`]
+    /// tail ids.
+    fn seal_tail(&mut self) {
+        let start = self.tail_start as usize;
+        let count = self.data.len() - start;
+        debug_assert!((1..=BLOCK).contains(&count));
+        let mut scratch = [0u32; BLOCK];
+        scratch[..count].copy_from_slice(&self.data[start..]);
+        let ids = &scratch[..count];
+        let base = self.base_of(self.blocks.len());
+        let (width, max) = delta_stats(ids, base);
+        self.data.truncate(start);
+        pack_deltas(ids, base, width, &mut self.data);
+        self.blocks.push(BlockMeta {
+            max,
+            offset: start as u32,
+            width,
+            count: count as u8,
+        });
+        self.tail_start = self.data.len() as u32;
+    }
+
+    /// Seals a partial tail when (and only when) the packed form — payload
+    /// words plus the 12-byte skip entry — is smaller than the raw tail.
+    ///
+    /// Appends keep the representation purely a function of the id sequence;
+    /// compaction is an explicit bulk-load finisher (see
+    /// [`Table::compact_postings`](crate::Table::compact_postings)), so
+    /// calling it at different times may yield different (equally valid)
+    /// layouts.
+    pub fn compact(&mut self) {
+        let count = self.tail_len();
+        if count == 0 {
+            return;
+        }
+        let base = self.base_of(self.blocks.len());
+        let (width, _) = delta_stats(self.tail(), base);
+        let packed = std::mem::size_of::<BlockMeta>() + 4 * words_for(width as usize, count);
+        if packed < 4 * count {
+            self.seal_tail();
+        }
+    }
+
+    /// Heap bytes held by this list: the arena words plus the skip entries.
+    /// (The map entry holding the list is accounted by the table.)
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u32>()
+            + self.blocks.len() * std::mem::size_of::<BlockMeta>()
+    }
+
+    /// Heap bytes the same ids would occupy as a plain `Vec<TupleId>` — the
+    /// pre-compression layout benchmarks compare against.
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<TupleId>()
+    }
+
+    /// Iterates all ids in ascending order. The iterator knows its exact
+    /// length.
+    pub fn iter(&self) -> PostingsIter<'_> {
+        PostingsIter {
+            cursor: PostingsCursor::new(self),
+            remaining: self.len(),
+        }
+    }
+
+    /// Collects the ids into a plain vector (tests and diagnostics).
+    pub fn to_vec(&self) -> Vec<TupleId> {
+        self.iter().collect()
+    }
+
+    /// A galloping cursor positioned before the first id.
+    pub fn cursor(&self) -> PostingsCursor<'_> {
+        PostingsCursor::new(self)
+    }
+
+    /// Decodes the sealed block at `index` into `out`; returns its id count.
+    /// (The cursor decodes incrementally instead; this one-shot variant backs
+    /// the deep audit's roundtrip check.)
+    #[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+    fn decode_block(&self, index: usize, out: &mut [TupleId; BLOCK]) -> usize {
+        let meta = self.blocks[index];
+        let count = meta.count as usize;
+        let width = meta.width as usize;
+        let mut base = self.base_of(index);
+        if width == 0 {
+            // All deltas zero: a consecutive run starting at the base.
+            for (k, slot) in out[..count].iter_mut().enumerate() {
+                *slot = base + k as u32;
+            }
+            return count;
+        }
+        let words = &self.data[meta.offset as usize..];
+        let mask = (1u64 << width) - 1;
+        let mut acc = 0u64;
+        let mut bits = 0usize;
+        let mut word = 0usize;
+        for slot in out[..count].iter_mut() {
+            while bits < width {
+                acc |= u64::from(words[word]) << bits;
+                word += 1;
+                bits += 32;
+            }
+            let id = base + (acc & mask) as u32;
+            acc >>= width;
+            bits -= width;
+            *slot = id;
+            base = id + 1;
+        }
+        count
+    }
+
+    /// Deep structural self-check; see [`sitfact_core::audit::Audit`].
+    #[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+    pub fn audit(&self) -> std::result::Result<(), sitfact_core::AuditViolation> {
+        sitfact_core::Audit::check(self)
+    }
+}
+
+/// Max-delta width and final id of a strictly ascending run under delta-1
+/// coding against `base`.
+fn delta_stats(ids: &[TupleId], base: TupleId) -> (u8, TupleId) {
+    debug_assert!(!ids.is_empty());
+    let mut width = 0u8;
+    let mut prev = base;
+    for &id in ids {
+        width = width.max(bits_for(id - prev));
+        prev = id + 1;
+    }
+    (width, prev - 1)
+}
+
+/// Appends the delta-1 coded `ids` to `out`, LSB-first across 32-bit words.
+fn pack_deltas(ids: &[TupleId], base: TupleId, width: u8, out: &mut Vec<u32>) {
+    let width = width as usize;
+    if width == 0 {
+        return;
+    }
+    let mut acc = 0u64;
+    let mut bits = 0usize;
+    let mut prev = base;
+    for &id in ids {
+        acc |= u64::from(id - prev) << bits;
+        bits += width;
+        prev = id + 1;
+        while bits >= 32 {
+            out.push(acc as u32);
+            acc >>= 32;
+            bits -= 32;
+        }
+    }
+    if bits > 0 {
+        out.push(acc as u32);
+    }
+}
+
+/// Sentinel for "no block decoded yet" in [`PostingsCursor`].
+const NO_BLOCK: usize = usize::MAX;
+
+/// A forward-only cursor over a [`CompressedPostings`] list supporting both
+/// sequential reads ([`PostingsCursor::next`]) and galloping skips
+/// ([`PostingsCursor::seek`]).
+///
+/// The cursor unpacks the current block *incrementally* into an inline
+/// buffer: a seek stops at the first id `>= target` instead of materialising
+/// all [`BLOCK`] ids, so a sparse driver galloping through a dense list pays
+/// for the prefix it inspects, not the whole candidate block. Sequential
+/// reads fill the rest of the block in one tight pass on first demand. The
+/// hot intersection path never heap-allocates, and
+/// [`PostingsCursor::blocks_decoded`] counts blocks touched — the work
+/// measure behind the sub-linearity assertions.
+#[derive(Debug)]
+pub struct PostingsCursor<'a> {
+    list: &'a CompressedPostings,
+    /// Current sealed-block index; `== num_blocks` means the tail.
+    block: usize,
+    /// Position within the current block (or within the tail).
+    pos: usize,
+    /// Inline decode buffer for the block in `decoded_block`.
+    decoded: [TupleId; BLOCK],
+    /// Which block `decoded` holds a prefix of ([`NO_BLOCK`] if none yet).
+    decoded_block: usize,
+    /// Entries of `decoded` filled so far (`<= count`).
+    valid: usize,
+    /// Id count of the current block.
+    count: usize,
+    /// Streaming unpack state: bit accumulator, bits buffered, next arena
+    /// word, delta base for the next id, and the block's width/mask.
+    acc: u64,
+    bits: usize,
+    word: usize,
+    next_base: TupleId,
+    width: usize,
+    mask: u64,
+    /// Blocks touched (partially or fully decoded) so far.
+    decodes: usize,
+    /// Ids consumed via [`PostingsCursor::next`] (seeks skip uncounted, so
+    /// `len - consumed` stays a valid upper bound on what remains).
+    consumed: usize,
+}
+
+impl<'a> PostingsCursor<'a> {
+    fn new(list: &'a CompressedPostings) -> Self {
+        PostingsCursor {
+            list,
+            block: 0,
+            pos: 0,
+            decoded: [0; BLOCK],
+            decoded_block: NO_BLOCK,
+            valid: 0,
+            count: 0,
+            acc: 0,
+            bits: 0,
+            word: 0,
+            next_base: 0,
+            width: 0,
+            mask: 0,
+            decodes: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Sealed blocks touched by the decoder so far (a seek that resolves in
+    /// the raw tail decodes nothing).
+    pub fn blocks_decoded(&self) -> usize {
+        self.decodes
+    }
+
+    /// Upper bound on the ids the cursor can still yield.
+    pub fn remaining_upper_bound(&self) -> usize {
+        self.list.len() - self.consumed
+    }
+
+    /// Begins incremental decoding of `block`. Width-0 blocks (consecutive
+    /// runs) are filled eagerly — that is a plain counted fill with no
+    /// payload reads.
+    fn start_block(&mut self, block: usize) {
+        let meta = self.list.blocks[block];
+        self.decoded_block = block;
+        self.count = meta.count as usize;
+        self.valid = 0;
+        self.width = meta.width as usize;
+        self.mask = (1u64 << self.width) - 1;
+        self.acc = 0;
+        self.bits = 0;
+        self.word = meta.offset as usize;
+        self.next_base = self.list.base_of(block);
+        self.decodes += 1;
+        if self.width == 0 {
+            for (k, slot) in self.decoded[..self.count].iter_mut().enumerate() {
+                *slot = self.next_base + k as u32;
+            }
+            self.valid = self.count;
+        }
+    }
+
+    /// Unpacks ids of the current block until `valid >= upto`.
+    fn decode_upto(&mut self, upto: usize) {
+        debug_assert!(upto <= self.count);
+        while self.valid < upto {
+            if self.bits < self.width {
+                self.acc |= u64::from(self.list.data[self.word]) << self.bits;
+                self.word += 1;
+                self.bits += 32;
+            }
+            let id = self.next_base + (self.acc & self.mask) as u32;
+            self.acc >>= self.width;
+            self.bits -= self.width;
+            self.decoded[self.valid] = id;
+            self.valid += 1;
+            self.next_base = id + 1;
+        }
+    }
+
+    /// Unpacks ids of the current block until the valid prefix extends past
+    /// the cursor position *and* ends in an id `>= target` (the caller
+    /// guarantees the block's max is), or the block is exhausted. Both
+    /// conditions matter: an already-decoded id `>= target` that sits before
+    /// the position has been consumed and cannot be the answer.
+    /// Decoding proceeds in 32-id mini-batches: the fixed-bound inner loop
+    /// stays tight while a hit in the block's first words still skips most of
+    /// the unpacking.
+    fn decode_until(&mut self, target: TupleId) {
+        while self.valid < self.count
+            && (self.valid <= self.pos || self.decoded[self.valid - 1] < target)
+        {
+            self.decode_upto((self.valid + 32).min(self.count));
+        }
+    }
+
+    /// Positions the cursor at the first id `>= target` and returns it
+    /// *without* consuming (a following [`PostingsCursor::next`] yields the
+    /// same id). Never moves backwards: a target at or before the current
+    /// position returns the current id.
+    ///
+    /// This is the gallop step: a binary search over the block maxima skips
+    /// whole blocks, and only a prefix of the single candidate block is
+    /// unpacked.
+    pub fn seek(&mut self, target: TupleId) -> Option<TupleId> {
+        let num_blocks = self.list.blocks.len();
+        if self.block < num_blocks {
+            if self.list.blocks[self.block].max < target {
+                let skipped =
+                    self.list.blocks[self.block + 1..].partition_point(|meta| meta.max < target);
+                self.block += 1 + skipped;
+                self.pos = 0;
+            }
+            if self.block < num_blocks {
+                if self.decoded_block != self.block {
+                    self.start_block(self.block);
+                }
+                // The block's max is >= target, so the decode stops at an id
+                // >= target and the search cannot fall off the valid prefix.
+                self.decode_until(target);
+                let at = self.pos
+                    + self.decoded[self.pos..self.valid].partition_point(|&id| id < target);
+                self.pos = at;
+                return Some(self.decoded[at]);
+            }
+        }
+        let tail = self.list.tail();
+        self.pos += tail[self.pos..].partition_point(|&id| id < target);
+        tail.get(self.pos).copied()
+    }
+}
+
+impl Iterator for PostingsCursor<'_> {
+    type Item = TupleId;
+
+    /// Returns the id at the cursor position and advances past it. On first
+    /// demand within a block the remainder is unpacked in one pass, keeping
+    /// sequential drains as tight as a full-block decode.
+    fn next(&mut self) -> Option<TupleId> {
+        if self.block < self.list.blocks.len() {
+            if self.decoded_block != self.block {
+                self.start_block(self.block);
+            }
+            if self.pos >= self.valid {
+                self.decode_upto(self.count);
+            }
+            let id = self.decoded[self.pos];
+            self.pos += 1;
+            self.consumed += 1;
+            if self.pos == self.count {
+                self.block += 1;
+                self.pos = 0;
+            }
+            Some(id)
+        } else {
+            let tail = self.list.tail();
+            let id = *tail.get(self.pos)?;
+            self.pos += 1;
+            self.consumed += 1;
+            Some(id)
+        }
+    }
+
+    /// Seeks skip ids without counting them, so only the upper bound is
+    /// known.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining_upper_bound()))
+    }
+
+    /// Internal iteration: drains block-wise over the decoded buffer, so
+    /// whole-list consumers (`sum`, `for_each`, `fold`) pay a tight slice
+    /// walk per block instead of the full cursor state machine per id.
+    fn fold<B, F>(mut self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, TupleId) -> B,
+    {
+        let mut acc = init;
+        let num_blocks = self.list.blocks.len();
+        while self.block < num_blocks {
+            if self.decoded_block != self.block {
+                self.start_block(self.block);
+            }
+            self.decode_upto(self.count);
+            for &id in &self.decoded[self.pos..self.count] {
+                acc = f(acc, id);
+            }
+            self.block += 1;
+            self.pos = 0;
+        }
+        for &id in &self.list.tail()[self.pos..] {
+            acc = f(acc, id);
+        }
+        acc
+    }
+}
+
+/// Exact-length iterator over a [`CompressedPostings`] list, produced by
+/// [`CompressedPostings::iter`].
+#[derive(Debug)]
+pub struct PostingsIter<'a> {
+    cursor: PostingsCursor<'a>,
+    remaining: usize,
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = TupleId;
+
+    fn next(&mut self) -> Option<TupleId> {
+        let id = self.cursor.next()?;
+        self.remaining -= 1;
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+
+    /// Delegates to the cursor's block-wise internal iteration.
+    fn fold<B, F>(self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, TupleId) -> B,
+    {
+        self.cursor.fold(init, &mut f)
+    }
+}
+
+impl ExactSizeIterator for PostingsIter<'_> {}
+
+/// Re-derives the compressed layout from first principles: block chaining,
+/// skip-entry agreement, packing-width minimality, tail consistency and a
+/// full decode-roundtrip ascent check.
+#[cfg(any(test, debug_assertions, feature = "deep-audit"))]
+impl sitfact_core::Audit for CompressedPostings {
+    fn check(&self) -> std::result::Result<(), sitfact_core::AuditViolation> {
+        use sitfact_core::AuditViolation;
+        let fail = |invariant: &'static str, detail: String| {
+            Err(AuditViolation::new("CompressedPostings", invariant, detail))
+        };
+
+        // Blocks tile the packed region contiguously from word 0.
+        let mut expected_offset = 0usize;
+        let mut sealed_ids = 0usize;
+        for (index, &meta) in self.blocks.iter().enumerate() {
+            let offset = meta.offset;
+            if offset as usize != expected_offset {
+                return fail(
+                    "block-contiguous",
+                    format!("block {index} starts at word {offset}, want {expected_offset}"),
+                );
+            }
+            if meta.count == 0 || meta.count as usize > BLOCK {
+                return fail(
+                    "block-count",
+                    format!("block {index} claims {} ids, want 1..={BLOCK}", meta.count),
+                );
+            }
+            if meta.width > 32 {
+                return fail(
+                    "block-width",
+                    format!("block {index} claims width {} > 32 bits", meta.width),
+                );
+            }
+            expected_offset += meta.words();
+            sealed_ids += meta.count as usize;
+        }
+        if self.tail_start as usize != expected_offset {
+            return fail(
+                "tail-start",
+                format!(
+                    "tail starts at word {}, want the packed region end {expected_offset}",
+                    self.tail_start
+                ),
+            );
+        }
+        if self.tail_start as usize > self.data.len() {
+            return fail(
+                "tail-start",
+                format!(
+                    "tail start {} beyond the arena ({} words)",
+                    self.tail_start,
+                    self.data.len()
+                ),
+            );
+        }
+        if self.len() != sealed_ids + self.tail_len() {
+            return fail(
+                "length-consistent",
+                format!(
+                    "len {} != sealed {sealed_ids} + tail {}",
+                    self.len(),
+                    self.tail_len()
+                ),
+            );
+        }
+
+        // Decode roundtrip: every block must yield its claimed count of
+        // strictly ascending ids, agree with its skip entry and chain past
+        // the previous block; the recorded width must be minimal.
+        let mut buffer = [0u32; BLOCK];
+        let mut prev: Option<TupleId> = None;
+        for (index, &meta) in self.blocks.iter().enumerate() {
+            let count = self.decode_block(index, &mut buffer);
+            let ids = &buffer[..count];
+            for (k, &id) in ids.iter().enumerate() {
+                if prev.is_some_and(|p| p >= id) {
+                    return fail(
+                        "ids-ascending",
+                        format!("block {index} position {k}: id {id} after {:?}", prev),
+                    );
+                }
+                prev = Some(id);
+            }
+            let max = meta.max;
+            if ids.last() != Some(&max) {
+                return fail(
+                    "skip-entry-max",
+                    format!(
+                        "block {index} decodes to last id {:?}, skip entry says {max}",
+                        ids.last()
+                    ),
+                );
+            }
+            let (minimal_width, _) = delta_stats(ids, self.base_of(index));
+            if meta.width != minimal_width {
+                return fail(
+                    "width-minimal",
+                    format!(
+                        "block {index} packed at width {}, minimal is {minimal_width}",
+                        meta.width
+                    ),
+                );
+            }
+        }
+        for (k, &id) in self.tail().iter().enumerate() {
+            if prev.is_some_and(|p| p >= id) {
+                return fail(
+                    "ids-ascending",
+                    format!("tail position {k}: id {id} after {:?}", prev),
+                );
+            }
+            prev = Some(id);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitfact_core::Audit;
+
+    fn filled(ids: impl IntoIterator<Item = TupleId>) -> CompressedPostings {
+        let mut list = CompressedPostings::new();
+        for id in ids {
+            list.push(id);
+        }
+        list
+    }
+
+    #[test]
+    fn block_meta_is_ten_bytes() {
+        // The ≥4× headline depends on the skip entry staying this small.
+        assert_eq!(std::mem::size_of::<BlockMeta>(), 10);
+    }
+
+    #[test]
+    fn empty_list_is_empty() {
+        let list = CompressedPostings::new();
+        assert_eq!(list.len(), 0);
+        assert!(list.is_empty());
+        assert_eq!(list.last(), None);
+        assert_eq!(list.to_vec(), Vec::<TupleId>::new());
+        assert_eq!(list.cursor().remaining_upper_bound(), 0);
+        assert_eq!(list.approx_heap_bytes(), 0);
+        list.check().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_across_gap_widths() {
+        // Gap patterns chosen to hit width 0, small widths and width 32.
+        let cases: Vec<Vec<TupleId>> = vec![
+            (0..1).collect(),
+            (0..BLOCK as u32).collect(),     // exactly one sealed block
+            (0..BLOCK as u32 + 1).collect(), // block + 1-id tail
+            (0..5 * BLOCK as u32 + 17).collect(), // width-0 chain
+            (0..400).map(|k| k * 3).collect(), // constant gap 3
+            (0..400).map(|k| k * k).collect(), // growing gaps
+            vec![0, u32::MAX - 1],           // near-maximal gap
+            (0..300).map(|k| k * 10_000_019).collect(), // wide deltas
+        ];
+        for ids in cases {
+            let list = filled(ids.iter().copied());
+            assert_eq!(list.len(), ids.len());
+            assert_eq!(list.to_vec(), ids, "roundtrip of {} ids", ids.len());
+            assert_eq!(list.last(), ids.last().copied());
+            list.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn extend_matches_push_loop_exactly() {
+        let ids: Vec<TupleId> = (0..700).map(|k| k * 7 + k % 5).collect();
+        let looped = filled(ids.iter().copied());
+        let mut batched = CompressedPostings::new();
+        batched.extend_from_slice(&ids[..300]);
+        batched.extend_from_slice(&ids[300..]);
+        // Same representation, not merely the same ids.
+        assert_eq!(batched, looped);
+        batched.check().unwrap();
+    }
+
+    #[test]
+    fn consecutive_runs_pack_to_zero_width() {
+        let list = filled(0..4 * BLOCK as u32);
+        assert_eq!(list.num_blocks(), 4);
+        assert_eq!(list.tail_len(), 0);
+        // No payload words at all: the arena is empty, only skip entries.
+        assert_eq!(
+            list.approx_heap_bytes(),
+            4 * std::mem::size_of::<BlockMeta>()
+        );
+        list.check().unwrap();
+    }
+
+    #[test]
+    fn compact_seals_only_when_it_saves_bytes() {
+        // 100 consecutive ids: packed form is one 12-byte entry vs 400 raw
+        // bytes — compact seals.
+        let mut dense = filled(0..100);
+        let raw = dense.approx_heap_bytes();
+        dense.compact();
+        assert!(dense.approx_heap_bytes() < raw);
+        assert_eq!(dense.num_blocks(), 1);
+        assert_eq!(dense.tail_len(), 0);
+        assert!(dense.iter().eq(0..100));
+        dense.check().unwrap();
+
+        // Two huge-gap ids: 12 + 8 packed bytes ≥ 8 raw bytes — compact must
+        // leave the tail alone.
+        let mut sparse = filled([7, u32::MAX - 1]);
+        sparse.compact();
+        assert_eq!(sparse.num_blocks(), 0);
+        assert_eq!(sparse.tail_len(), 2);
+        sparse.check().unwrap();
+
+        // Appending after a partial seal keeps working.
+        let mut resumed = filled(0..100);
+        resumed.compact();
+        for id in 200..500 {
+            resumed.push(id);
+        }
+        assert!(resumed.iter().eq((0..100).chain(200..500)));
+        resumed.check().unwrap();
+    }
+
+    #[test]
+    fn cursor_next_streams_all_ids() {
+        let ids: Vec<TupleId> = (0..1000).map(|k| k * 11 % 7 + k * 13).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let list = filled(sorted.iter().copied());
+        let mut cursor = list.cursor();
+        let mut streamed = Vec::new();
+        for id in cursor.by_ref() {
+            streamed.push(id);
+        }
+        assert_eq!(streamed, sorted);
+        assert_eq!(cursor.remaining_upper_bound(), 0);
+    }
+
+    #[test]
+    fn cursor_seek_finds_first_geq_and_is_monotone() {
+        let ids: Vec<TupleId> = (0..600).map(|k| k * 5).collect();
+        let list = filled(ids.iter().copied());
+        let mut cursor = list.cursor();
+        // Each target lies past the id consumed by the previous round, so the
+        // forward-only cursor agrees with the whole-list expectation.
+        for target in [0, 7, 23, 1399, 1402, 2995] {
+            let want = ids.iter().copied().find(|&id| id >= target);
+            assert_eq!(cursor.seek(target), want, "seek({target})");
+            // Seek peeks: next() must yield the same id.
+            assert_eq!(cursor.next(), want, "next after seek({target})");
+        }
+        // Past the end: None, and the cursor stays exhausted.
+        assert_eq!(cursor.seek(3000), None);
+        assert_eq!(cursor.next(), None);
+    }
+
+    #[test]
+    fn cursor_seek_never_moves_backwards() {
+        let list = filled((0..500).map(|k| k * 2));
+        let mut cursor = list.cursor();
+        assert_eq!(cursor.seek(600), Some(600));
+        // An earlier target must not rewind.
+        assert_eq!(cursor.seek(10), Some(600));
+        assert_eq!(cursor.next(), Some(600));
+    }
+
+    #[test]
+    fn seek_decodes_sublinearly() {
+        // 32 sealed blocks; a single far seek must decode exactly one.
+        let list = filled((0..32 * BLOCK as u32).map(|k| k * 3));
+        assert_eq!(list.num_blocks(), 32);
+        let mut cursor = list.cursor();
+        cursor.seek(3 * (30 * BLOCK as u32));
+        assert_eq!(cursor.blocks_decoded(), 1);
+        // A seek that resolves in the tail decodes nothing.
+        let mut tailed = filled((0..BLOCK as u32 + 50).map(|k| k * 2));
+        let mut cursor = tailed.cursor();
+        assert_eq!(
+            cursor.seek(2 * (BLOCK as u32 + 10)),
+            Some(2 * (BLOCK as u32 + 10))
+        );
+        assert_eq!(cursor.blocks_decoded(), 0);
+        tailed.compact();
+        tailed.check().unwrap();
+    }
+
+    #[test]
+    fn iterator_is_exact_size() {
+        let list = filled(0..300);
+        let mut iter = list.iter();
+        assert_eq!(iter.len(), 300);
+        iter.next();
+        assert_eq!(iter.len(), 299);
+        assert_eq!(iter.size_hint(), (299, Some(299)));
+    }
+
+    #[test]
+    fn audit_catches_corrupted_skip_entries() {
+        let mut list = filled(0..300);
+        list.check().unwrap();
+        list.blocks[0].max += 1;
+        let violation = list.check().expect_err("corrupt skip entry");
+        assert!(violation.explain().contains("CompressedPostings"));
+    }
+
+    #[test]
+    fn audit_catches_inconsistent_length() {
+        let mut list = filled(0..300);
+        list.len += 1;
+        assert!(list.check().is_err());
+    }
+
+    #[test]
+    fn heap_bytes_track_the_arena() {
+        // Below one block: identical to the raw Vec data footprint.
+        let list = filled(0..100);
+        assert_eq!(list.approx_heap_bytes(), 100 * 4);
+        assert_eq!(list.uncompressed_bytes(), 100 * 4);
+        // 300 consecutive ids: two width-0 blocks (20 bytes) + 44 raw tail
+        // ids (176 bytes).
+        let list = filled(0..300);
+        assert_eq!(list.approx_heap_bytes(), 2 * 10 + 44 * 4);
+        assert_eq!(list.uncompressed_bytes(), 300 * 4);
+    }
+}

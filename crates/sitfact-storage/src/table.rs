@@ -11,13 +11,16 @@
 //! no per-row allocation.
 //!
 //! On top of the columns the table maintains, per dimension attribute, an
-//! inverted index of posting lists: `DimValueId → Vec<TupleId>`, each list
-//! sorted ascending because tuple ids are assigned in arrival order. The
-//! context `σ_C(R)` of a conjunctive constraint is then the intersection of
-//! the posting lists of its bound values — a k-way sorted-list intersection
-//! whose cost is governed by the *smallest* list, not the table size. The
-//! top constraint `⊤` stays a plain range iterator over all rows.
+//! inverted index of posting lists: `DimValueId → CompressedPostings`, each
+//! list ascending because tuple ids are assigned in arrival order and stored
+//! as delta-packed 128-id blocks with a skip index (see
+//! [`crate::postings`]). The context `σ_C(R)` of a conjunctive constraint is
+//! then the intersection of the posting lists of its bound values — driven
+//! from the shortest list, *galloping* through the others via their block
+//! maxima so only candidate blocks are decoded. The top constraint `⊤` stays
+//! a plain range iterator over all rows.
 
+use crate::postings::{CompressedPostings, PostingsCursor};
 use sitfact_core::{
     Constraint, DimValueId, FxHashMap, Result, Schema, SitFactError, Tuple, TupleId, TupleRef,
     UNBOUND,
@@ -25,8 +28,8 @@ use sitfact_core::{
 use std::ops::Range;
 
 /// Posting lists of one dimension attribute: every value id observed in that
-/// column maps to the sorted ids of the tuples carrying it.
-type PostingMap = FxHashMap<DimValueId, Vec<TupleId>>;
+/// column maps to the compressed ascending ids of the tuples carrying it.
+type PostingMap = FxHashMap<DimValueId, CompressedPostings>;
 
 /// Cap on the per-column distinct-value hint derived from a row-capacity
 /// hint: dictionary-encoded columns typically hold far fewer distinct values
@@ -68,7 +71,10 @@ impl Table {
     /// measure columns get one reservation each, and every dimension's posting
     /// map is sized for up to `POSTING_MAP_HINT_CAP` (1024) distinct values (a
     /// dictionary-encoded column rarely holds more; the map grows normally if
-    /// it does).
+    /// it does). Individual posting lists need no row-proportional
+    /// reservation: a [`CompressedPostings`] arena never buffers more than
+    /// one raw block of tail ids before sealing, so lists start small and the
+    /// batch path hints each list with its per-value run length instead.
     pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
         let n_dims = schema.num_dimensions();
         let n_measures = schema.num_measures();
@@ -235,7 +241,7 @@ impl Table {
                     if end > start {
                         let list = self.postings[attr]
                             .entry(min + j as DimValueId)
-                            .or_default();
+                            .or_insert_with(|| CompressedPostings::with_capacity(end - start));
                         list.extend_from_slice(&bucketed[start..end]);
                         start = end;
                     }
@@ -253,7 +259,9 @@ impl Table {
                     let run_end =
                         run_start + pairs[run_start..].partition_point(|&(v, _)| v == value);
                     let list = self.postings[attr].entry(value).or_default();
-                    list.extend(pairs[run_start..run_end].iter().map(|&(_, id)| id));
+                    for &(_, id) in &pairs[run_start..run_end] {
+                        list.push(id);
+                    }
                     run_start = run_end;
                 }
             }
@@ -334,20 +342,23 @@ impl Table {
     /// Iterates only the tuples that satisfy `constraint` — the context
     /// `σ_C(R)` of the paper — via the inverted index.
     ///
-    /// For the top constraint this is a range iterator over every row; for any
-    /// other constraint it is a k-way intersection of the sorted posting lists
-    /// of the bound values, so the cost scales with the most selective bound
-    /// value instead of the table size. A bound value that was never observed
-    /// yields an empty context immediately.
+    /// For the top constraint this is a range iterator over every row; one
+    /// bound attribute streams its posting list; several bound attributes run
+    /// a k-way *galloping* intersection: the shortest list drives, and every
+    /// candidate is probed in the other lists by binary-searching their block
+    /// maxima and decoding only the one candidate block
+    /// ([`PostingsCursor::seek`]), so the cost scales with the most selective
+    /// bound value instead of the table size. A bound value that was never
+    /// observed yields an empty context immediately.
     pub fn context<'a>(&'a self, constraint: &Constraint) -> ContextIter<'a> {
         debug_assert_eq!(constraint.num_dims(), self.n_dims);
-        let mut lists: Vec<&'a [TupleId]> = Vec::new();
+        let mut lists: Vec<&'a CompressedPostings> = Vec::new();
         for (attr, &value) in constraint.values().iter().enumerate() {
             if value == UNBOUND {
                 continue;
             }
             match self.postings.get(attr).and_then(|p| p.get(&value)) {
-                Some(list) => lists.push(list.as_slice()),
+                Some(list) => lists.push(list),
                 // A bound value never observed: the context is empty.
                 None => return ContextIter::empty(self),
             }
@@ -358,10 +369,15 @@ impl Table {
         // Driving the intersection from the shortest list bounds the number
         // of candidates by the most selective bound value.
         lists.sort_unstable_by_key(|l| l.len());
-        ContextIter {
-            table: self,
-            state: ContextState::Intersect(lists),
-        }
+        let state = if lists.len() == 1 {
+            ContextState::Single(lists[0].cursor())
+        } else {
+            ContextState::Gallop {
+                driver: lists[0].cursor(),
+                others: lists[1..].iter().map(|l| l.cursor()).collect(),
+            }
+        };
+        ContextIter { table: self, state }
     }
 
     /// Reference implementation of [`Table::context`]: a full scan filtered by
@@ -388,7 +404,9 @@ impl Table {
     /// values (`0` for a never-observed value, the table length for `⊤`).
     ///
     /// This is the work counter behind the sub-linearity assertions — a
-    /// selective constraint must probe far fewer rows than a full scan.
+    /// selective constraint must probe far fewer rows than a full scan. Its
+    /// block-level companion is [`ContextIter::blocks_decoded`], which counts
+    /// the sealed blocks an intersection actually decompressed.
     pub fn context_probe_bound(&self, constraint: &Constraint) -> usize {
         let mut bound = usize::MAX;
         for (attr, &value) in constraint.values().iter().enumerate() {
@@ -399,7 +417,7 @@ impl Table {
                 .postings
                 .get(attr)
                 .and_then(|p| p.get(&value))
-                .map_or(0, Vec::len);
+                .map_or(0, CompressedPostings::len);
             bound = bound.min(len);
         }
         if bound == usize::MAX {
@@ -409,13 +427,44 @@ impl Table {
         }
     }
 
-    /// The sorted posting list of one `(dimension, value)` pair, if that value
-    /// has ever been observed in that column.
-    pub fn posting_list(&self, attr: usize, value: DimValueId) -> Option<&[TupleId]> {
-        self.postings
-            .get(attr)
-            .and_then(|p| p.get(&value))
-            .map(Vec::as_slice)
+    /// The compressed posting list of one `(dimension, value)` pair, if that
+    /// value has ever been observed in that column. Its ids are ascending;
+    /// use [`CompressedPostings::iter`] or
+    /// [`CompressedPostings::to_vec`] to read them.
+    pub fn posting_list(&self, attr: usize, value: DimValueId) -> Option<&CompressedPostings> {
+        self.postings.get(attr).and_then(|p| p.get(&value))
+    }
+
+    /// Seals every posting list's tail where the packed form is smaller (see
+    /// [`CompressedPostings::compact`]).
+    ///
+    /// A bulk-load finisher: appends deliberately leave sub-block tails raw
+    /// so the representation stays a pure function of the id sequence, and
+    /// this pass squeezes those tails once loading settles. Later appends
+    /// simply start new tails.
+    pub fn compact_postings(&mut self) {
+        for map in &mut self.postings {
+            for list in map.values_mut() {
+                list.compact();
+            }
+        }
+    }
+
+    /// Aggregate footprint counters of the inverted index, for the memory
+    /// benchmarks.
+    pub fn posting_index_stats(&self) -> PostingIndexStats {
+        let mut stats = PostingIndexStats::default();
+        for map in &self.postings {
+            for list in map.values() {
+                stats.lists += 1;
+                stats.ids += list.len();
+                stats.sealed_blocks += list.num_blocks();
+                stats.tail_ids += list.tail_len();
+                stats.compressed_bytes += list.approx_heap_bytes();
+                stats.uncompressed_bytes += list.uncompressed_bytes();
+            }
+        }
+        stats
     }
 
     /// Approximate heap usage of the columnar storage (flat columns plus the
@@ -425,19 +474,24 @@ impl Table {
     /// Derived entirely from `size_of` so the estimate tracks the layout:
     /// * the dimension column holds `len * n_dims` value ids;
     /// * the measure column holds `len * n_measures` floats;
-    /// * every row id appears in exactly one posting list per dimension
-    ///   (`len * n_dims` tuple ids in total);
+    /// * every posting list is accounted at its compressed footprint — arena
+    ///   words plus skip entries ([`CompressedPostings::approx_heap_bytes`]);
     /// * each distinct `(dimension, value)` pair costs one map entry (key +
-    ///   `Vec` header).
+    ///   [`CompressedPostings`] header).
     pub fn approx_heap_bytes(&self) -> usize {
         use std::mem::size_of;
         let columns = self.len * self.n_dims * size_of::<DimValueId>()
             + self.len * self.n_measures * size_of::<f64>();
-        let posting_ids = self.len * self.n_dims * size_of::<TupleId>();
+        let posting_lists: usize = self
+            .postings
+            .iter()
+            .flat_map(PostingMap::values)
+            .map(CompressedPostings::approx_heap_bytes)
+            .sum();
         let distinct_values: usize = self.postings.iter().map(PostingMap::len).sum();
         let posting_entries =
-            distinct_values * (size_of::<DimValueId>() + size_of::<Vec<TupleId>>());
-        columns + posting_ids + posting_entries + self.schema.approx_heap_bytes()
+            distinct_values * (size_of::<DimValueId>() + size_of::<CompressedPostings>());
+        columns + posting_lists + posting_entries + self.schema.approx_heap_bytes()
     }
 
     /// Validation helper: returns an error when `id` does not exist.
@@ -521,33 +575,45 @@ impl sitfact_core::Audit for Table {
                         format!("attr {attr} value {value} maps to an empty posting list"),
                     );
                 }
-                // Strictly ascending ⇒ sorted *and* deduplicated.
-                for pair in list.windows(2) {
-                    if pair[0] >= pair[1] {
-                        return fail(
-                            "posting-list-sorted",
-                            format!(
-                                "attr {attr} value {value}: ids {} then {} are not strictly \
-                                 ascending",
-                                pair[0], pair[1]
-                            ),
-                        );
-                    }
+                // Delegate the compressed-layout invariants (block chaining,
+                // skip-entry agreement, decode-roundtrip ascent) to the
+                // list's own validator.
+                if let Err(inner) = sitfact_core::Audit::check(list) {
+                    return fail(
+                        "posting-list-structure",
+                        format!("attr {attr} value {value}: {}", inner.explain()),
+                    );
                 }
-                if let Some(&last) = list.last() {
-                    if last as usize >= self.len {
+                // Every decoded id must exist and carry this value in this
+                // column — combined with the per-attribute count below, the
+                // column is exactly reconstructible from the posting lists.
+                for id in list.iter() {
+                    let row = id as usize;
+                    if row >= self.len {
                         return fail(
                             "posting-id-in-range",
                             format!(
-                                "attr {attr} value {value}: id {last} out of range (len {})",
+                                "attr {attr} value {value}: id {id} out of range (len {})",
                                 self.len
+                            ),
+                        );
+                    }
+                    let stored = self.dims[row * self.n_dims + attr];
+                    if stored != value {
+                        return fail(
+                            "posting-reconstructible",
+                            format!(
+                                "attr {attr}: posting list of value {value} contains row \
+                                 {row}, whose column holds value {stored}"
                             ),
                         );
                     }
                 }
                 total += list.len();
             }
-            // Every row appears in exactly one list per attribute…
+            // Every row appears in exactly one list per attribute (lists are
+            // duplicate-free by strict ascent, and the value check above pins
+            // each row to the single list its column names).
             if total != self.len {
                 return fail(
                     "posting-coverage",
@@ -558,32 +624,21 @@ impl sitfact_core::Audit for Table {
                     ),
                 );
             }
-            // …namely the list of the value its dims column records. Together
-            // with the count above this makes the column exactly
-            // reconstructible from the posting lists.
-            for row in 0..self.len {
-                let value = self.dims[row * self.n_dims + attr];
-                let found = map
-                    .get(&value)
-                    .is_some_and(|list| list.binary_search(&(row as TupleId)).is_ok());
-                if !found {
-                    return fail(
-                        "posting-reconstructible",
-                        format!(
-                            "row {row} has value {value} for attr {attr}, but the posting \
-                             list for that value does not contain it"
-                        ),
-                    );
-                }
-            }
         }
 
         // The documented memory formula must track the actual layout.
         let distinct: usize = self.postings.iter().map(PostingMap::len).sum();
+        let lists: usize = self
+            .postings
+            .iter()
+            .flat_map(PostingMap::values)
+            .map(CompressedPostings::approx_heap_bytes)
+            .sum();
         let expect = self.len * self.n_dims * std::mem::size_of::<DimValueId>()
             + self.len * self.n_measures * std::mem::size_of::<f64>()
-            + self.len * self.n_dims * std::mem::size_of::<TupleId>()
-            + distinct * (std::mem::size_of::<DimValueId>() + std::mem::size_of::<Vec<TupleId>>())
+            + lists
+            + distinct
+                * (std::mem::size_of::<DimValueId>() + std::mem::size_of::<CompressedPostings>())
             + self.schema.approx_heap_bytes();
         if self.approx_heap_bytes() != expect {
             return fail(
@@ -598,6 +653,26 @@ impl sitfact_core::Audit for Table {
     }
 }
 
+/// Aggregate footprint of the inverted index, from
+/// [`Table::posting_index_stats`]. All byte counters cover the posting lists
+/// only — the columns, map-entry overhead and schema dictionaries are
+/// reported by [`Table::approx_heap_bytes`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PostingIndexStats {
+    /// Number of posting lists (= distinct `(dimension, value)` pairs).
+    pub lists: usize,
+    /// Total ids across all lists (= rows × dimensions).
+    pub ids: usize,
+    /// Sealed compressed blocks across all lists.
+    pub sealed_blocks: usize,
+    /// Ids still sitting in uncompressed tails.
+    pub tail_ids: usize,
+    /// Compressed heap bytes: arena words plus skip entries.
+    pub compressed_bytes: usize,
+    /// Bytes the same ids would occupy as plain `Vec<TupleId>` data.
+    pub uncompressed_bytes: usize,
+}
+
 /// Iterator over a context `σ_C(R)`, yielding `(id, view)` pairs in arrival
 /// order. Produced by [`Table::context`].
 #[derive(Debug)]
@@ -610,11 +685,43 @@ pub struct ContextIter<'a> {
 enum ContextState<'a> {
     /// Top constraint: every row qualifies.
     All(Range<usize>),
-    /// Intersection of the bound values' posting lists, shortest first. The
-    /// slices shrink from the front as the intersection advances.
-    Intersect(Vec<&'a [TupleId]>),
     /// A bound value was never observed.
     Empty,
+    /// One bound attribute: its posting list is streamed as-is.
+    Single(PostingsCursor<'a>),
+    /// Galloping intersection of two or more posting lists: the shortest
+    /// drives, the others (ascending by length) confirm candidates via
+    /// [`PostingsCursor::seek`].
+    Gallop {
+        driver: PostingsCursor<'a>,
+        others: Vec<PostingsCursor<'a>>,
+    },
+}
+
+/// One leapfrog round: pull a candidate from the driving (shortest) list and
+/// seek every other list to it. An overshoot in any list becomes the next
+/// target for the driver itself — the driver gallops too — and the round
+/// restarts; agreement across all lists yields the candidate.
+fn gallop_next(
+    driver: &mut PostingsCursor<'_>,
+    others: &mut [PostingsCursor<'_>],
+) -> Option<TupleId> {
+    let mut candidate = driver.next()?;
+    'candidates: loop {
+        for other in others.iter_mut() {
+            match other.seek(candidate)? {
+                id if id == candidate => {}
+                id => {
+                    // Seek peeks: consume the driver's copy of the new
+                    // candidate so the next round advances past it.
+                    candidate = driver.seek(id)?;
+                    let _ = driver.next();
+                    continue 'candidates;
+                }
+            }
+        }
+        return Some(candidate);
+    }
 }
 
 impl<'a> ContextIter<'a> {
@@ -643,6 +750,24 @@ impl<'a> ContextIter<'a> {
         let (lower, upper) = self.size_hint();
         upper == Some(lower)
     }
+
+    /// Sealed posting blocks decompressed so far, across every cursor the
+    /// iterator drives. The block-level work counter behind the
+    /// sub-linearity assertions: a selective galloping intersection must
+    /// decode far fewer blocks than the bound lists hold in total.
+    pub fn blocks_decoded(&self) -> usize {
+        match &self.state {
+            ContextState::All(_) | ContextState::Empty => 0,
+            ContextState::Single(cursor) => cursor.blocks_decoded(),
+            ContextState::Gallop { driver, others } => {
+                driver.blocks_decoded()
+                    + others
+                        .iter()
+                        .map(PostingsCursor::blocks_decoded)
+                        .sum::<usize>()
+            }
+        }
+    }
 }
 
 impl<'a> Iterator for ContextIter<'a> {
@@ -655,29 +780,47 @@ impl<'a> Iterator for ContextIter<'a> {
                 Some((row as TupleId, self.table.row(row)))
             }
             ContextState::Empty => None,
-            ContextState::Intersect(lists) => 'candidates: loop {
-                let (first, rest) = lists.split_first_mut()?;
-                let (&candidate, remainder) = first.split_first()?;
-                *first = remainder;
-                for list in rest.iter_mut() {
-                    // Binary-search forward to the first id >= candidate; the
-                    // slices only ever shrink, so total work per list is
-                    // O(|candidates| * log |list|).
-                    let skip = list.partition_point(|&id| id < candidate);
-                    *list = &list[skip..];
-                    match list.first() {
-                        Some(&id) if id == candidate => {}
-                        Some(_) => continue 'candidates,
-                        None => {
-                            self.state = ContextState::Empty;
-                            return None;
-                        }
-                    }
+            // Posting-list ids are in range by construction; `row` skips the
+            // public accessor's bounds assertion on the hot path.
+            ContextState::Single(cursor) => {
+                let id = cursor.next()?;
+                Some((id, self.table.row(id as usize)))
+            }
+            ContextState::Gallop { driver, others } => {
+                let id = gallop_next(driver, others)?;
+                Some((id, self.table.row(id as usize)))
+            }
+        }
+    }
+
+    /// Internal iteration for whole-context drains (`sum`, `for_each`, every
+    /// `fold`-based consumer): the single-list and top-constraint states walk
+    /// the decoded buffers slice-wise instead of re-entering the state
+    /// machine per id, which is what keeps streaming a compressed list
+    /// competitive with iterating a raw `Vec<TupleId>`.
+    fn fold<B, F>(self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, Self::Item) -> B,
+    {
+        let table = self.table;
+        match self.state {
+            ContextState::All(range) => {
+                range.fold(init, |acc, row| f(acc, (row as TupleId, table.row(row))))
+            }
+            ContextState::Empty => init,
+            ContextState::Single(cursor) => {
+                cursor.fold(init, |acc, id| f(acc, (id, table.row(id as usize))))
+            }
+            ContextState::Gallop {
+                mut driver,
+                mut others,
+            } => {
+                let mut acc = init;
+                while let Some(id) = gallop_next(&mut driver, &mut others) {
+                    acc = f(acc, (id, table.row(id as usize)));
                 }
-                // Posting-list ids are in range by construction; skip the
-                // public accessor's bounds assertion on the hot path.
-                return Some((candidate, self.table.row(candidate as usize)));
-            },
+                acc
+            }
         }
     }
 
@@ -688,19 +831,24 @@ impl<'a> Iterator for ContextIter<'a> {
     /// * never-observed bound value — `(0, Some(0))`, exact;
     /// * one bound attribute — the remaining posting list is the context,
     ///   exact;
-    /// * several bound attributes — at most the shortest remaining posting
-    ///   list, at least zero.
+    /// * several bound attributes — at most the shortest list's remaining
+    ///   ids, at least zero.
     fn size_hint(&self) -> (usize, Option<usize>) {
         match &self.state {
             ContextState::All(range) => range.size_hint(),
             ContextState::Empty => (0, Some(0)),
-            ContextState::Intersect(lists) => {
-                let shortest = lists.iter().map(|l| l.len()).min().unwrap_or(0);
-                if lists.len() == 1 {
-                    (shortest, Some(shortest))
-                } else {
-                    (0, Some(shortest))
-                }
+            ContextState::Single(cursor) => {
+                // A single cursor only ever advances through `next`, so its
+                // upper bound is exact.
+                let remaining = cursor.remaining_upper_bound();
+                (remaining, Some(remaining))
+            }
+            ContextState::Gallop { driver, others } => {
+                let shortest = others
+                    .iter()
+                    .map(PostingsCursor::remaining_upper_bound)
+                    .fold(driver.remaining_upper_bound(), usize::min);
+                (0, Some(shortest))
             }
         }
     }
@@ -755,8 +903,11 @@ mod tests {
         // ("player" == "Wesley") now points at row 1, which holds "Bogues".
         let wesley = t.schema().dictionary(0).lookup("Wesley").unwrap();
         let list = t.postings[0].get_mut(&wesley).unwrap();
-        assert_eq!(list, &vec![0, 2]);
-        list[1] = 1;
+        assert_eq!(list.to_vec(), vec![0, 2]);
+        let mut wrong = CompressedPostings::new();
+        wrong.push(0);
+        wrong.push(1);
+        *list = wrong;
         let violation = t.audit().expect_err("corruption must be caught");
         let explained = violation.explain();
         assert!(
@@ -863,8 +1014,8 @@ mod tests {
         let even_id = t.schema().dictionary(0).lookup("Even").unwrap();
         let list = t.posting_list(0, even_id).unwrap();
         assert_eq!(list.len(), 15);
-        assert!(list.windows(2).all(|w| w[0] < w[1]));
-        assert!(list.iter().all(|&id| id % 2 == 0));
+        assert!(list.to_vec().windows(2).all(|w| w[0] < w[1]));
+        assert!(list.iter().all(|id| id % 2 == 0));
         let team_id = t.schema().dictionary(1).lookup("T").unwrap();
         assert_eq!(t.posting_list(1, team_id).unwrap().len(), 30);
         assert!(t.posting_list(0, 999).is_none());
@@ -940,7 +1091,7 @@ mod tests {
         assert!(t.append_batch(window).is_err());
         // Nothing from the window landed — not even the valid first tuple.
         assert_eq!(t.len(), 1);
-        assert_eq!(t.posting_list(0, 0).unwrap(), &[0]);
+        assert_eq!(t.posting_list(0, 0).unwrap().to_vec(), vec![0]);
         // NaN measures are caught by the same up-front pass.
         assert!(t
             .append_batch(vec![Tuple::new(vec![0, 0], vec![f64::NAN, 1.0])])
@@ -1033,11 +1184,12 @@ mod tests {
         t.append_batch(tuples).unwrap();
         // Same formula as the per-row test: the batch path must not change
         // the accounted layout (64 rows × 2 dims/measures, 3 distinct
-        // (attribute, value) pairs).
+        // (attribute, value) pairs; every list is shorter than a block, so
+        // all ids still sit raw in the tails).
         let expected = 64 * 2 * size_of::<DimValueId>()
             + 64 * 2 * size_of::<f64>()
             + 64 * 2 * size_of::<TupleId>()
-            + 3 * (size_of::<DimValueId>() + size_of::<Vec<TupleId>>())
+            + 3 * (size_of::<DimValueId>() + size_of::<CompressedPostings>())
             + t.schema().approx_heap_bytes();
         assert_eq!(t.approx_heap_bytes(), expected);
     }
@@ -1053,13 +1205,76 @@ mod tests {
         }
         assert!(t.approx_heap_bytes() > before);
         // Pin the formula to the columnar layout: 100 rows × 2 dims × u32,
-        // 100 rows × 2 measures × f64, 100 × 2 posting ids, and 3 distinct
-        // (dimension, value) pairs of map-entry overhead.
+        // 100 rows × 2 measures × f64, 100 × 2 raw tail ids (every list is
+        // shorter than a block), and 3 distinct (dimension, value) pairs of
+        // map-entry overhead.
         let expected = 100 * 2 * size_of::<DimValueId>()
             + 100 * 2 * size_of::<f64>()
             + 100 * 2 * size_of::<TupleId>()
-            + 3 * (size_of::<DimValueId>() + size_of::<Vec<TupleId>>())
+            + 3 * (size_of::<DimValueId>() + size_of::<CompressedPostings>())
             + t.schema().approx_heap_bytes();
         assert_eq!(t.approx_heap_bytes(), expected);
+    }
+
+    #[test]
+    fn heap_estimate_pinned_after_sealed_blocks() {
+        use std::mem::size_of;
+        let mut t = Table::new(schema());
+        for i in 0..300usize {
+            t.append_raw(&["p", "t"], vec![i as f64, 0.0]).unwrap();
+        }
+        // Each attribute holds one list of 300 consecutive ids: two sealed
+        // width-0 blocks (10-byte skip entries, no payload) plus 44 raw tail
+        // ids — far below the 300 × 4 bytes of the raw layout.
+        let per_list = 2 * 10 + 44 * size_of::<TupleId>();
+        let expected = 300 * 2 * size_of::<DimValueId>()
+            + 300 * 2 * size_of::<f64>()
+            + 2 * per_list
+            + 2 * (size_of::<DimValueId>() + size_of::<CompressedPostings>())
+            + t.schema().approx_heap_bytes();
+        assert_eq!(t.approx_heap_bytes(), expected);
+        // Compacting seals the remaining tails into one more skip entry each
+        // and keeps the deep audit green.
+        t.compact_postings();
+        let expected = 300 * 2 * size_of::<DimValueId>()
+            + 300 * 2 * size_of::<f64>()
+            + 2 * (3 * 10)
+            + 2 * (size_of::<DimValueId>() + size_of::<CompressedPostings>())
+            + t.schema().approx_heap_bytes();
+        assert_eq!(t.approx_heap_bytes(), expected);
+        let stats = t.posting_index_stats();
+        assert_eq!(stats.lists, 2);
+        assert_eq!(stats.ids, 600);
+        assert_eq!(stats.sealed_blocks, 6);
+        assert_eq!(stats.tail_ids, 0);
+        assert_eq!(stats.compressed_bytes, 2 * 3 * 10);
+        assert_eq!(stats.uncompressed_bytes, 600 * size_of::<TupleId>());
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn gallop_context_decodes_sublinearly() {
+        // 2000 rows: 500 players × 4 appearances each, one team. The
+        // player ∧ team query has a 4-id driver, so the galloping
+        // intersection must decode only a handful of the team list's ~15
+        // sealed blocks.
+        let mut t = Table::new(schema());
+        for i in 0..2000usize {
+            t.append_raw(&[&format!("p{}", i % 500), "T"], vec![i as f64, 0.0])
+                .unwrap();
+        }
+        let c = Constraint::parse(t.schema(), &[("player", "p0"), ("team", "T")]).unwrap();
+        let mut it = t.context(&c);
+        let ids: Vec<TupleId> = it.by_ref().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 500, 1000, 1500]);
+        let team_id = t.schema().dictionary(1).lookup("T").unwrap();
+        let team_blocks = t.posting_list(1, team_id).unwrap().num_blocks();
+        assert_eq!(team_blocks, 15);
+        assert!(
+            it.blocks_decoded() <= 5,
+            "a 4-candidate gallop decoded {} blocks (team list has {team_blocks})",
+            it.blocks_decoded()
+        );
+        t.audit().unwrap();
     }
 }

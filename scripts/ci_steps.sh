@@ -19,7 +19,7 @@ CARGO=${CARGO:-cargo}
 
 # Ordered step registry. Adding a step here without wiring it into ci.yml
 # (or vice versa) fails `parity`.
-CI_STEPS=(fmt clippy build test check-targets doc analyze quickstart fig-ingest-smoke fig-shard-smoke serve-smoke)
+CI_STEPS=(fmt clippy build test check-targets doc analyze quickstart fig-ingest-smoke fig-shard-smoke fig-postings-smoke serve-smoke)
 
 run_step() {
   echo "==> $1"
@@ -56,6 +56,12 @@ run_step() {
       $CARGO run --release -p sitfact-bench --bin fig_shard -- \
         --n 1000 --baseline-n 400 --eq-n 600 --reps 1 \
         --out /tmp/BENCH_shard_smoke.json ;;
+    fig-postings-smoke)
+      # Small n; the binary asserts compressed lists decode to the raw
+      # ground truth and that scan/merge/gallop agree on every query before
+      # timing anything, so this doubles as an index-soundness test.
+      $CARGO run --release -p sitfact-bench --bin fig_postings -- \
+        --n 1200 --queries 60 --reps 1 --out /tmp/BENCH_postings_smoke.json ;;
     serve-smoke)
       # Round-trip the TCP service front-end: start a sharded server on an
       # ephemeral port (it writes the bound address to a file), stream rows

@@ -446,6 +446,144 @@ proptest! {
         }
     }
 
+    /// A `CompressedPostings` list behaves exactly like a plain
+    /// `Vec<TupleId>` under arbitrary interleavings of `push`,
+    /// `extend_from_slice` and `compact`: same iteration order, same seek
+    /// results, and the same galloping intersection against a second list —
+    /// for gap distributions from dense runs to block-crossing jumps.
+    #[test]
+    fn compressed_postings_match_vec_model(
+        ops in prop::collection::vec(
+            (0u32..4, prop::collection::vec(1u32..2000, 0..80)),
+            1..10,
+        ),
+        keep in 1u32..5,
+    ) {
+        use situational_facts::storage::CompressedPostings;
+
+        let mut list = CompressedPostings::new();
+        let mut model: Vec<TupleId> = Vec::new();
+        let mut next: TupleId = 0;
+        for (mode, gaps) in &ops {
+            match mode {
+                // One-at-a-time appends.
+                0 => {
+                    for &gap in gaps {
+                        next += gap;
+                        list.push(next);
+                        model.push(next);
+                    }
+                }
+                // Batched appends (the counting-sort ingest path).
+                1 | 2 => {
+                    let run: Vec<TupleId> = gaps
+                        .iter()
+                        .map(|&gap| {
+                            next += gap;
+                            next
+                        })
+                        .collect();
+                    list.extend_from_slice(&run);
+                    model.extend_from_slice(&run);
+                }
+                // Mid-stream compaction: may seal a partial block, must not
+                // change the decoded sequence.
+                _ => list.compact(),
+            }
+            prop_assert_eq!(list.len(), model.len());
+            prop_assert_eq!(list.last(), model.last().copied());
+        }
+        prop_assert!(list.iter().eq(model.iter().copied()));
+
+        // A second list keeping every `keep`-th id, shifted off by one half
+        // the time, intersected by galloping: driver next + other seek.
+        let mut other = CompressedPostings::new();
+        let mut other_model: Vec<TupleId> = Vec::new();
+        for (i, &id) in model.iter().enumerate() {
+            if (i as u32).is_multiple_of(keep) {
+                let id = if i % 2 == 0 { id } else { id + 1 };
+                if other_model.last().is_none_or(|&prev| prev < id) {
+                    other.push(id);
+                    other_model.push(id);
+                }
+            }
+        }
+        let expected: Vec<TupleId> = other_model
+            .iter()
+            .copied()
+            .filter(|id| model.binary_search(id).is_ok())
+            .collect();
+        let driver = other.cursor();
+        let mut probe = list.cursor();
+        let mut actual = Vec::new();
+        for candidate in driver {
+            match probe.seek(candidate) {
+                Some(id) if id == candidate => actual.push(candidate),
+                Some(_) => {}
+                None => break,
+            }
+        }
+        prop_assert_eq!(actual, expected);
+
+        deep_audit(&list)?;
+        deep_audit(&other)?;
+    }
+
+    /// At block-crossing scale (hundreds of rows over a handful of values,
+    /// so posting lists span several sealed 128-id blocks), the galloping
+    /// indexed context must equal the naive scan for every constraint shape —
+    /// single-attribute streams, multi-attribute intersections, never-observed
+    /// values — before and after `compact_postings`.
+    #[test]
+    fn indexed_context_equals_scan_at_block_scale(
+        n_rows in 300usize..600,
+        n_dims in 2usize..4,
+        mults in prop::collection::vec(1usize..23, 3),
+        constraint_seeds in prop::collection::vec(prop::collection::vec(0u32..8, 3), 1..10),
+    ) {
+        let mut builder = SchemaBuilder::new("p");
+        for d in 0..n_dims {
+            builder = builder.dimension(format!("d{d}"));
+        }
+        let schema = builder.measure("m0", Direction::HigherIsBetter).build().unwrap();
+        let mut table = Table::new(schema);
+        // Deterministic pseudo-random rows over tiny per-attribute domains:
+        // every list collects n_rows / ~4 ids and seals multiple blocks.
+        for i in 0..n_rows {
+            let dims: Vec<u32> = (0..n_dims)
+                .map(|d| ((i * mults[d]) % (3 + d)) as u32)
+                .collect();
+            table.append(Tuple::new(dims, vec![(i % 7) as f64])).unwrap();
+        }
+
+        let mut constraints: Vec<Constraint> = vec![Constraint::top(n_dims)];
+        for seed in &constraint_seeds {
+            let values = seed[..n_dims]
+                .iter()
+                .map(|&v| if v == 7 { sitfact_core::UNBOUND } else { v })
+                .collect();
+            constraints.push(Constraint::from_values(values));
+        }
+        for round in 0..2 {
+            for c in &constraints {
+                let mut indexed = table.context(c);
+                let ids: Vec<TupleId> = indexed.by_ref().map(|(id, _)| id).collect();
+                let scanned: Vec<TupleId> =
+                    table.context_scan(c).map(|(id, _)| id).collect();
+                prop_assert_eq!(&ids, &scanned);
+                // Galloping work stays bounded by the lists actually touched.
+                let stats = table.posting_index_stats();
+                prop_assert!(indexed.blocks_decoded() <= stats.sealed_blocks);
+            }
+            if round == 0 {
+                // Second pass over the same constraints with fully sealed
+                // lists (no raw tails beyond unprofitable ones).
+                table.compact_postings();
+            }
+        }
+        deep_audit(&table)?;
+    }
+
     /// Prominence is always ≥ 1 for facts pertinent to the newly added tuple,
     /// and the context is never smaller than its skyline.
     #[test]
