@@ -12,16 +12,22 @@
 //!   blocking [`Client`] (`INGEST` vs `INGEST_BATCH` verbs). Server
 //!   start-up/shutdown is inside the loop, so treat the numbers as the cost
 //!   of a short-lived session; the steady-state gap is per-row vs batched.
+//! * `served_batched_owned` / `served_batched_mutex` — the same batched
+//!   session against each tenant engine explicitly (the default served legs
+//!   run the owned engine), streaming into a named tenant via `OPEN`/`USE`,
+//!   so the verb overhead and both dispatch paths stay on the scoreboard.
+//!   The deeper contrast (snapshot reads vs mutex-blocked `TOPK`) is the
+//!   `fig_serve` experiment's job.
 //!
 //! Headline numbers are recorded in `crates/sitfact-bench/README.md`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use sitfact_algos::STopDown;
 use sitfact_bench::{generate_rows, DatasetKind, ExperimentParams};
-use sitfact_core::DiscoveryConfig;
+use sitfact_core::{Direction, DiscoveryConfig};
 use sitfact_datagen::Row;
 use sitfact_prominence::{FactMonitor, MonitorConfig, StreamMonitor};
-use sitfact_serve::{Client, FactServer, RawRow};
+use sitfact_serve::{Client, FactServer, RawRow, ServeMode, ServerOptions, TenantSpec};
 
 const ROWS: usize = 400;
 const BATCH: usize = 50;
@@ -112,6 +118,64 @@ fn served(schema: &sitfact_core::Schema, rows: &[Row], batch: usize) -> usize {
     facts
 }
 
+/// The same batched session against an explicit tenant engine: `OPEN` a named
+/// tenant matching the monitor config, `USE` it, then stream windows.
+fn served_mode(
+    schema: &sitfact_core::Schema,
+    rows: &[Row],
+    batch: usize,
+    mode: ServeMode,
+) -> usize {
+    let monitor: Box<dyn StreamMonitor + Send> = Box::new(fresh_monitor(schema));
+    let server = FactServer::bind_with_options(
+        "127.0.0.1:0",
+        monitor,
+        ServerOptions {
+            mode,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let join = std::thread::spawn(move || server.run().expect("clean exit"));
+    let mut client = Client::connect(addr).expect("connect");
+    let dims: Vec<&str> = schema
+        .dimension_names()
+        .iter()
+        .map(String::as_str)
+        .collect();
+    let measures: Vec<(&str, Direction)> = schema
+        .measures()
+        .iter()
+        .map(|m| (m.name.as_str(), m.direction))
+        .collect();
+    let mut spec = TenantSpec::new("bench", &dims, &measures, 100.0);
+    spec.keep_top = Some(8);
+    spec.d_hat = Some(3);
+    spec.m_hat = Some(3);
+    client.open(&spec).expect("open tenant");
+    client.use_tenant("bench").expect("use tenant");
+    let mut facts = 0;
+    for window in rows.chunks(batch) {
+        let window: Vec<RawRow> = window
+            .iter()
+            .map(|row| {
+                let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
+                RawRow::new(&dims, &row.measures)
+            })
+            .collect();
+        facts += client
+            .ingest_batch(window)
+            .unwrap()
+            .iter()
+            .map(|r| r.facts.len())
+            .sum::<usize>();
+    }
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+    facts
+}
+
 fn bench_serve(c: &mut Criterion) {
     let (schema, rows) = fixture();
     // Both paths must report the same facts — equality is asserted before
@@ -121,6 +185,16 @@ fn bench_serve(c: &mut Criterion) {
         served(&schema, &rows, BATCH)
     );
     assert_eq!(in_process(&schema, &rows, 1), served(&schema, &rows, 1));
+    // The tenant engines must agree with each other and with the in-process
+    // monitor — same windows, same facts, both dispatch paths.
+    assert_eq!(
+        in_process(&schema, &rows, BATCH),
+        served_mode(&schema, &rows, BATCH, ServeMode::Owned)
+    );
+    assert_eq!(
+        in_process(&schema, &rows, BATCH),
+        served_mode(&schema, &rows, BATCH, ServeMode::GlobalMutex)
+    );
 
     let mut group = c.benchmark_group("serve_throughput");
     group.warm_up_time(std::time::Duration::from_millis(400));
@@ -144,6 +218,16 @@ fn bench_serve(c: &mut Criterion) {
         BenchmarkId::new("served_batched", ROWS),
         &rows,
         |b, rows| b.iter(|| black_box(served(&schema, rows, BATCH))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("served_batched_owned", ROWS),
+        &rows,
+        |b, rows| b.iter(|| black_box(served_mode(&schema, rows, BATCH, ServeMode::Owned))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("served_batched_mutex", ROWS),
+        &rows,
+        |b, rows| b.iter(|| black_box(served_mode(&schema, rows, BATCH, ServeMode::GlobalMutex))),
     );
     group.finish();
 }

@@ -30,7 +30,12 @@
 //! * [`routing`] — the routing-soundness predicates that make a partitioned
 //!   stream provably equivalent to an unsharded one;
 //! * [`pool`] — a vendored worker thread-pool (no crates.io access here) used
-//!   to fan batched windows out across shards;
+//!   to fan batched windows out across shards, plus the actor-style
+//!   [`ActorPool`] whose workers *own* their state outright
+//!   (the serving layer routes each tenant's requests to its owning worker);
+//! * [`snapshot`] — [`SnapshotCell`], an epoch-published, `unsafe`-free
+//!   arc-swap stand-in that lets read-mostly consumers pick up the latest
+//!   published value without ever waiting on the publisher;
 //! * [`audit`] — the [`Audit`] trait and [`AuditViolation`] record behind the
 //!   deep structural validators every data structure exposes under
 //!   `cfg(any(test, debug_assertions, feature = "deep-audit"))`.
@@ -70,6 +75,7 @@ pub mod pair;
 pub mod pool;
 pub mod routing;
 pub mod schema;
+pub mod snapshot;
 pub mod subspace;
 pub mod tuple;
 pub mod value;
@@ -83,8 +89,9 @@ pub use error::{Result, SitFactError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use lattice::ConstraintLattice;
 pub use pair::SkylinePair;
-pub use pool::ThreadPool;
+pub use pool::{ActorPool, ThreadPool};
 pub use schema::{MeasureAttr, Schema, SchemaBuilder};
+pub use snapshot::SnapshotCell;
 pub use subspace::SubspaceMask;
 pub use tuple::{Tuple, TupleId, TupleRef, TupleView};
 pub use value::{DimValueId, Direction, UNBOUND};

@@ -204,6 +204,125 @@ impl Drop for ThreadPool {
     }
 }
 
+/// A job addressed to one actor worker: runs with exclusive access to that
+/// worker's owned state.
+type ActorJob<S> = Box<dyn FnOnce(&mut S) + Send + 'static>;
+
+/// A pool of worker threads that each **own** a piece of state outright and
+/// consume jobs from a private per-worker mailbox — the actor-style sibling
+/// of [`ThreadPool`]'s shared queue.
+///
+/// Where [`ThreadPool`] hands interchangeable jobs to whichever worker is
+/// free, `ActorPool` routes each job to a *specific* worker, which applies it
+/// to the state only that worker can touch. No lock ever guards the state:
+/// exclusivity comes from ownership (the state moves into the worker thread
+/// at construction and never leaves), which keeps the whole arrangement free
+/// of `unsafe` and free of lock contention. Jobs sent to the same worker run
+/// in submission order (the mailbox is a FIFO channel); jobs sent to
+/// different workers run concurrently.
+///
+/// Callers that need a result back capture the sending half of a channel in
+/// the job and block on the receiving half:
+///
+/// ```
+/// use std::sync::mpsc::channel;
+/// use sitfact_core::pool::ActorPool;
+///
+/// // Two workers, each owning a running total.
+/// let pool = ActorPool::new(vec![0u64, 100u64]);
+/// pool.send(1, |total| *total += 5);
+/// let (tx, rx) = channel();
+/// pool.send(1, move |total| {
+///     let _ = tx.send(*total);
+/// });
+/// assert_eq!(rx.recv().unwrap(), 105);
+/// ```
+///
+/// **Panic containment.** A job that panics does not kill its worker or the
+/// worker's state: the payload is caught with
+/// [`catch_unwind`] and recorded in
+/// [`ActorPool::caught_panics`], and the worker moves on to its next job. The
+/// state may of course be logically mid-mutation at the point of the panic —
+/// callers that care (the serving layer does) flag the affected portion as
+/// poisoned from inside a subsequent job or via a result channel whose sender
+/// was dropped by the unwind.
+///
+/// **Drop drains.** Dropping the pool closes every mailbox and joins every
+/// worker, so all submitted jobs finish before `drop` returns.
+#[derive(Debug)]
+pub struct ActorPool<S> {
+    mailboxes: Vec<Sender<ActorJob<S>>>,
+    workers: Vec<JoinHandle<()>>,
+    caught_panics: Arc<AtomicUsize>,
+}
+
+impl<S: Send + 'static> ActorPool<S> {
+    /// Spawns one worker per element of `states`; worker `i` takes ownership
+    /// of `states[i]`. An empty vector yields a pool with zero workers, on
+    /// which every [`ActorPool::send`] returns `false`.
+    pub fn new(states: Vec<S>) -> Self {
+        let caught_panics = Arc::new(AtomicUsize::new(0));
+        let mut mailboxes = Vec::with_capacity(states.len());
+        let mut workers = Vec::with_capacity(states.len());
+        for (i, state) in states.into_iter().enumerate() {
+            let (sender, receiver) = channel::<ActorJob<S>>();
+            let caught = Arc::clone(&caught_panics);
+            let handle = std::thread::Builder::new()
+                .name(format!("sitfact-actor-{i}"))
+                .spawn(move || actor_loop(state, &receiver, &caught))
+                .expect("spawn actor worker"); // audit: allow(no-panic): OS thread-spawn failure at pool construction is unrecoverable
+            mailboxes.push(sender);
+            workers.push(handle);
+        }
+        ActorPool {
+            mailboxes,
+            workers,
+            caught_panics,
+        }
+    }
+
+    /// Number of actor workers (= owned states).
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of job panics caught so far across all workers.
+    pub fn caught_panics(&self) -> usize {
+        self.caught_panics.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues `job` in worker `worker`'s mailbox. Returns `false` (without
+    /// running the job) if the worker index is out of range; returns `true`
+    /// once the job is enqueued. Jobs for the same worker run in submission
+    /// order.
+    pub fn send<F: FnOnce(&mut S) + Send + 'static>(&self, worker: usize, job: F) -> bool {
+        match self.mailboxes.get(worker) {
+            Some(mailbox) => mailbox.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+}
+
+fn actor_loop<S>(mut state: S, receiver: &Receiver<ActorJob<S>>, caught: &AtomicUsize) {
+    // Runs until the mailbox disconnects (pool drop), draining all jobs.
+    while let Ok(job) = receiver.recv() {
+        if catch_unwind(AssertUnwindSafe(|| job(&mut state))).is_err() {
+            caught.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl<S> Drop for ActorPool<S> {
+    fn drop(&mut self) {
+        // Closing every mailbox lets each worker drain its queue and retire;
+        // joining guarantees "drop drains".
+        self.mailboxes.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,5 +464,63 @@ mod tests {
             pool.run_all(tasks),
             vec!["first-submitted", "second-submitted"]
         );
+    }
+
+    #[test]
+    fn actor_jobs_route_to_their_owner_and_run_in_order() {
+        let pool = ActorPool::new(vec![Vec::<u32>::new(), Vec::new()]);
+        for i in 0..10u32 {
+            assert!(pool.send((i % 2) as usize, move |v| v.push(i)));
+        }
+        // Drain both mailboxes through a response channel: per-worker FIFO
+        // means these observer jobs run after all pushes above.
+        let (tx0, rx0) = channel();
+        let (tx1, rx1) = channel();
+        pool.send(0, move |v| {
+            let _ = tx0.send(v.clone());
+        });
+        pool.send(1, move |v| {
+            let _ = tx1.send(v.clone());
+        });
+        assert_eq!(rx0.recv().expect("worker 0 replies"), vec![0, 2, 4, 6, 8]);
+        assert_eq!(rx1.recv().expect("worker 1 replies"), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn actor_send_out_of_range_is_rejected() {
+        let pool = ActorPool::new(vec![0u8]);
+        assert!(!pool.send(1, |_| {}));
+        let empty: ActorPool<u8> = ActorPool::new(Vec::new());
+        assert_eq!(empty.num_workers(), 0);
+        assert!(!empty.send(0, |_| {}));
+    }
+
+    #[test]
+    fn actor_worker_survives_a_panicking_job() {
+        let pool = ActorPool::new(vec![7u64]);
+        pool.send(0, |_| panic!("actor job exploded"));
+        let (tx, rx) = channel();
+        pool.send(0, move |state| {
+            *state += 1;
+            let _ = tx.send(*state);
+        });
+        assert_eq!(rx.recv().expect("worker survived"), 8);
+        assert_eq!(pool.caught_panics(), 1);
+    }
+
+    #[test]
+    fn actor_drop_drains_pending_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ActorPool::new(vec![()]);
+            for _ in 0..16 {
+                let counter = Arc::clone(&counter);
+                pool.send(0, move |()| {
+                    std::thread::sleep(Duration::from_millis(1));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
     }
 }

@@ -42,4 +42,4 @@ pub use fact::{ArrivalReport, RankedFact};
 pub use monitor::{FactMonitor, MonitorConfig};
 pub use narrate::narrate;
 pub use sharded::ShardedMonitor;
-pub use stream::StreamMonitor;
+pub use stream::{MonitorSnapshot, StreamMonitor};

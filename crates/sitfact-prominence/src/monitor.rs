@@ -6,7 +6,7 @@ use sitfact_algos::Discovery;
 use sitfact_core::{
     DiscoveryConfig, Result, Schema, SitFactError, SkylinePair, Tuple, TupleId, TupleRef,
 };
-use sitfact_storage::{ContextCounter, Table};
+use sitfact_storage::{ContextCounter, PostingIndexStats, Table};
 
 /// Configuration of a [`FactMonitor`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -302,7 +302,17 @@ impl<A: Discovery> StreamMonitor for FactMonitor<A> {
             reports.push(self.rank_arrival(tuple_id, pairs));
         }
         self.algorithm.end_batch();
+        // Window boundary: seal any posting-list tails the batch left
+        // profitable to compress. Long-lived monitors (a served tenant, a
+        // days-long stream) thereby keep the PR 7 block compression instead
+        // of accumulating uncompressed tails; reports are representation-
+        // independent, so batched ≡ sequential equivalence is unaffected.
+        self.table.compact_postings();
         Ok(reports)
+    }
+
+    fn posting_stats(&self) -> PostingIndexStats {
+        self.table.posting_index_stats()
     }
 }
 

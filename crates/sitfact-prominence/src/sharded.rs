@@ -489,6 +489,24 @@ impl<A: Discovery + Send + 'static> StreamMonitor for ShardedMonitor<A> {
         let n = tuples.len();
         self.partition_dispatch(n, tuples.into_iter())
     }
+
+    /// Posting-index footprint summed over all shards. Each shard compacts
+    /// its own tails at its batch-window boundaries (see
+    /// [`FactMonitor::ingest_batch_slice`](crate::FactMonitor)), so the
+    /// sealed/tail split reported here reflects per-shard compaction state.
+    fn posting_stats(&self) -> sitfact_storage::PostingIndexStats {
+        let mut total = sitfact_storage::PostingIndexStats::default();
+        for shard in &self.shards {
+            let stats = shard.posting_stats();
+            total.lists += stats.lists;
+            total.ids += stats.ids;
+            total.sealed_blocks += stats.sealed_blocks;
+            total.tail_ids += stats.tail_ids;
+            total.compressed_bytes += stats.compressed_bytes;
+            total.uncompressed_bytes += stats.uncompressed_bytes;
+        }
+        total
+    }
 }
 
 #[cfg(test)]

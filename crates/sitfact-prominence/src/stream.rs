@@ -19,6 +19,31 @@
 use crate::fact::ArrivalReport;
 use crate::monitor::MonitorConfig;
 use sitfact_core::{Result, Schema, Tuple, TupleId, TupleRef};
+use sitfact_storage::PostingIndexStats;
+
+/// A point-in-time export of a monitor's externally visible state, assembled
+/// by [`StreamMonitor::export_snapshot`].
+///
+/// This is the payload the serving layer publishes into a
+/// [`SnapshotCell`](sitfact_core::snapshot::SnapshotCell) at window
+/// boundaries so `STATS`-style reads never touch the ingest path: everything
+/// a read-mostly client asks about, captured as plain owned values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorSnapshot {
+    /// Number of tuples ingested so far.
+    pub len: usize,
+    /// The schema's relation name.
+    pub schema_name: String,
+    /// The prominence threshold τ.
+    pub tau: f64,
+    /// Per-arrival fact-retention cap, if configured.
+    pub keep_top: Option<usize>,
+    /// Anchored dimension index, if the discovery config carries one.
+    pub anchor_dim: Option<usize>,
+    /// Aggregate posting-index footprint (for a sharded monitor: summed over
+    /// all shards).
+    pub postings: PostingIndexStats,
+}
 
 /// A monitor that turns a stream of tuples into per-arrival fact reports.
 ///
@@ -119,5 +144,27 @@ pub trait StreamMonitor {
     /// batch-equivalence tests compare against.
     fn ingest_all(&mut self, tuples: Vec<Tuple>) -> Result<Vec<ArrivalReport>> {
         tuples.into_iter().map(|t| self.ingest(t)).collect()
+    }
+
+    /// Aggregate posting-index footprint/compression statistics. For a
+    /// sharded monitor this sums over all shards; the default (for monitors
+    /// without an inverted index) reports all-zero stats.
+    fn posting_stats(&self) -> PostingIndexStats {
+        PostingIndexStats::default()
+    }
+
+    /// Captures the monitor's externally visible state as plain owned values
+    /// — the payload a serving layer publishes at window boundaries so
+    /// read-mostly clients never touch the ingest path.
+    fn export_snapshot(&self) -> MonitorSnapshot {
+        let config = self.config();
+        MonitorSnapshot {
+            len: self.len(),
+            schema_name: self.schema().name().to_string(),
+            tau: config.tau,
+            keep_top: config.keep_top,
+            anchor_dim: config.discovery.anchor_dim,
+            postings: self.posting_stats(),
+        }
     }
 }

@@ -4,19 +4,24 @@
 //! ```text
 //! sitfact_client (--addr HOST:PORT | --port-file PATH) [--wait-secs 30]
 //!                [--n 48] [--batch 16] [--dims 5] [--measures 4] [--seed 7]
-//!                [--topk 3] [--assert-facts] [--shutdown]
+//!                [--topk 3] [--tenant NAME] [--tau 100]
+//!                [--assert-facts] [--shutdown]
 //! ```
 //!
 //! With `--port-file` the client polls for the file the server writes after
 //! binding (see `sitfact_serve --port-file`), so scripts need no fixed port.
-//! `--assert-facts` exits non-zero unless at least one report carried facts —
-//! the CI smoke step's success criterion. `--shutdown` asks the server to
-//! exit afterwards.
+//! With `--tenant NAME` the client first `OPEN`s a private tenant monitor of
+//! that name (NBA demo schema at this client's `--dims`/`--measures` arity,
+//! threshold `--tau`) and `USE`s it, so several clients can stream into one
+//! server without sharing state. `--assert-facts` exits non-zero unless at
+//! least one report carried facts — the CI smoke step's success criterion.
+//! `--shutdown` asks the server to exit afterwards.
 
+use sitfact_datagen::nba::nba_schema;
 use sitfact_datagen::nba::{NbaConfig, NbaGenerator};
 use sitfact_datagen::DataGenerator;
 use sitfact_serve::cli::{flag_value, has_flag, parsed};
-use sitfact_serve::{Client, RawRow};
+use sitfact_serve::{Client, RawRow, TenantSpec};
 use std::time::{Duration, Instant};
 
 /// Resolves the server address: `--addr` directly, or by polling the
@@ -51,6 +56,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut client = Client::connect(addr.as_str())?;
     client.ping()?;
     println!("connected to sitfact-serve at {addr}");
+
+    if let Some(tenant) = flag_value(&args, "--tenant") {
+        // A private monitor for this client: the NBA demo schema at our
+        // arity, named after the tenant so STATS shows who answered.
+        let tau: f64 = parsed(&args, "--tau", 100.0);
+        let schema = nba_schema(dims, measures);
+        let dim_names: Vec<&str> = schema
+            .dimension_names()
+            .iter()
+            .map(String::as_str)
+            .collect();
+        let measure_defs: Vec<(&str, _)> = schema
+            .measures()
+            .iter()
+            .map(|m| (m.name.as_str(), m.direction))
+            .collect();
+        let spec = TenantSpec::new(tenant, &dim_names, &measure_defs, tau);
+        client.open(&spec)?;
+        client.use_tenant(tenant)?;
+        println!("opened and switched to tenant {tenant:?}");
+    }
 
     // Rows only need to match the server's schema *arity*; the server interns
     // the strings. Same generator family as the server's demo schema.

@@ -5,13 +5,19 @@
 //! sitfact_serve [--addr 127.0.0.1:0] [--port-file PATH] [--shards N]
 //!               [--route team] [--tau 100] [--keep-top 16]
 //!               [--dims 5] [--measures 4] [--d-hat 3] [--m-hat 3]
-//!               [--workers 4]
+//!               [--workers 4] [--owners 4] [--mode owned|mutex]
+//!               [--timeout-secs 30]
 //! ```
 //!
 //! `--shards 0` (the default) serves an unsharded [`FactMonitor`];
 //! `--shards N` serves a [`ShardedMonitor`] routed on `--route`. Both sit
 //! behind the same `Box<dyn StreamMonitor>`, which is the whole point: the
 //! server code never branches on the deployment shape.
+//!
+//! `--mode owned` (the default) runs the shared-nothing engine (worker-owned
+//! tenant monitors, lock-free snapshot reads); `--mode mutex` retains the
+//! single-global-mutex baseline the `fig_serve` bench compares against.
+//! `--timeout-secs` sets both socket timeouts (0 = wait forever).
 //!
 //! The bound address is printed to stdout and, with `--port-file`, written
 //! atomically to a file a client can poll — that is how the CI smoke step
@@ -23,7 +29,8 @@ use sitfact_core::DiscoveryConfig;
 use sitfact_datagen::nba::nba_schema;
 use sitfact_prominence::{FactMonitor, MonitorConfig, ShardedMonitor, StreamMonitor};
 use sitfact_serve::cli::{flag_value, parsed};
-use sitfact_serve::FactServer;
+use sitfact_serve::{FactServer, ServeMode, ServerOptions};
+use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +47,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d_hat: usize = parsed(&args, "--d-hat", 3);
     let m_hat: usize = parsed(&args, "--m-hat", 3);
     let workers: usize = parsed(&args, "--workers", FactServer::DEFAULT_WORKERS);
+    let owners: usize = parsed(&args, "--owners", workers);
+    let mode = match flag_value(&args, "--mode").unwrap_or("owned") {
+        "owned" => ServeMode::Owned,
+        "mutex" => ServeMode::GlobalMutex,
+        other => return Err(format!("--mode: expected owned|mutex, got {other:?}").into()),
+    };
+    let timeout_secs: u64 = parsed(&args, "--timeout-secs", 30);
+    let timeout = (timeout_secs > 0).then(|| Duration::from_secs(timeout_secs));
 
     let schema = nba_schema(dims, measures);
     let discovery = DiscoveryConfig::capped(d_hat, m_hat);
@@ -66,14 +81,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?)
     };
 
-    let server = FactServer::bind_with_workers(addr.as_str(), monitor, workers)?;
+    let server = FactServer::bind_with_options(
+        addr.as_str(),
+        monitor,
+        ServerOptions {
+            workers,
+            owners,
+            mode,
+            read_timeout: timeout,
+            write_timeout: timeout,
+        },
+    )?;
     let bound = server.local_addr();
     let shape = if shards == 0 {
         "unsharded".to_string()
     } else {
         format!("sharded×{shards} by {route}")
     };
-    println!("sitfact-serve listening on {bound} ({shape}, τ={tau}, keep_top={keep_top})");
+    let mode_name = match mode {
+        ServeMode::Owned => "owned",
+        ServeMode::GlobalMutex => "mutex",
+    };
+    println!(
+        "sitfact-serve listening on {bound} ({shape}, mode={mode_name}, τ={tau}, keep_top={keep_top})"
+    );
     if let Some(path) = port_file {
         // Write-then-rename so a polling client never reads a torn address.
         let tmp = format!("{path}.tmp");

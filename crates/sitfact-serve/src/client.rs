@@ -1,7 +1,9 @@
 //! The blocking client: a typed veneer over the wire protocol.
 
 use crate::error::ServeError;
-use crate::protocol::{read_frame, write_frame, RawRow, Request, Response, ServerStats};
+use crate::protocol::{
+    read_frame, write_frame, RawRow, Request, Response, ServerStats, TenantSpec,
+};
 use sitfact_prominence::ArrivalReport;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -53,7 +55,26 @@ impl Client {
         }
     }
 
-    /// Monitor statistics.
+    /// Creates a named tenant monitor on the server from an inline schema +
+    /// config. Does **not** switch this connection to it — call
+    /// [`Client::use_tenant`] after.
+    pub fn open(&mut self, spec: &TenantSpec) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Open(spec.clone()))? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected("OK", &other)),
+        }
+    }
+
+    /// Switches this connection's current tenant; subsequent ingests and
+    /// reads address the named tenant's monitor.
+    pub fn use_tenant(&mut self, name: &str) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Use(name.to_string()))? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected("OK", &other)),
+        }
+    }
+
+    /// Current tenant's monitor statistics.
     pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),

@@ -12,8 +12,9 @@ pub enum ServeError {
     Protocol(String),
     /// The server executed the request and reported an error. For monitor
     /// errors `kind` is the `SitFactError` variant name (`InvalidTuple`, …);
-    /// the server also uses `Protocol` (malformed request) and `State`
-    /// (e.g. `TOPK` before any arrival).
+    /// the server also uses `Protocol` (malformed request), `State` (e.g.
+    /// `TOPK` before any arrival, or a monitor poisoned by a panic) and
+    /// `Tenant` (`OPEN` of a taken name, `USE` of an unknown one).
     Remote {
         /// Error class name as sent on the wire.
         kind: String,

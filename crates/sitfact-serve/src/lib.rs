@@ -5,19 +5,25 @@
 //! ticks into the monitor and receives ranked situational facts per arrival)
 //! as an actual network service.
 //!
-//! * [`FactServer`] serves **any** `Box<dyn StreamMonitor + Send>` — sharded
-//!   vs unsharded is a construction-time flag of whoever builds the monitor,
-//!   never a code path in here. Connections are handled on the vendored
-//!   [`ThreadPool`](sitfact_core::pool::ThreadPool); there is no async
-//!   runtime in this offline workspace (no tokio), and the monitor is a
-//!   single mutable resource anyway, so blocking workers + a mutex is the
-//!   honest architecture.
+//! * [`FactServer`] hosts named **tenants** — independent
+//!   `Box<dyn StreamMonitor + Send>` monitors clients create over the wire
+//!   (`OPEN`) and select per connection (`USE`), plus the default tenant the
+//!   server was bound with. Sharded vs unsharded is a construction-time flag
+//!   of whoever builds a monitor, never a code path in here. Connections are
+//!   framed on the vendored [`ThreadPool`](sitfact_core::pool::ThreadPool)
+//!   (no async runtime exists in this offline workspace); past the parser,
+//!   [`ServeMode`] picks the architecture: **owned** (default) gives every
+//!   monitor to exactly one worker of an
+//!   [`ActorPool`](sitfact_core::ActorPool) — ingests travel through the
+//!   owner's mailbox, `STATS`/`TOPK` reads come from a lock-free
+//!   [`SnapshotCell`](sitfact_core::SnapshotCell) — while **global-mutex**
+//!   retains the previous single-lock design as the measured baseline.
 //! * [`Client`] is the matching blocking client; reports it returns are
 //!   byte-identical to what the server-side monitor produced.
 //! * [`protocol`] defines the wire format: length-prefixed frames around a
 //!   small TAB/LF text grammar (`PING` / `STATS` / `TOPK` / `INGEST` /
-//!   `INGEST_BATCH` / `SHUTDOWN`) — see the module docs for the full
-//!   grammar, also reproduced in the repository's ROADMAP.
+//!   `INGEST_BATCH` / `OPEN` / `USE` / `SHUTDOWN`) — see the module docs for
+//!   the full grammar, also reproduced in the repository's ROADMAP.
 //!
 //! The crate ships two demo binaries: `sitfact_serve` (stand up a server
 //! over a synthetic-NBA monitor) and `sitfact_client` (stream rows into it
@@ -31,8 +37,9 @@ pub mod client;
 pub mod error;
 pub mod protocol;
 pub mod server;
+mod tenant;
 
 pub use client::Client;
 pub use error::ServeError;
-pub use protocol::{RawRow, Request, Response, ServerStats};
-pub use server::{FactServer, ServerHandle};
+pub use protocol::{RawRow, Request, Response, ServerStats, TenantSpec};
+pub use server::{FactServer, ServeMode, ServerHandle, ServerOptions};

@@ -19,10 +19,16 @@
 //!           | "TOPK" TAB k
 //!           | "INGEST" TAB row
 //!           | "INGEST_BATCH" TAB count (LF row)*
+//!           | "OPEN" TAB tenant TAB tau TAB keep_top TAB d_hat TAB m_hat
+//!             LF dim (TAB dim)* LF mdef (TAB mdef)*
+//!           | "USE" TAB tenant
 //! row      := ndims TAB nmeasures TAB dim* TAB measure*
+//! mdef     := measure_name ":" ("max" | "min")
 //!
-//! response := "PONG" | "BYE"
-//!           | "STATS" TAB len TAB tau TAB keep_top TAB anchor TAB schema
+//! response := "PONG" | "BYE" | "OK"
+//!           | "STATS" TAB len TAB tau TAB keep_top TAB anchor
+//!             TAB sealed_blocks TAB tail_ids TAB comp_bytes TAB raw_bytes
+//!             TAB schema
 //!           | "REPORT" LF report
 //!           | "REPORTS" TAB count (LF report)*
 //!           | "ERR" TAB kind TAB message
@@ -31,6 +37,12 @@
 //! values   := value ("," value)*          ; constraint values, "_" = unbound
 //! ```
 //!
+//! `OPEN` creates a named tenant monitor from an inline schema + config (the
+//! server owns one independent monitor per tenant); `USE` switches the
+//! connection's current tenant. Tenant and attribute names may not contain
+//! TAB, LF or CR (and measure names may not contain `:`). Optional numeric
+//! fields (`keep_top`, `d_hat`, `m_hat`, `anchor`) render as `_` when unset.
+//!
 //! Measures travel as Rust's shortest-round-trip `f64` rendering, so a report
 //! decoded by the client is **byte-identical** to the [`ArrivalReport`] the
 //! server-side monitor produced — the end-to-end equivalence test in this
@@ -38,7 +50,7 @@
 
 use crate::error::ServeError;
 use bytes::{Buf, BufMut, BytesMut};
-use sitfact_core::{Constraint, SkylinePair, SubspaceMask, UNBOUND};
+use sitfact_core::{Constraint, Direction, SkylinePair, SubspaceMask, UNBOUND};
 use sitfact_prominence::{ArrivalReport, RankedFact};
 use std::io::{ErrorKind, Read, Write};
 
@@ -108,18 +120,20 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<String>, ServeError> 
 /// ROADMAP.md — the `sitfact-audit` drift check compares the two, and unit
 /// tests in this module tie the list to what `encode`/`decode` actually
 /// produce and accept.
-pub const REQUEST_VERBS: [&str; 6] = [
+pub const REQUEST_VERBS: [&str; 8] = [
     "PING",
     "STATS",
     "SHUTDOWN",
     "TOPK",
     "INGEST",
     "INGEST_BATCH",
+    "OPEN",
+    "USE",
 ];
 
 /// Every response verb of the grammar, exactly as it travels on the wire.
 /// See [`REQUEST_VERBS`] for why this list exists.
-pub const RESPONSE_VERBS: [&str; 6] = ["PONG", "BYE", "STATS", "REPORT", "REPORTS", "ERR"];
+pub const RESPONSE_VERBS: [&str; 7] = ["PONG", "BYE", "OK", "STATS", "REPORT", "REPORTS", "ERR"];
 
 /// One raw row as the client submits it: dimension strings plus measures,
 /// interned and validated by the server against its schema.
@@ -142,21 +156,76 @@ impl RawRow {
     }
 }
 
+/// The schema + config a client supplies when opening a named tenant
+/// monitor over the wire ([`Request::Open`]).
+///
+/// The server builds an independent monitor from this spec and routes it to
+/// an owning worker; names are unique per server. Tenant, dimension and
+/// measure names may not contain TAB, LF or CR (measure names additionally
+/// may not contain `:` — the wire renders a measure as `name:max` /
+/// `name:min`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Unique tenant name.
+    pub name: String,
+    /// Prominence threshold `τ` for the tenant's monitor.
+    pub tau: f64,
+    /// Per-arrival fact retention cap, if any.
+    pub keep_top: Option<u64>,
+    /// Discovery cap `d̂` (max bound dimensions), `None` = unrestricted.
+    pub d_hat: Option<u64>,
+    /// Discovery cap `m̂` (max subspace size), `None` = unrestricted.
+    pub m_hat: Option<u64>,
+    /// Dimension attribute names, in schema order (at least one).
+    pub dims: Vec<String>,
+    /// Measure attributes as `(name, direction)`, in schema order (at least
+    /// one).
+    pub measures: Vec<(String, Direction)>,
+}
+
+impl TenantSpec {
+    /// A spec with the given name, schema attributes and threshold `τ`, no
+    /// retention cap and unrestricted discovery.
+    pub fn new(name: &str, dims: &[&str], measures: &[(&str, Direction)], tau: f64) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            tau,
+            keep_top: None,
+            d_hat: None,
+            m_hat: None,
+            dims: dims.iter().map(|d| d.to_string()).collect(),
+            measures: measures
+                .iter()
+                .map(|(m, dir)| (m.to_string(), *dir))
+                .collect(),
+        }
+    }
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness probe; answered with [`Response::Pong`].
     Ping,
-    /// Monitor statistics; answered with [`Response::Stats`].
+    /// Current tenant's monitor statistics; answered with
+    /// [`Response::Stats`].
     Stats,
-    /// The top-`k` prefix of the most recent arrival's report; answered with
-    /// [`Response::Report`].
+    /// The top-`k` prefix of the current tenant's most recent arrival
+    /// report; answered with [`Response::Report`].
     TopK(usize),
-    /// Ingest one row; answered with [`Response::Report`].
+    /// Ingest one row into the current tenant; answered with
+    /// [`Response::Report`].
     Ingest(RawRow),
     /// Ingest a window of rows through the batched fast path; answered with
     /// [`Response::Reports`], one report per row in submission order.
     IngestBatch(Vec<RawRow>),
+    /// Create a named tenant monitor from an inline schema + config;
+    /// answered with [`Response::Ok`] (or a typed `Tenant` error if the name
+    /// is taken).
+    Open(TenantSpec),
+    /// Switch this connection's current tenant; answered with
+    /// [`Response::Ok`] (or a typed `Tenant` error if the name is unknown).
+    Use(String),
     /// Ask the server to stop accepting connections and exit its accept
     /// loop; answered with [`Response::Bye`], then the connection closes.
     Shutdown,
@@ -174,6 +243,16 @@ pub struct ServerStats {
     /// The discovery config's anchored dimension, if any (set for sharded
     /// deployments).
     pub anchor_dim: Option<u64>,
+    /// Sealed compressed posting-list blocks in the monitor's inverted index
+    /// (monitors compact at batch-window boundaries; sharded monitors sum
+    /// over shards).
+    pub sealed_blocks: u64,
+    /// Posting ids still sitting in uncompressed tails.
+    pub tail_ids: u64,
+    /// Compressed posting-list heap bytes (arena words plus skip entries).
+    pub compressed_bytes: u64,
+    /// Bytes the same posting ids would occupy uncompressed.
+    pub uncompressed_bytes: u64,
     /// Name of the schema the server ingests against.
     pub schema: String,
 }
@@ -185,6 +264,9 @@ pub enum Response {
     Pong,
     /// Acknowledgement of [`Request::Shutdown`].
     Bye,
+    /// Success acknowledgement for requests that return no data
+    /// ([`Request::Open`], [`Request::Use`]).
+    Ok,
     /// Answer to [`Request::Stats`].
     Stats(ServerStats),
     /// One arrival's report.
@@ -209,6 +291,129 @@ fn check_dim(dim: &str) -> Result<(), ServeError> {
         )));
     }
     Ok(())
+}
+
+fn check_name(what: &str, name: &str) -> Result<(), ServeError> {
+    if name.is_empty() {
+        return Err(ServeError::Protocol(format!("{what} name is empty")));
+    }
+    if name.contains(['\t', '\n', '\r']) {
+        return Err(ServeError::Protocol(format!(
+            "{what} name {name:?} contains a TAB/LF/CR, which the line grammar reserves"
+        )));
+    }
+    Ok(())
+}
+
+fn encode_opt_u64(value: Option<u64>, out: &mut String) {
+    use std::fmt::Write as _;
+    match value {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push('_'),
+    }
+}
+
+fn decode_opt_u64(field: &str, what: &str) -> Result<Option<u64>, ServeError> {
+    if field == "_" {
+        Ok(None)
+    } else {
+        field
+            .parse()
+            .map(Some)
+            .map_err(|_| ServeError::Protocol(format!("bad {what}")))
+    }
+}
+
+fn encode_open_into(spec: &TenantSpec, out: &mut String) -> Result<(), ServeError> {
+    use std::fmt::Write as _;
+    check_name("tenant", &spec.name)?;
+    if spec.dims.is_empty() || spec.measures.is_empty() {
+        return Err(ServeError::Protocol(
+            "OPEN needs at least one dimension and one measure".into(),
+        ));
+    }
+    let _ = write!(out, "OPEN\t{}\t{}\t", spec.name, spec.tau);
+    encode_opt_u64(spec.keep_top, out);
+    out.push('\t');
+    encode_opt_u64(spec.d_hat, out);
+    out.push('\t');
+    encode_opt_u64(spec.m_hat, out);
+    out.push('\n');
+    for (i, dim) in spec.dims.iter().enumerate() {
+        check_name("dimension", dim)?;
+        if i > 0 {
+            out.push('\t');
+        }
+        out.push_str(dim);
+    }
+    out.push('\n');
+    for (i, (measure, direction)) in spec.measures.iter().enumerate() {
+        check_name("measure", measure)?;
+        if measure.contains(':') {
+            return Err(ServeError::Protocol(format!(
+                "measure name {measure:?} contains ':', which the mdef grammar reserves"
+            )));
+        }
+        if i > 0 {
+            out.push('\t');
+        }
+        let dir = match direction {
+            Direction::HigherIsBetter => "max",
+            Direction::LowerIsBetter => "min",
+        };
+        let _ = write!(out, "{measure}:{dir}");
+    }
+    Ok(())
+}
+
+fn decode_open(head: &[&str], mut lines: std::str::Split<'_, char>) -> Result<Request, ServeError> {
+    let bad = |why: &str| ServeError::Protocol(format!("malformed OPEN: {why}"));
+    if head.len() != 5 {
+        return Err(bad("head must be `OPEN name tau keep_top d_hat m_hat`"));
+    }
+    let name = head[0].to_string();
+    check_name("tenant", &name)?;
+    let tau = head[1].parse().map_err(|_| bad("tau is not a number"))?;
+    let keep_top = decode_opt_u64(head[2], "OPEN keep_top")?;
+    let d_hat = decode_opt_u64(head[3], "OPEN d_hat")?;
+    let m_hat = decode_opt_u64(head[4], "OPEN m_hat")?;
+    let dims_line = lines.next().ok_or_else(|| bad("missing dimension line"))?;
+    let measures_line = lines.next().ok_or_else(|| bad("missing measure line"))?;
+    if lines.next().is_some() {
+        return Err(bad("carried trailing lines"));
+    }
+    let dims: Vec<String> = dims_line.split('\t').map(|d| d.to_string()).collect();
+    if dims.iter().any(|d| d.is_empty()) {
+        return Err(bad("empty dimension name"));
+    }
+    let measures = measures_line
+        .split('\t')
+        .map(|mdef| {
+            let (name, dir) = mdef
+                .rsplit_once(':')
+                .ok_or_else(|| bad("mdef must be `name:max` or `name:min`"))?;
+            if name.is_empty() {
+                return Err(bad("empty measure name"));
+            }
+            let direction = match dir {
+                "max" => Direction::HigherIsBetter,
+                "min" => Direction::LowerIsBetter,
+                _ => return Err(bad("measure direction must be `max` or `min`")),
+            };
+            Ok((name.to_string(), direction))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Request::Open(TenantSpec {
+        name,
+        tau,
+        keep_top,
+        d_hat,
+        m_hat,
+        dims,
+        measures,
+    }))
 }
 
 fn encode_row_into(row: &RawRow, out: &mut String) -> Result<(), ServeError> {
@@ -271,6 +476,11 @@ impl Request {
                     out.push('\n');
                     encode_row_into(row, &mut out)?;
                 }
+            }
+            Request::Open(spec) => encode_open_into(spec, &mut out)?,
+            Request::Use(name) => {
+                check_name("tenant", name)?;
+                let _ = write!(out, "USE\t{name}");
             }
         }
         Ok(out)
@@ -349,6 +559,16 @@ impl Request {
                     )));
                 }
                 Ok(Request::IngestBatch(rows))
+            }
+            "OPEN" => decode_open(&fields[1..], lines),
+            "USE" => {
+                extra_lines_forbidden("USE")?;
+                if fields.len() != 2 {
+                    return Err(bad("USE takes exactly one field".into()));
+                }
+                let name = fields[1].to_string();
+                check_name("tenant", &name)?;
+                Ok(Request::Use(name))
             }
             verb => Err(bad(format!("unknown request verb {verb:?}"))),
         }
@@ -439,21 +659,20 @@ impl Response {
         match self {
             Response::Pong => out.push_str("PONG"),
             Response::Bye => out.push_str("BYE"),
+            Response::Ok => out.push_str("OK"),
             Response::Stats(stats) => {
                 let _ = write!(out, "STATS\t{}\t{}\t", stats.len, stats.tau);
-                match stats.keep_top {
-                    Some(k) => {
-                        let _ = write!(out, "{k}");
-                    }
-                    None => out.push('_'),
-                }
+                encode_opt_u64(stats.keep_top, &mut out);
                 out.push('\t');
-                match stats.anchor_dim {
-                    Some(d) => {
-                        let _ = write!(out, "{d}");
-                    }
-                    None => out.push('_'),
-                }
+                encode_opt_u64(stats.anchor_dim, &mut out);
+                let _ = write!(
+                    out,
+                    "\t{}\t{}\t{}\t{}",
+                    stats.sealed_blocks,
+                    stats.tail_ids,
+                    stats.compressed_bytes,
+                    stats.uncompressed_bytes
+                );
                 out.push('\t');
                 // The schema name is free text under SchemaBuilder; flatten
                 // the grammar's reserved characters so a TAB/LF in the name
@@ -495,27 +714,25 @@ impl Response {
         match fields[0] {
             "PONG" => Ok(Response::Pong),
             "BYE" => Ok(Response::Bye),
+            "OK" => Ok(Response::Ok),
             "STATS" => {
-                if fields.len() != 6 {
-                    return Err(bad("STATS must carry 5 fields".into()));
+                if fields.len() != 10 {
+                    return Err(bad("STATS must carry 9 fields".into()));
                 }
-                let parse_opt = |s: &str, what: &str| -> Result<Option<u64>, ServeError> {
-                    if s == "_" {
-                        Ok(None)
-                    } else {
-                        s.parse()
-                            .map(Some)
-                            .map_err(|_| ServeError::Protocol(format!("bad {what}")))
-                    }
+                let parse_u64 = |s: &str, what: &str| -> Result<u64, ServeError> {
+                    s.parse()
+                        .map_err(|_| ServeError::Protocol(format!("bad {what}")))
                 };
                 Ok(Response::Stats(ServerStats {
-                    len: fields[1]
-                        .parse()
-                        .map_err(|_| bad("bad STATS length".into()))?,
+                    len: parse_u64(fields[1], "STATS length")?,
                     tau: fields[2].parse().map_err(|_| bad("bad STATS tau".into()))?,
-                    keep_top: parse_opt(fields[3], "STATS keep_top")?,
-                    anchor_dim: parse_opt(fields[4], "STATS anchor")?,
-                    schema: fields[5].to_string(),
+                    keep_top: decode_opt_u64(fields[3], "STATS keep_top")?,
+                    anchor_dim: decode_opt_u64(fields[4], "STATS anchor")?,
+                    sealed_blocks: parse_u64(fields[5], "STATS sealed_blocks")?,
+                    tail_ids: parse_u64(fields[6], "STATS tail_ids")?,
+                    compressed_bytes: parse_u64(fields[7], "STATS compressed_bytes")?,
+                    uncompressed_bytes: parse_u64(fields[8], "STATS uncompressed_bytes")?,
+                    schema: fields[9].to_string(),
                 }))
             }
             "REPORT" => Ok(Response::Report(decode_report(&mut lines)?)),
@@ -573,6 +790,35 @@ mod tests {
         }
     }
 
+    fn sample_stats() -> ServerStats {
+        ServerStats {
+            len: 12,
+            tau: 2.5,
+            keep_top: Some(8),
+            anchor_dim: None,
+            sealed_blocks: 3,
+            tail_ids: 17,
+            compressed_bytes: 640,
+            uncompressed_bytes: 1920,
+            schema: "nba_gamelog".into(),
+        }
+    }
+
+    fn sample_spec() -> TenantSpec {
+        TenantSpec {
+            name: "league-east".into(),
+            tau: 2.0,
+            keep_top: Some(16),
+            d_hat: Some(3),
+            m_hat: None,
+            dims: vec!["player".into(), "team".into()],
+            measures: vec![
+                ("points".into(), Direction::HigherIsBetter),
+                ("fouls".into(), Direction::LowerIsBetter),
+            ],
+        }
+    }
+
     #[test]
     fn verb_constants_match_encode_and_decode() {
         // Every request variant's encoding starts with a verb from
@@ -586,6 +832,8 @@ mod tests {
             Request::TopK(3),
             Request::Ingest(RawRow::new(&["a"], &[1.0])),
             Request::IngestBatch(vec![RawRow::new(&["a"], &[1.0])]),
+            Request::Open(sample_spec()),
+            Request::Use("league-east".into()),
         ];
         let mut seen: Vec<&str> = Vec::new();
         for request in &requests {
@@ -609,13 +857,8 @@ mod tests {
         let responses = [
             Response::Pong,
             Response::Bye,
-            Response::Stats(ServerStats {
-                len: 1,
-                tau: 2.0,
-                keep_top: None,
-                anchor_dim: None,
-                schema: "s".into(),
-            }),
+            Response::Ok,
+            Response::Stats(sample_stats()),
             Response::Report(sample_report()),
             Response::Reports(vec![sample_report()]),
             Response::Error {
@@ -670,11 +913,8 @@ mod tests {
     #[test]
     fn stats_schema_reserved_characters_are_flattened() {
         let response = Response::Stats(ServerStats {
-            len: 1,
-            tau: 1.0,
-            keep_top: None,
-            anchor_dim: None,
             schema: "game\tlog\n2026".into(),
+            ..sample_stats()
         });
         let Response::Stats(stats) = Response::decode(&response.encode()).unwrap() else {
             panic!("wrong verb");
@@ -708,10 +948,56 @@ mod tests {
             Request::Ingest(row),
             batch,
             Request::IngestBatch(Vec::new()),
+            Request::Open(sample_spec()),
+            Request::Open(TenantSpec::new(
+                "t",
+                &["d"],
+                &[("m", Direction::LowerIsBetter)],
+                0.5,
+            )),
+            Request::Use("league-east".into()),
         ] {
             let payload = request.encode().unwrap();
             assert_eq!(Request::decode(&payload).unwrap(), request);
         }
+    }
+
+    #[test]
+    fn open_rejects_reserved_and_degenerate_specs() {
+        let reject = |spec: TenantSpec| {
+            assert!(
+                matches!(Request::Open(spec).encode(), Err(ServeError::Protocol(_))),
+                "spec should be rejected on encode"
+            );
+        };
+        reject(TenantSpec {
+            name: "a\tb".into(),
+            ..sample_spec()
+        });
+        reject(TenantSpec {
+            name: String::new(),
+            ..sample_spec()
+        });
+        reject(TenantSpec {
+            dims: Vec::new(),
+            ..sample_spec()
+        });
+        reject(TenantSpec {
+            measures: Vec::new(),
+            ..sample_spec()
+        });
+        reject(TenantSpec {
+            measures: vec![("points:scored".into(), Direction::HigherIsBetter)],
+            ..sample_spec()
+        });
+        reject(TenantSpec {
+            dims: vec!["ok".into(), "bad\ndim".into()],
+            ..sample_spec()
+        });
+        assert!(matches!(
+            Request::Use(String::new()).encode(),
+            Err(ServeError::Protocol(_))
+        ));
     }
 
     #[test]
@@ -744,12 +1030,12 @@ mod tests {
         for response in [
             Response::Pong,
             Response::Bye,
+            Response::Ok,
+            Response::Stats(sample_stats()),
             Response::Stats(ServerStats {
-                len: 12,
-                tau: 2.5,
-                keep_top: Some(8),
-                anchor_dim: None,
-                schema: "nba_gamelog".into(),
+                keep_top: None,
+                anchor_dim: Some(1),
+                ..sample_stats()
             }),
             Response::Report(sample_report()),
             Response::Reports(vec![sample_report(), sample_report()]),
@@ -791,6 +1077,18 @@ mod tests {
             "INGEST_BATCH\t2\n1\t1\ta\t1.0",               // declared 2, carried 1
             "INGEST_BATCH\t1\n1\t1\ta\t1.0\n1\t1\tb\t2.0", // declared 1, carried 2
             "PING\textra",
+            "OPEN\tt\t1.0\t_\t_",                 // missing m_hat head field
+            "OPEN\tt\t1.0\t_\t_\t_",              // missing dim/measure lines
+            "OPEN\tt\t1.0\t_\t_\t_\nd",           // missing measure line
+            "OPEN\tt\tx\t_\t_\t_\nd\nm:max",      // tau is not a number
+            "OPEN\tt\t1.0\t_\t_\t_\nd\nm",        // mdef without direction
+            "OPEN\tt\t1.0\t_\t_\t_\nd\nm:up",     // unknown direction
+            "OPEN\tt\t1.0\t_\t_\t_\n\nm:max",     // empty dimension name
+            "OPEN\tt\t1.0\t_\t_\t_\nd\nm:max\nx", // trailing line
+            "USE",
+            "USE\t",
+            "USE\ta\tb",
+            "USE\tt\nextra",
         ] {
             assert!(
                 Request::decode(payload).is_err(),

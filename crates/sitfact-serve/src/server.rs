@@ -1,44 +1,120 @@
-//! The blocking TCP server: any [`StreamMonitor`] behind a listener.
+//! The blocking TCP server: multi-tenant monitors behind a listener.
 //!
-//! The server owns exactly one `Box<dyn StreamMonitor + Send>` — whether that
-//! monitor is a [`FactMonitor`](sitfact_prominence::FactMonitor), a
-//! [`ShardedMonitor`](sitfact_prominence::ShardedMonitor) or anything else is
-//! decided where the server is constructed, never inside it. Connections are
-//! handled on the vendored
-//! [`ThreadPool`] (no async runtime exists in
-//! this offline workspace, and none is needed: the monitor is a single
-//! mutable resource, so requests serialise on its mutex anyway; worker
-//! threads only buy concurrent framing/parsing and keep-alive for many
-//! connections).
+//! The server hosts named **tenants** — independent monitors clients create
+//! over the wire (`OPEN`) and select per connection (`USE`) — plus the
+//! default tenant it was bound with. Whether a monitor is a
+//! [`FactMonitor`](sitfact_prominence::FactMonitor), a
+//! [`ShardedMonitor`](sitfact_prominence::ShardedMonitor) or anything else
+//! is decided where it is constructed, never inside the server.
+//!
+//! Connections are framed and parsed on the vendored
+//! [`ThreadPool`] (no async runtime exists in this offline workspace).
+//! What happens past the parser is the [`ServeMode`]:
+//!
+//! * [`ServeMode::Owned`] (default) — shared-nothing. Each worker of an
+//!   [`ActorPool`](sitfact_core::ActorPool) owns its tenants' monitors
+//!   outright; ingests travel through the owner's mailbox, `STATS`/`TOPK`
+//!   are answered from a lock-free
+//!   [`SnapshotCell`](sitfact_core::SnapshotCell) without ever touching the
+//!   ingest path.
+//! * [`ServeMode::GlobalMutex`] — the previous single-mutex architecture,
+//!   retained as the measured baseline for the `fig_serve` saturation curve.
+//!
+//! Both modes answer byte-identical responses for identical request streams.
+//!
+//! Sockets carry read/write timeouts ([`ServerOptions`]) so a peer that
+//! stalls mid-frame — or never drains its responses — is dropped instead of
+//! pinning a pool worker forever. A peer that is merely *idle between
+//! frames* is kept alive indefinitely.
 
-use crate::error::error_kind;
-use crate::protocol::{read_frame, write_frame, RawRow, Request, Response, ServerStats};
+use crate::protocol::{write_frame, Request, Response, MAX_FRAME_LEN};
+use crate::tenant::{Engine, DEFAULT_TENANT};
 use sitfact_core::pool::ThreadPool;
-use sitfact_prominence::{ArrivalReport, StreamMonitor};
+use sitfact_prominence::StreamMonitor;
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often the accept loop re-checks the shutdown flag while no
+/// connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Cap on what a declared frame length may pre-allocate before the payload
+/// bytes actually arrive (mirrors the protocol module's guard).
+const MAX_PREALLOC: usize = 4096;
+
+/// Which engine executes monitor-touching requests — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Shared-nothing: worker-owned monitors, mailbox ingest, lock-free
+    /// snapshot reads. The default.
+    Owned,
+    /// Every tenant behind one global mutex — the pre-ownership
+    /// architecture, retained as the bench baseline.
+    GlobalMutex,
+}
+
+/// Construction-time knobs for [`FactServer::bind_with_options`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Connection-handler workers: at most this many connections are
+    /// serviced concurrently, later ones queue on the pool.
+    pub workers: usize,
+    /// Monitor-owning workers in [`ServeMode::Owned`] (ignored by
+    /// [`ServeMode::GlobalMutex`]); tenants are hashed across them.
+    pub owners: usize,
+    /// Which engine executes monitor-touching requests.
+    pub mode: ServeMode,
+    /// Dropped if a peer stalls this long *mid-frame* (idle between frames
+    /// is always tolerated). `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Dropped if a peer leaves a response undelivered this long (e.g. a
+    /// full TCP window that never drains). `None` waits forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: FactServer::DEFAULT_WORKERS,
+            owners: FactServer::DEFAULT_WORKERS,
+            mode: ServeMode::Owned,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
 
 /// Everything a connection handler needs, shared across workers.
-struct Shared {
-    state: Mutex<ServerState>,
+pub(crate) struct Shared {
+    pub(crate) engine: Engine,
     running: AtomicBool,
     addr: SocketAddr,
     /// One registered clone per live connection, keyed by a connection id.
-    /// Shutdown half-closes them all, so a worker parked in `read_frame` on
-    /// an idle keep-alive peer observes EOF and exits instead of pinning
-    /// `run()`'s pool join forever. Handlers deregister on exit.
+    /// Shutdown half-closes them all, so a worker parked reading an idle
+    /// keep-alive peer observes EOF and exits instead of pinning `run()`'s
+    /// pool join forever. Handlers deregister on exit.
     connections: Mutex<HashMap<u64, TcpStream>>,
     next_connection_id: AtomicU64,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
 }
 
-/// The monitor plus the per-server bookkeeping the protocol exposes.
-struct ServerState {
-    monitor: Box<dyn StreamMonitor + Send>,
-    /// Most recent arrival's report, served by `TOPK`.
-    last_report: Option<ArrivalReport>,
+/// Per-connection protocol state: which tenant this connection currently
+/// addresses (`USE` switches it; connections start on the default tenant).
+struct Session {
+    tenant: String,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session {
+            tenant: DEFAULT_TENANT.to_string(),
+        }
+    }
 }
 
 /// A handle for stopping a running [`FactServer`] from another thread.
@@ -67,20 +143,17 @@ impl Shared {
             return; // already shutting down
         }
         // Half-close the *read* side of every live connection: workers parked
-        // in `read_frame` on idle peers see EOF and retire, so the pool join
-        // in `run()` cannot hang on a keep-alive client. The write side stays
-        // open, so a request that is still executing (e.g. a batch holding
-        // the monitor mutex) delivers its response before its worker observes
-        // the EOF and exits — in-flight work drains, it is not cut off.
+        // reading idle peers see EOF and retire, so the pool join in `run()`
+        // cannot hang on a keep-alive client. The write side stays open, so a
+        // request that is still executing delivers its response before its
+        // worker observes the EOF and exits — in-flight work drains, it is
+        // not cut off. The accept loop itself needs no poke: it polls the
+        // flag with a nonblocking listener.
         if let Ok(connections) = self.connections.lock() {
             for stream in connections.values() {
                 let _ = stream.shutdown(std::net::Shutdown::Read);
             }
         }
-        // The accept loop is blocked in `accept()`; poke it with a throwaway
-        // connection so it observes the cleared flag. Failure is fine — it
-        // means the listener is already gone.
-        let _ = TcpStream::connect(self.addr);
     }
 
     /// Registers a connection for shutdown half-close; returns its id, or
@@ -99,7 +172,7 @@ impl Shared {
     }
 }
 
-/// A blocking TCP front-end over one [`StreamMonitor`].
+/// A blocking, multi-tenant TCP front-end over [`StreamMonitor`]s.
 ///
 /// ```no_run
 /// use sitfact_core::{Direction, SchemaBuilder, DiscoveryConfig};
@@ -129,39 +202,56 @@ pub struct FactServer {
 }
 
 impl FactServer {
-    /// Default number of connection-handler workers.
+    /// Default number of connection-handler (and monitor-owning) workers.
     pub const DEFAULT_WORKERS: usize = 4;
 
-    /// Binds a listener and wraps `monitor` for serving, with
-    /// [`FactServer::DEFAULT_WORKERS`] connection handlers.
+    /// Binds a listener and wraps `monitor` as the default tenant, with
+    /// [`ServerOptions::default`] (owned mode, 30 s socket timeouts).
     pub fn bind(
         addr: impl ToSocketAddrs,
         monitor: Box<dyn StreamMonitor + Send>,
     ) -> std::io::Result<Self> {
-        Self::bind_with_workers(addr, monitor, Self::DEFAULT_WORKERS)
+        Self::bind_with_options(addr, monitor, ServerOptions::default())
     }
 
-    /// [`FactServer::bind`] with an explicit worker count: at most `workers`
-    /// connections are serviced concurrently, later ones queue on the pool.
+    /// [`FactServer::bind`] with an explicit worker count (used for both
+    /// connection handlers and monitor owners).
     pub fn bind_with_workers(
         addr: impl ToSocketAddrs,
         monitor: Box<dyn StreamMonitor + Send>,
         workers: usize,
     ) -> std::io::Result<Self> {
+        Self::bind_with_options(
+            addr,
+            monitor,
+            ServerOptions {
+                workers,
+                owners: workers,
+                ..ServerOptions::default()
+            },
+        )
+    }
+
+    /// [`FactServer::bind`] with full control over mode, worker counts and
+    /// socket timeouts.
+    pub fn bind_with_options(
+        addr: impl ToSocketAddrs,
+        monitor: Box<dyn StreamMonitor + Send>,
+        options: ServerOptions,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(FactServer {
             listener,
-            pool: ThreadPool::new(workers),
+            pool: ThreadPool::new(options.workers),
             shared: Arc::new(Shared {
-                state: Mutex::new(ServerState {
-                    monitor,
-                    last_report: None,
-                }),
+                engine: Engine::new(monitor, options.mode, options.owners),
                 running: AtomicBool::new(true),
                 addr,
                 connections: Mutex::new(HashMap::new()),
                 next_connection_id: AtomicU64::new(0),
+                read_timeout: options.read_timeout,
+                write_timeout: options.write_timeout,
             }),
         })
     }
@@ -183,24 +273,34 @@ impl FactServer {
     /// [`ServerHandle::shutdown`] fires). In-flight connections finish before
     /// this returns: dropping the pool joins every worker.
     pub fn run(self) -> std::io::Result<()> {
+        // Nonblocking accept + short flag polls, so shutdown needs no
+        // throwaway wake-up connection and a raced `accept` cannot park the
+        // loop forever.
+        self.listener.set_nonblocking(true)?;
         while self.shared.running.load(Ordering::SeqCst) {
-            let (stream, _) = match self.listener.accept() {
-                Ok(conn) => conn,
-                Err(err) => {
-                    if !self.shared.running.load(Ordering::SeqCst) {
-                        break;
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets must block (with timeouts): the
+                    // nonblocking flag is per-socket and not inherited on
+                    // every platform, so set it explicitly.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
                     }
-                    return Err(err);
+                    let shared = Arc::clone(&self.shared);
+                    self.pool
+                        .execute(move || handle_connection(stream, &shared));
                 }
-            };
-            if !self.shared.running.load(Ordering::SeqCst) {
-                // The shutdown poke itself, or a client racing it; either
-                // way, stop without serving.
-                break;
+                Err(err) if err.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(err) if err.kind() == ErrorKind::Interrupted => {}
+                Err(err) => {
+                    if self.shared.running.load(Ordering::SeqCst) {
+                        return Err(err);
+                    }
+                    break;
+                }
             }
-            let shared = Arc::clone(&self.shared);
-            self.pool
-                .execute(move || handle_connection(stream, &shared));
         }
         // `self.pool` drops here: the job queue drains and every worker
         // joins, so no connection is abandoned mid-request.
@@ -208,9 +308,74 @@ impl FactServer {
     }
 }
 
-/// Serves one connection: registers it for shutdown half-close, then loops
-/// request frame → response frame until EOF, an I/O error, or `SHUTDOWN`.
+/// What one attempt to read a request frame produced.
+enum FrameIn {
+    /// A complete payload arrived.
+    Payload(String),
+    /// Clean EOF between frames: the peer hung up.
+    Eof,
+    /// The read timeout elapsed with *no* bytes of a new frame — an idle
+    /// keep-alive peer, not a dead one. Keep waiting.
+    Idle,
+    /// The peer stalled mid-frame, sent a torn/oversized frame, or the
+    /// socket failed: drop the connection.
+    Dead,
+}
+
+/// Reads one length-prefixed frame directly off the socket, classifying
+/// timeouts by position: a timeout *between* frames is `Idle` (tolerated
+/// forever), a timeout *inside* a frame is `Dead` (a stalled peer must not
+/// pin a pool worker). Framing matches `protocol::read_frame` byte for byte.
+fn read_frame_idle(stream: &mut TcpStream) -> FrameIn {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    FrameIn::Eof
+                } else {
+                    FrameIn::Dead
+                };
+            }
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == ErrorKind::Interrupted => {}
+            Err(err) if matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return if filled == 0 {
+                    FrameIn::Idle
+                } else {
+                    FrameIn::Dead
+                };
+            }
+            Err(_) => return FrameIn::Dead,
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return FrameIn::Dead;
+    }
+    // The declared length is untrusted until the bytes arrive: reserve at
+    // most `MAX_PREALLOC` up front and let the vector grow as data lands.
+    let mut payload = Vec::with_capacity(len.min(MAX_PREALLOC));
+    match Read::take(&mut *stream, len as u64).read_to_end(&mut payload) {
+        Ok(read) if read == len => {}
+        _ => return FrameIn::Dead,
+    }
+    match String::from_utf8(payload) {
+        Ok(text) => FrameIn::Payload(text),
+        Err(_) => FrameIn::Dead,
+    }
+}
+
+/// Serves one connection: applies the socket timeouts, registers it for
+/// shutdown half-close, then loops request frame → response frame until EOF,
+/// a dead peer, or `SHUTDOWN`.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(shared.read_timeout).is_err()
+        || stream.set_write_timeout(shared.write_timeout).is_err()
+    {
+        return;
+    }
     let Some(connection_id) = shared.register(&stream) else {
         return;
     };
@@ -225,22 +390,27 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     shared.deregister(connection_id);
 }
 
-fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut session = Session::default();
     loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return, // clean EOF
-            Err(_) => return,   // torn frame or I/O failure: nothing to answer
+        let payload = match read_frame_idle(&mut stream) {
+            FrameIn::Payload(payload) => payload,
+            FrameIn::Idle => {
+                if !shared.running.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            FrameIn::Eof | FrameIn::Dead => return,
         };
         let (response, shutdown) = match Request::decode(&payload) {
             Ok(request) => {
                 let shutdown = request == Request::Shutdown;
-                (handle_request(request, shared), shutdown)
+                (handle_request(request, shared, &mut session), shutdown)
             }
             Err(err) => (
                 Response::Error {
@@ -260,108 +430,42 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// Executes one request against the shared monitor state.
-fn handle_request(request: Request, shared: &Arc<Shared>) -> Response {
-    // Liveness and shutdown take no monitor state and must answer even while
-    // another connection holds the mutex for a long batched ingest — a
-    // health probe with a short timeout must never see a busy server as
-    // dead, and a shutdown must never queue behind a window.
+/// Executes one request: liveness, shutdown and tenant selection are
+/// connection-level; everything else goes to the engine under the session's
+/// current tenant.
+fn handle_request(request: Request, shared: &Arc<Shared>, session: &mut Session) -> Response {
     match request {
-        Request::Ping => return Response::Pong,
-        Request::Shutdown => return Response::Bye,
-        _ => {}
-    }
-    let mut state = match shared.state.lock() {
-        Ok(state) => state,
-        Err(_) => {
-            return Response::Error {
-                kind: "State".into(),
-                message: "monitor poisoned by a panic in an earlier request".into(),
+        // Liveness and shutdown take no monitor state and must answer even
+        // while every owner is busy with a long batched ingest — a health
+        // probe with a short timeout must never see a busy server as dead,
+        // and a shutdown must never queue behind a window.
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::Bye,
+        Request::Open(spec) => shared.engine.open(&spec),
+        Request::Use(name) => {
+            let response = shared.engine.use_tenant(&name);
+            if response == Response::Ok {
+                session.tenant = name;
             }
+            response
         }
-    };
-    match request {
-        Request::Ping | Request::Shutdown => unreachable!("answered above, before the lock"),
-        Request::Stats => {
-            let monitor = &state.monitor;
-            let config = monitor.config();
-            Response::Stats(ServerStats {
-                len: monitor.len() as u64,
-                tau: config.tau,
-                keep_top: config.keep_top.map(|k| k as u64),
-                anchor_dim: config.discovery.anchor_dim.map(|d| d as u64),
-                schema: monitor.schema().name().to_string(),
-            })
-        }
-        Request::TopK(k) => match &state.last_report {
-            None => Response::Error {
-                kind: "State".into(),
-                message: "TOPK before any arrival was ingested".into(),
-            },
-            Some(report) => {
-                let mut top = report.clone();
-                top.facts.truncate(k);
-                top.prominent_count = top.prominent_count.min(k);
-                Response::Report(top)
-            }
-        },
-        Request::Ingest(row) => match ingest_one(&mut state, &row) {
-            Ok(report) => Response::Report(report),
-            Err(err) => relay(&err),
-        },
-        Request::IngestBatch(rows) => match ingest_window(&mut state, &rows) {
-            Ok(reports) => Response::Reports(reports),
-            Err(err) => relay(&err),
-        },
+        other => shared.engine.dispatch(&session.tenant, other),
     }
 }
 
-fn ingest_one(
-    state: &mut ServerState,
-    row: &RawRow,
-) -> Result<ArrivalReport, sitfact_core::SitFactError> {
-    let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
-    let report = state.monitor.ingest_raw(&dims, row.measures.clone())?;
-    state.last_report = Some(report.clone());
-    Ok(report)
-}
-
-fn ingest_window(
-    state: &mut ServerState,
-    rows: &[RawRow],
-) -> Result<Vec<ArrivalReport>, sitfact_core::SitFactError> {
-    // Encode the whole window first so validation failures are all-or-nothing
-    // at the monitor level, exactly like an in-process `ingest_batch` caller.
-    let mut window = Vec::with_capacity(rows.len());
-    for row in rows {
-        let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
-        window.push(state.monitor.encode_raw(&dims, row.measures.clone())?);
-    }
-    let reports = state.monitor.ingest_batch(window)?;
-    if let Some(last) = reports.last() {
-        state.last_report = Some(last.clone());
-    }
-    Ok(reports)
-}
-
-fn relay(err: &sitfact_core::SitFactError) -> Response {
-    Response::Error {
-        kind: error_kind(err).into(),
-        message: err.to_string(),
-    }
-}
-
-// The end-to-end behaviour (server-mediated reports ≡ in-process reports for
-// both monitor types, error relay, shutdown) is pinned by `tests/e2e.rs`,
-// which exercises this module over real sockets.
+// The end-to-end behaviour (served ≡ in-process reports for both monitor
+// types and both serve modes, tenant isolation, error relay, stalled peers,
+// shutdown) is pinned by `tests/e2e.rs`, which exercises this module over
+// real sockets.
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::RawRow;
     use crate::ServeError;
     use sitfact_algos::STopDown;
-    use sitfact_core::{Direction, SchemaBuilder};
-    use sitfact_prominence::{FactMonitor, MonitorConfig};
+    use sitfact_core::{Direction, Result, Schema, SchemaBuilder, Tuple, TupleId, TupleRef};
+    use sitfact_prominence::{ArrivalReport, FactMonitor, MonitorConfig};
 
     fn monitor() -> Box<dyn StreamMonitor + Send> {
         let schema = SchemaBuilder::new("t")
@@ -377,6 +481,18 @@ mod tests {
         ))
     }
 
+    fn bind_mode(mode: ServeMode) -> FactServer {
+        FactServer::bind_with_options(
+            "127.0.0.1:0",
+            monitor(),
+            ServerOptions {
+                mode,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
     #[test]
     fn bind_reports_the_ephemeral_port() {
         let server = FactServer::bind("127.0.0.1:0", monitor()).unwrap();
@@ -387,17 +503,19 @@ mod tests {
 
     #[test]
     fn handle_shutdown_unblocks_run() {
-        let server = FactServer::bind("127.0.0.1:0", monitor()).unwrap();
-        let handle = server.handle();
-        let join = std::thread::spawn(move || server.run());
-        handle.shutdown();
-        handle.shutdown(); // idempotent
-        join.join().expect("no panic").expect("clean exit");
+        for mode in [ServeMode::Owned, ServeMode::GlobalMutex] {
+            let server = bind_mode(mode);
+            let handle = server.handle();
+            let join = std::thread::spawn(move || server.run());
+            handle.shutdown();
+            handle.shutdown(); // idempotent
+            join.join().expect("no panic").expect("clean exit");
+        }
     }
 
     #[test]
-    fn poisoned_monitor_relays_typed_err_and_survives_reconnects() {
-        let server = FactServer::bind("127.0.0.1:0", monitor()).unwrap();
+    fn poisoned_mutex_engine_relays_typed_err_and_survives_reconnects() {
+        let server = bind_mode(ServeMode::GlobalMutex);
         let addr = server.local_addr();
         let shared = Arc::clone(&server.shared);
         let join = std::thread::spawn(move || server.run());
@@ -405,17 +523,25 @@ mod tests {
         let mut first = crate::client::Client::connect(addr).unwrap();
         first.ingest(&["Wesley"], &[10.0]).unwrap();
 
-        // Poison the monitor mutex the way a buggy request handler would:
+        // Poison the engine mutex the way a buggy request handler would:
         // panic while holding the lock.
         let poisoner = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
-                let _guard = shared.state.lock().unwrap();
+                let Engine::Locked(ref locked) = shared.engine else {
+                    unreachable!("bound in GlobalMutex mode");
+                };
+                let _guard = locked.state.lock().unwrap();
                 panic!("deliberate poison");
             })
         };
         assert!(poisoner.join().is_err());
-        assert!(shared.state.lock().is_err(), "mutex must be poisoned");
+        {
+            let Engine::Locked(ref locked) = shared.engine else {
+                unreachable!("bound in GlobalMutex mode");
+            };
+            assert!(locked.state.lock().is_err(), "mutex must be poisoned");
+        }
 
         // The already-open connection gets a typed ERR, not a hangup...
         match first.stats() {
@@ -442,38 +568,128 @@ mod tests {
         join.join().expect("no panic").expect("clean exit");
     }
 
+    /// A monitor whose ingest always panics — encode/read surfaces delegate
+    /// to a real monitor so the wire paths up to the panic stay realistic.
+    struct PanickingMonitor(FactMonitor<STopDown>);
+
+    impl PanickingMonitor {
+        fn boxed() -> Box<dyn StreamMonitor + Send> {
+            let schema = SchemaBuilder::new("p")
+                .dimension("player")
+                .measure("points", Direction::HigherIsBetter)
+                .build()
+                .unwrap();
+            let config = MonitorConfig::default().with_tau(1.0);
+            Box::new(PanickingMonitor(FactMonitor::new(
+                schema.clone(),
+                STopDown::new(&schema, config.discovery),
+                config,
+            )))
+        }
+    }
+
+    impl StreamMonitor for PanickingMonitor {
+        fn schema(&self) -> &Schema {
+            StreamMonitor::schema(&self.0)
+        }
+        fn config(&self) -> &MonitorConfig {
+            StreamMonitor::config(&self.0)
+        }
+        fn len(&self) -> usize {
+            StreamMonitor::len(&self.0)
+        }
+        fn tuple(&self, tuple_id: TupleId) -> Option<TupleRef<'_>> {
+            StreamMonitor::tuple(&self.0, tuple_id)
+        }
+        fn encode_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<Tuple> {
+            StreamMonitor::encode_raw(&mut self.0, dims, measures)
+        }
+        fn ingest(&mut self, _tuple: Tuple) -> Result<ArrivalReport> {
+            panic!("deliberate ingest panic")
+        }
+        fn ingest_batch_slice(&mut self, _tuples: &[Tuple]) -> Result<Vec<ArrivalReport>> {
+            panic!("deliberate ingest panic")
+        }
+    }
+
+    #[test]
+    fn owned_mode_scopes_a_panicking_monitor_to_its_tenant() {
+        use crate::protocol::TenantSpec;
+
+        let server = FactServer::bind_with_options(
+            "127.0.0.1:0",
+            PanickingMonitor::boxed(),
+            ServerOptions::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let join = std::thread::spawn(move || server.run());
+
+        let mut client = crate::client::Client::connect(addr).unwrap();
+        // The default tenant's monitor panics on ingest: the request relays a
+        // typed State error, the worker and the connection both survive.
+        match client.ingest(&["Wesley"], &[10.0]) {
+            Err(ServeError::Remote { kind, message }) => {
+                assert_eq!(kind, "State");
+                assert!(message.contains("poisoned"), "{message}");
+            }
+            other => panic!("expected a State error, got {other:?}"),
+        }
+        // The poison sticks for the tenant, on the read path too.
+        match client.stats() {
+            Err(ServeError::Remote { kind, .. }) => assert_eq!(kind, "State"),
+            other => panic!("expected a State error, got {other:?}"),
+        }
+        // ...but it is scoped to the tenant: a freshly OPENed one is healthy.
+        let spec = TenantSpec::new(
+            "healthy",
+            &["player"],
+            &[("points", Direction::HigherIsBetter)],
+            1.0,
+        );
+        client.open(&spec).unwrap();
+        client.use_tenant("healthy").unwrap();
+        client.ingest(&["Wesley"], &[10.0]).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.len, 1);
+        assert_eq!(stats.schema, "healthy");
+
+        client.shutdown().unwrap();
+        join.join().expect("no panic").expect("clean exit");
+    }
+
     #[test]
     fn topk_truncates_and_stats_reflect_config() {
-        let shared = Arc::new(Shared {
-            state: Mutex::new(ServerState {
-                monitor: monitor(),
-                last_report: None,
-            }),
-            running: AtomicBool::new(true),
-            addr: "127.0.0.1:0".parse().unwrap(),
-            connections: Mutex::new(HashMap::new()),
-            next_connection_id: AtomicU64::new(0),
-        });
-        // TOPK before any arrival is a state error.
-        let response = handle_request(Request::TopK(3), &shared);
-        assert!(matches!(response, Response::Error { kind, .. } if kind == "State"));
-        // Ingest one row, then TOPK 1 returns a single-fact prefix.
-        let row = RawRow::new(&["Wesley"], &[10.0]);
-        let Response::Report(full) = handle_request(Request::Ingest(row), &shared) else {
-            panic!("ingest failed");
-        };
-        assert!(full.facts.len() > 1);
-        let Response::Report(top) = handle_request(Request::TopK(1), &shared) else {
-            panic!("topk failed");
-        };
-        assert_eq!(top.facts.len(), 1);
-        assert_eq!(top.prominent_count, 1);
-        assert_eq!(top.facts[0], full.facts[0]);
-        let Response::Stats(stats) = handle_request(Request::Stats, &shared) else {
-            panic!("stats failed");
-        };
-        assert_eq!(stats.len, 1);
-        assert_eq!(stats.schema, "t");
-        assert_eq!(stats.tau, 1.0);
+        for mode in [ServeMode::Owned, ServeMode::GlobalMutex] {
+            let server = bind_mode(mode);
+            let shared = Arc::clone(&server.shared);
+            let mut session = Session::default();
+            // TOPK before any arrival is a state error.
+            let response = handle_request(Request::TopK(3), &shared, &mut session);
+            assert!(matches!(response, Response::Error { kind, .. } if kind == "State"));
+            // Ingest one row, then TOPK 1 returns a single-fact prefix.
+            let row = RawRow::new(&["Wesley"], &[10.0]);
+            let Response::Report(full) =
+                handle_request(Request::Ingest(row), &shared, &mut session)
+            else {
+                panic!("ingest failed");
+            };
+            assert!(full.facts.len() > 1);
+            let Response::Report(top) = handle_request(Request::TopK(1), &shared, &mut session)
+            else {
+                panic!("topk failed");
+            };
+            assert_eq!(top.facts.len(), 1);
+            assert_eq!(top.prominent_count, 1);
+            assert_eq!(top.facts[0], full.facts[0]);
+            let Response::Stats(stats) = handle_request(Request::Stats, &shared, &mut session)
+            else {
+                panic!("stats failed");
+            };
+            assert_eq!(stats.len, 1);
+            assert_eq!(stats.schema, "t");
+            assert_eq!(stats.tau, 1.0);
+            assert!(stats.uncompressed_bytes > 0);
+        }
     }
 }

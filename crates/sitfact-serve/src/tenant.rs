@@ -1,0 +1,654 @@
+//! Tenant registry and request engines: worker-owned monitors vs. the
+//! retained single-mutex comparison leg.
+//!
+//! A server hosts many named **tenants**, each an independent monitor with
+//! its own schema and config ([`crate::protocol::TenantSpec`]). This module
+//! owns the mapping from tenant name to monitor and executes every
+//! monitor-touching request. Two engines implement that contract:
+//!
+//! * [`OwnedEngine`] — the shared-nothing architecture. Each worker of an
+//!   [`ActorPool`](sitfact_core::ActorPool) *owns* the monitors hashed to it
+//!   outright (an ownership transfer at `OPEN` time — no `Mutex` around a
+//!   monitor, no `unsafe`). Ingest requests are routed to the owning worker's
+//!   mailbox and answered over a per-request channel; `STATS`/`TOPK` reads
+//!   are served from a lock-free [`SnapshotCell`] the owner republishes after
+//!   every ingest, so read-mostly clients never queue behind the ingest path.
+//! * [`LockedEngine`] — the previous architecture, kept as the measured
+//!   baseline: every tenant behind one global `Mutex`, reads and writes
+//!   alike. The `fig_serve` bench drives both to produce the saturation
+//!   curve.
+//!
+//! Both engines answer byte-identical responses for identical request
+//! streams (pinned by the e2e suite): reports are pure functions of the
+//! ingested fact sets, and the owned engine publishes each new snapshot
+//! *before* replying to the ingest that produced it, so a client that
+//! ingests and then reads its own tenant always observes its own write.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use sitfact_core::{ActorPool, FxBuildHasher, SitFactError, SnapshotCell};
+use sitfact_prominence::{ArrivalReport, StreamMonitor};
+
+use crate::error::error_kind;
+use crate::protocol::{RawRow, Request, Response, ServerStats, TenantSpec};
+
+/// The name of the tenant every connection starts on: the monitor the server
+/// was bound with. The wire grammar rejects empty tenant names, so this name
+/// can never collide with an `OPEN`ed tenant or be `USE`d explicitly — it is
+/// reachable only as a connection's initial current tenant.
+pub(crate) const DEFAULT_TENANT: &str = "";
+
+/// The boxed monitor type both engines own.
+pub(crate) type BoxedMonitor = Box<dyn StreamMonitor + Send>;
+
+const POISONED_MSG: &str = "monitor poisoned by a panic in an earlier request";
+
+/// The read-side payload an owning worker republishes after every ingest:
+/// everything `STATS` and `TOPK` need, as plain owned values.
+#[derive(Clone)]
+pub(crate) struct TenantSnapshot {
+    /// The most recent arrival's report, if any tuple was ingested yet.
+    pub(crate) report: Option<ArrivalReport>,
+    /// Wire-ready statistics of the tenant's monitor.
+    pub(crate) stats: ServerStats,
+    /// Set when a panicking ingest left the monitor unusable; readers relay
+    /// a typed `State` error instead of stale data.
+    pub(crate) poisoned: bool,
+}
+
+/// Converts a monitor's exported snapshot into the wire statistics record.
+pub(crate) fn stats_of(monitor: &dyn StreamMonitor) -> ServerStats {
+    let snapshot = monitor.export_snapshot();
+    ServerStats {
+        len: snapshot.len as u64,
+        tau: snapshot.tau,
+        keep_top: snapshot.keep_top.map(|k| k as u64),
+        anchor_dim: snapshot.anchor_dim.map(|d| d as u64),
+        sealed_blocks: snapshot.postings.sealed_blocks as u64,
+        tail_ids: snapshot.postings.tail_ids as u64,
+        compressed_bytes: snapshot.postings.compressed_bytes as u64,
+        uncompressed_bytes: snapshot.postings.uncompressed_bytes as u64,
+        schema: snapshot.schema_name,
+    }
+}
+
+/// Builds an independent monitor from a wire [`TenantSpec`].
+///
+/// Validation failures (duplicate attribute names, non-finite `τ`, zero
+/// caps) come back as typed [`SitFactError`]s for the `ERR` relay; nothing
+/// in here panics on bad wire input.
+pub(crate) fn build_monitor(spec: &TenantSpec) -> Result<BoxedMonitor, SitFactError> {
+    use sitfact_algos::STopDown;
+    use sitfact_core::{DiscoveryConfig, SchemaBuilder};
+    use sitfact_prominence::{FactMonitor, MonitorConfig};
+
+    let mut builder = SchemaBuilder::new(&spec.name);
+    for dim in &spec.dims {
+        builder = builder.dimension(dim);
+    }
+    for (measure, direction) in &spec.measures {
+        builder = builder.measure(measure, *direction);
+    }
+    let schema = builder.build()?;
+    let discovery = if spec.d_hat.is_none() && spec.m_hat.is_none() {
+        DiscoveryConfig::unrestricted()
+    } else {
+        DiscoveryConfig::capped(
+            spec.d_hat.map_or(spec.dims.len(), |d| d as usize),
+            spec.m_hat.map_or(spec.measures.len(), |m| m as usize),
+        )
+    };
+    let config = MonitorConfig {
+        discovery,
+        tau: spec.tau,
+        keep_top: spec.keep_top.map(|k| k as usize),
+    };
+    // `FactMonitor::new` panics on an invalid config (its builders validate
+    // up front); wire specs are untrusted, so validate here and relay.
+    config.validate()?;
+    discovery.validate(&schema)?;
+    let algorithm = STopDown::new(&schema, discovery);
+    Ok(Box::new(FactMonitor::new(schema, algorithm, config)))
+}
+
+fn err(kind: &str, message: impl Into<String>) -> Response {
+    Response::Error {
+        kind: kind.into(),
+        message: message.into(),
+    }
+}
+
+fn relay(error: &SitFactError) -> Response {
+    err(error_kind(error), error.to_string())
+}
+
+fn unknown_tenant(name: &str) -> Response {
+    err("Tenant", format!("unknown tenant {name:?} (OPEN it first)"))
+}
+
+/// Executes an `INGEST` / `INGEST_BATCH` against a monitor, updating the
+/// retained last report. One definition, shared by both engines, so their
+/// responses are byte-identical by construction.
+fn run_ingest(
+    monitor: &mut BoxedMonitor,
+    last_report: &mut Option<ArrivalReport>,
+    request: &Request,
+) -> Response {
+    match request {
+        Request::Ingest(row) => match ingest_one(monitor, row) {
+            Ok(report) => {
+                *last_report = Some(report.clone());
+                Response::Report(report)
+            }
+            Err(error) => relay(&error),
+        },
+        Request::IngestBatch(rows) => match ingest_window(monitor, rows) {
+            Ok(reports) => {
+                if let Some(last) = reports.last() {
+                    *last_report = Some(last.clone());
+                }
+                Response::Reports(reports)
+            }
+            Err(error) => relay(&error),
+        },
+        _ => unreachable!("run_ingest is only dispatched ingest requests"),
+    }
+}
+
+fn ingest_one(monitor: &mut BoxedMonitor, row: &RawRow) -> Result<ArrivalReport, SitFactError> {
+    let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
+    monitor.ingest_raw(&dims, row.measures.clone())
+}
+
+fn ingest_window(
+    monitor: &mut BoxedMonitor,
+    rows: &[RawRow],
+) -> Result<Vec<ArrivalReport>, SitFactError> {
+    // Encode the whole window first so validation failures are all-or-nothing
+    // at the monitor level, exactly like an in-process `ingest_batch` caller.
+    let mut window = Vec::with_capacity(rows.len());
+    for row in rows {
+        let dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
+        window.push(monitor.encode_raw(&dims, row.measures.clone())?);
+    }
+    monitor.ingest_batch(window)
+}
+
+/// Answers `STATS` / `TOPK` from retained read-side state. Shared by the
+/// snapshot path and the locked engine so truncation semantics stay
+/// identical.
+fn read_response(
+    request: &Request,
+    report: Option<&ArrivalReport>,
+    stats: &ServerStats,
+) -> Response {
+    match request {
+        Request::Stats => Response::Stats(stats.clone()),
+        Request::TopK(k) => match report {
+            None => err("State", "TOPK before any arrival was ingested"),
+            Some(report) => {
+                let mut top = report.clone();
+                top.facts.truncate(*k);
+                top.prominent_count = top.prominent_count.min(*k);
+                Response::Report(top)
+            }
+        },
+        _ => unreachable!("read_response is only dispatched read requests"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Owned engine
+// ---------------------------------------------------------------------------
+
+/// One tenant as its owning worker sees it. Lives inside the worker's state
+/// map — nothing outside the worker ever touches the monitor.
+pub(crate) struct OwnedTenant {
+    monitor: BoxedMonitor,
+    last_report: Option<ArrivalReport>,
+    snapshot: Arc<SnapshotCell<TenantSnapshot>>,
+    poisoned: bool,
+}
+
+/// The read-side handle the registry hands out: which worker owns the
+/// tenant, plus the snapshot cell its reads are served from.
+#[derive(Clone)]
+struct TenantHandle {
+    worker: usize,
+    snapshot: Arc<SnapshotCell<TenantSnapshot>>,
+}
+
+/// Worker state: the tenants this worker owns, by name.
+type OwnerState = HashMap<String, OwnedTenant>;
+
+/// Shared-nothing engine: monitors are owned by [`ActorPool`] workers,
+/// ingest requests travel through the owner's mailbox, reads come from
+/// lock-free snapshots.
+pub(crate) struct OwnedEngine {
+    pool: ActorPool<OwnerState>,
+    registry: Mutex<HashMap<String, TenantHandle>>,
+    owners: usize,
+}
+
+impl OwnedEngine {
+    fn new(monitor: BoxedMonitor, owners: usize) -> Self {
+        let owners = owners.max(1);
+        let engine = OwnedEngine {
+            pool: ActorPool::new((0..owners).map(|_| OwnerState::new()).collect()),
+            registry: Mutex::new(HashMap::new()),
+            owners,
+        };
+        engine.install(DEFAULT_TENANT.to_string(), monitor);
+        engine
+    }
+
+    fn worker_of(&self, name: &str) -> usize {
+        use std::hash::BuildHasher;
+        (FxBuildHasher::default().hash_one(name) % self.owners as u64) as usize
+    }
+
+    /// Transfers `monitor` into the owning worker and registers the tenant.
+    /// Returns the `OPEN` response.
+    fn install(&self, name: String, monitor: BoxedMonitor) -> Response {
+        let worker = self.worker_of(&name);
+        let snapshot = Arc::new(SnapshotCell::new(Arc::new(TenantSnapshot {
+            report: None,
+            stats: stats_of(monitor.as_ref()),
+            poisoned: false,
+        })));
+        let mut registry = self
+            .registry
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        if registry.contains_key(&name) {
+            return err("Tenant", format!("tenant {name:?} already exists"));
+        }
+        // Enqueue the ownership transfer *before* publishing the registry
+        // entry, while still holding the registry lock: mailbox enqueues are
+        // real-time FIFO, so any ingest routed via the new entry lands in the
+        // mailbox strictly after this insert.
+        let handle = TenantHandle {
+            worker,
+            snapshot: Arc::clone(&snapshot),
+        };
+        let tenant_name = name.clone();
+        let sent = self.pool.send(worker, move |owned: &mut OwnerState| {
+            owned.insert(
+                tenant_name,
+                OwnedTenant {
+                    monitor,
+                    last_report: None,
+                    snapshot,
+                    poisoned: false,
+                },
+            );
+        });
+        if !sent {
+            return err("State", "server is shutting down");
+        }
+        registry.insert(name, handle);
+        Response::Ok
+    }
+
+    fn handle_of(&self, name: &str) -> Option<TenantHandle> {
+        self.registry
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    fn dispatch(&self, tenant: &str, request: Request) -> Response {
+        let Some(handle) = self.handle_of(tenant) else {
+            return unknown_tenant(tenant);
+        };
+        match request {
+            Request::Stats | Request::TopK(_) => {
+                // Lock-free read: never touches the owning worker, so a
+                // read-mostly client cannot queue behind an in-flight batch.
+                let snapshot = handle.snapshot.load();
+                if snapshot.poisoned {
+                    return err("State", POISONED_MSG);
+                }
+                read_response(&request, snapshot.report.as_ref(), &snapshot.stats)
+            }
+            Request::Ingest(_) | Request::IngestBatch(_) => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let name = tenant.to_string();
+                let sent = self
+                    .pool
+                    .send(handle.worker, move |owned: &mut OwnerState| {
+                        let response = ingest_on_owner(owned, &name, &request);
+                        let _ = reply_tx.send(response);
+                    });
+                if !sent {
+                    return err("State", "server is shutting down");
+                }
+                match reply_rx.recv() {
+                    Ok(response) => response,
+                    // The worker died mid-request (the job itself catches
+                    // monitor panics, so this is pool teardown).
+                    Err(_) => err("State", "server is shutting down"),
+                }
+            }
+            _ => unreachable!("connection-level requests never reach the engine"),
+        }
+    }
+}
+
+/// Runs one ingest request on the owning worker, republishing the tenant's
+/// snapshot before the reply is sent (read-your-writes for snapshot
+/// readers). A panicking monitor poisons the tenant — not the worker, not
+/// the process — and the poison is visible on both the mailbox path and the
+/// lock-free read path.
+fn ingest_on_owner(owned: &mut OwnerState, name: &str, request: &Request) -> Response {
+    let Some(tenant) = owned.get_mut(name) else {
+        return unknown_tenant(name);
+    };
+    if tenant.poisoned {
+        return err("State", POISONED_MSG);
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_ingest(&mut tenant.monitor, &mut tenant.last_report, request)
+    }));
+    match outcome {
+        Ok(response) => {
+            tenant.snapshot.publish(Arc::new(TenantSnapshot {
+                report: tenant.last_report.clone(),
+                stats: stats_of(tenant.monitor.as_ref()),
+                poisoned: false,
+            }));
+            response
+        }
+        Err(_) => {
+            tenant.poisoned = true;
+            let mut snapshot = (*tenant.snapshot.load()).clone();
+            snapshot.poisoned = true;
+            tenant.snapshot.publish(Arc::new(snapshot));
+            err("State", POISONED_MSG)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Locked engine (comparison leg)
+// ---------------------------------------------------------------------------
+
+pub(crate) struct LockedTenant {
+    monitor: BoxedMonitor,
+    last_report: Option<ArrivalReport>,
+}
+
+/// The pre-ownership architecture, retained as the bench baseline: every
+/// tenant behind one global mutex, reads and writes alike.
+pub(crate) struct LockedEngine {
+    pub(crate) state: Mutex<HashMap<String, LockedTenant>>,
+}
+
+impl LockedEngine {
+    fn new(monitor: BoxedMonitor) -> Self {
+        let mut tenants = HashMap::new();
+        tenants.insert(
+            DEFAULT_TENANT.to_string(),
+            LockedTenant {
+                monitor,
+                last_report: None,
+            },
+        );
+        LockedEngine {
+            state: Mutex::new(tenants),
+        }
+    }
+
+    fn install(&self, name: String, monitor: BoxedMonitor) -> Response {
+        let Ok(mut tenants) = self.state.lock() else {
+            return err("State", POISONED_MSG);
+        };
+        if tenants.contains_key(&name) {
+            return err("Tenant", format!("tenant {name:?} already exists"));
+        }
+        tenants.insert(
+            name,
+            LockedTenant {
+                monitor,
+                last_report: None,
+            },
+        );
+        Response::Ok
+    }
+
+    fn knows(&self, name: &str) -> Option<bool> {
+        self.state
+            .lock()
+            .ok()
+            .map(|tenants| tenants.contains_key(name))
+    }
+
+    fn dispatch(&self, tenant: &str, request: Request) -> Response {
+        // Deliberate lock-poisoning semantics: a panicking ingest poisons the
+        // whole engine, and every later request relays a typed `State` error
+        // (the owned engine scopes the same failure to one tenant).
+        let Ok(mut tenants) = self.state.lock() else {
+            return err("State", POISONED_MSG);
+        };
+        let Some(entry) = tenants.get_mut(tenant) else {
+            return unknown_tenant(tenant);
+        };
+        match request {
+            Request::Stats => Response::Stats(stats_of(entry.monitor.as_ref())),
+            Request::TopK(_) => {
+                let stats = stats_of(entry.monitor.as_ref());
+                read_response(&request, entry.last_report.as_ref(), &stats)
+            }
+            Request::Ingest(_) | Request::IngestBatch(_) => {
+                run_ingest(&mut entry.monitor, &mut entry.last_report, &request)
+            }
+            _ => unreachable!("connection-level requests never reach the engine"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine facade
+// ---------------------------------------------------------------------------
+
+/// The monitor-touching half of the server, behind one request-in,
+/// response-out surface so `server.rs` stays architecture-agnostic.
+pub(crate) enum Engine {
+    /// Shared-nothing: worker-owned monitors, lock-free reads.
+    Owned(OwnedEngine),
+    /// Global mutex (the measured baseline).
+    Locked(LockedEngine),
+}
+
+impl Engine {
+    /// Builds the engine around the server's initial (default-tenant)
+    /// monitor.
+    pub(crate) fn new(
+        monitor: BoxedMonitor,
+        mode: crate::server::ServeMode,
+        owners: usize,
+    ) -> Self {
+        match mode {
+            crate::server::ServeMode::Owned => Engine::Owned(OwnedEngine::new(monitor, owners)),
+            crate::server::ServeMode::GlobalMutex => Engine::Locked(LockedEngine::new(monitor)),
+        }
+    }
+
+    /// Handles `OPEN`: builds a monitor from the spec and installs it under
+    /// its name. Duplicate names are a typed `Tenant` error; the existing
+    /// tenant is untouched.
+    pub(crate) fn open(&self, spec: &TenantSpec) -> Response {
+        let monitor = match build_monitor(spec) {
+            Ok(monitor) => monitor,
+            Err(error) => return relay(&error),
+        };
+        match self {
+            Engine::Owned(engine) => engine.install(spec.name.clone(), monitor),
+            Engine::Locked(engine) => engine.install(spec.name.clone(), monitor),
+        }
+    }
+
+    /// Handles `USE`: validates that the tenant exists (the connection layer
+    /// records the switch). Unknown names are a typed `Tenant` error.
+    pub(crate) fn use_tenant(&self, name: &str) -> Response {
+        let known = match self {
+            Engine::Owned(engine) => Some(engine.handle_of(name).is_some()),
+            Engine::Locked(engine) => engine.knows(name),
+        };
+        match known {
+            None => err("State", POISONED_MSG),
+            Some(false) => unknown_tenant(name),
+            Some(true) => Response::Ok,
+        }
+    }
+
+    /// Executes a monitor-touching request (`STATS` / `TOPK` / `INGEST` /
+    /// `INGEST_BATCH`) against the named tenant.
+    pub(crate) fn dispatch(&self, tenant: &str, request: Request) -> Response {
+        match self {
+            Engine::Owned(engine) => engine.dispatch(tenant, request),
+            Engine::Locked(engine) => engine.dispatch(tenant, request),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeMode;
+    use sitfact_core::Direction;
+
+    fn spec(name: &str) -> TenantSpec {
+        TenantSpec::new(
+            name,
+            &["player", "team"],
+            &[("points", Direction::HigherIsBetter)],
+            1.0,
+        )
+    }
+
+    fn default_monitor() -> BoxedMonitor {
+        build_monitor(&spec("seed")).expect("valid spec")
+    }
+
+    fn row(player: &str, team: &str, points: f64) -> RawRow {
+        RawRow::new(&[player, team], &[points])
+    }
+
+    fn engines() -> Vec<Engine> {
+        vec![
+            Engine::new(default_monitor(), ServeMode::Owned, 2),
+            Engine::new(default_monitor(), ServeMode::GlobalMutex, 0),
+        ]
+    }
+
+    #[test]
+    fn build_monitor_relays_bad_specs_as_typed_errors() {
+        let mut bad_tau = spec("t");
+        bad_tau.tau = f64::NAN;
+        assert!(matches!(
+            build_monitor(&bad_tau),
+            Err(SitFactError::InvalidConfig(_))
+        ));
+        let mut dup = spec("t");
+        dup.dims = vec!["player".into(), "player".into()];
+        assert!(build_monitor(&dup).is_err());
+        let mut zero_cap = spec("t");
+        zero_cap.d_hat = Some(0);
+        assert!(matches!(
+            build_monitor(&zero_cap),
+            Err(SitFactError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn engines_agree_on_the_full_tenant_lifecycle() {
+        for engine in engines() {
+            // The default tenant answers immediately.
+            let stats = engine.dispatch(DEFAULT_TENANT, Request::Stats);
+            assert!(matches!(stats, Response::Stats(ref s) if s.len == 0));
+
+            // OPEN + USE a named tenant, ingest into it.
+            assert_eq!(engine.open(&spec("east")), Response::Ok);
+            assert_eq!(engine.use_tenant("east"), Response::Ok);
+            let report = engine.dispatch("east", Request::Ingest(row("Wes", "BOS", 31.0)));
+            assert!(matches!(report, Response::Report(_)));
+            let stats = engine.dispatch("east", Request::Stats);
+            assert!(matches!(stats, Response::Stats(ref s) if s.len == 1));
+            // The default tenant is isolated from the named one.
+            let stats = engine.dispatch(DEFAULT_TENANT, Request::Stats);
+            assert!(matches!(stats, Response::Stats(ref s) if s.len == 0));
+
+            // Duplicate OPEN and unknown USE are typed Tenant errors.
+            assert!(matches!(
+                engine.open(&spec("east")),
+                Response::Error { ref kind, .. } if kind == "Tenant"
+            ));
+            assert!(matches!(
+                engine.use_tenant("west"),
+                Response::Error { ref kind, .. } if kind == "Tenant"
+            ));
+            assert!(matches!(
+                engine.dispatch("west", Request::Stats),
+                Response::Error { ref kind, .. } if kind == "Tenant"
+            ));
+
+            // TOPK before any arrival is a typed State error; after, a report.
+            assert!(matches!(
+                engine.dispatch(DEFAULT_TENANT, Request::TopK(3)),
+                Response::Error { ref kind, .. } if kind == "State"
+            ));
+            let batch = Request::IngestBatch(vec![row("Amy", "NYK", 12.0), row("Sam", "BOS", 9.0)]);
+            assert!(matches!(
+                engine.dispatch("east", batch),
+                Response::Reports(ref r) if r.len() == 2
+            ));
+            assert!(matches!(
+                engine.dispatch("east", Request::TopK(1)),
+                Response::Report(ref r) if r.facts.len() <= 1 && r.prominent_count <= 1
+            ));
+        }
+    }
+
+    #[test]
+    fn engines_produce_byte_identical_responses() {
+        let rows = vec![
+            row("Wes", "BOS", 31.0),
+            row("Amy", "NYK", 12.0),
+            row("Wes", "BOS", 7.0),
+            row("Sam", "NYK", 44.0),
+        ];
+        let mut transcripts: Vec<Vec<String>> = Vec::new();
+        for engine in engines() {
+            assert_eq!(engine.open(&spec("league")), Response::Ok);
+            let mut transcript = Vec::new();
+            for row in &rows {
+                let response = engine.dispatch("league", Request::Ingest(row.clone()));
+                transcript.push(response.encode());
+            }
+            transcript.push(engine.dispatch("league", Request::TopK(2)).encode());
+            transcript.push(engine.dispatch("league", Request::Stats).encode());
+            transcripts.push(transcript);
+        }
+        assert_eq!(transcripts[0], transcripts[1]);
+    }
+
+    #[test]
+    fn owned_ingest_errors_keep_the_window_all_or_nothing() {
+        let engine = Engine::new(default_monitor(), ServeMode::Owned, 3);
+        let bad = Request::IngestBatch(vec![
+            row("Wes", "BOS", 31.0),
+            RawRow::new(&["only-one-dim"], &[1.0]),
+        ]);
+        assert!(matches!(
+            engine.dispatch(DEFAULT_TENANT, bad),
+            Response::Error { ref kind, .. } if kind == "InvalidTuple"
+        ));
+        let stats = engine.dispatch(DEFAULT_TENANT, Request::Stats);
+        assert!(matches!(stats, Response::Stats(ref s) if s.len == 0));
+    }
+}

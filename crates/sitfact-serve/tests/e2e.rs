@@ -9,9 +9,10 @@ use sitfact_core::{Direction, Schema, SchemaBuilder};
 use sitfact_prominence::{
     ArrivalReport, FactMonitor, MonitorConfig, ShardedMonitor, StreamMonitor,
 };
-use sitfact_serve::{Client, FactServer, RawRow, ServeError};
+use sitfact_serve::{Client, FactServer, RawRow, ServeError, ServeMode, ServerOptions, TenantSpec};
 use std::net::SocketAddr;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 fn schema() -> Schema {
     SchemaBuilder::new("gamelog")
@@ -233,6 +234,300 @@ fn concurrent_clients_interleave_safely() {
     let mut client = Client::connect(addr).expect("connect");
     let stats = client.stats().expect("stats");
     assert_eq!(stats.len as usize, n_clients * per_client);
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+/// An in-process reference monitor built exactly like the server builds a
+/// tenant from its wire spec (schema named after the tenant).
+fn reference_for(spec: &TenantSpec) -> FactMonitor<STopDown> {
+    let mut builder = SchemaBuilder::new(&spec.name);
+    for dim in &spec.dims {
+        builder = builder.dimension(dim);
+    }
+    for (m, dir) in &spec.measures {
+        builder = builder.measure(m, *dir);
+    }
+    let schema = builder.build().unwrap();
+    let config = MonitorConfig::default().with_tau(spec.tau);
+    let config = match spec.keep_top {
+        Some(k) => config.with_keep_top(k as usize),
+        None => config,
+    };
+    FactMonitor::new(
+        schema.clone(),
+        STopDown::new(&schema, config.discovery),
+        config,
+    )
+}
+
+#[test]
+fn tenants_are_isolated_and_byte_identical_to_their_references() {
+    // Two tenants with different schemas and configs ingest concurrently
+    // into one server; each transcript must be byte-identical to its own
+    // in-process reference, and the default tenant must stay empty.
+    for mode in [ServeMode::Owned, ServeMode::GlobalMutex] {
+        let schema = schema();
+        let config = config();
+        let monitor: Box<dyn StreamMonitor + Send> = Box::new(FactMonitor::new(
+            schema.clone(),
+            STopDown::new(&schema, config.discovery),
+            config,
+        ));
+        let server = FactServer::bind_with_options(
+            "127.0.0.1:0",
+            monitor,
+            ServerOptions {
+                mode,
+                ..ServerOptions::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let join = std::thread::spawn(move || server.run().expect("server exits cleanly"));
+
+        let gamelog = TenantSpec::new(
+            "gamelog-east",
+            &["player", "team", "month"],
+            &[
+                ("points", Direction::HigherIsBetter),
+                ("assists", Direction::HigherIsBetter),
+            ],
+            2.0,
+        );
+        let mut forecast = TenantSpec::new(
+            "forecast",
+            &["city", "day"],
+            &[("temp", Direction::LowerIsBetter)],
+            1.5,
+        );
+        forecast.keep_top = Some(8);
+
+        let forecast_rows: Vec<(Vec<String>, Vec<f64>)> = (0..30)
+            .map(|i| {
+                (
+                    vec![format!("C{}", i % 4), format!("D{}", i % 7)],
+                    vec![(i % 11) as f64],
+                )
+            })
+            .collect();
+        let gamelog_rows = raw_stream(30, 77);
+
+        let workers = [
+            (gamelog.clone(), gamelog_rows.clone()),
+            (forecast.clone(), forecast_rows.clone()),
+        ]
+        .map(|(spec, rows)| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.open(&spec).expect("open");
+                client.use_tenant(&spec.name).expect("use");
+                let mut reports = Vec::with_capacity(rows.len());
+                for window in rows.chunks(5) {
+                    let window: Vec<RawRow> = window
+                        .iter()
+                        .map(|(dims, measures)| {
+                            let dims: Vec<&str> = dims.iter().map(String::as_str).collect();
+                            RawRow::new(&dims, measures)
+                        })
+                        .collect();
+                    reports.extend(client.ingest_batch(window).expect("ingest_batch"));
+                }
+                let stats = client.stats().expect("stats");
+                assert_eq!(stats.len as usize, rows.len());
+                assert_eq!(stats.schema, spec.name);
+                reports
+            })
+        });
+        let [gamelog_served, forecast_served] = workers.map(|w| w.join().expect("client thread"));
+
+        // Byte-identity per tenant against in-process references fed the
+        // same windows.
+        let mut reference = reference_for(&gamelog);
+        let mut expected = Vec::new();
+        for window in gamelog_rows.chunks(5) {
+            let window: Vec<_> = window
+                .iter()
+                .map(|(dims, measures)| {
+                    let dims: Vec<&str> = dims.iter().map(String::as_str).collect();
+                    reference.encode_raw(&dims, measures.clone()).unwrap()
+                })
+                .collect();
+            expected.extend(reference.ingest_batch(window).unwrap());
+        }
+        assert_eq!(gamelog_served, expected, "gamelog tenant transcript");
+
+        let mut reference = reference_for(&forecast);
+        let mut expected = Vec::new();
+        for window in forecast_rows.chunks(5) {
+            let window: Vec<_> = window
+                .iter()
+                .map(|(dims, measures)| {
+                    let dims: Vec<&str> = dims.iter().map(String::as_str).collect();
+                    reference.encode_raw(&dims, measures.clone()).unwrap()
+                })
+                .collect();
+            expected.extend(reference.ingest_batch(window).unwrap());
+        }
+        assert_eq!(forecast_served, expected, "forecast tenant transcript");
+
+        // The default tenant saw none of it.
+        let mut client = Client::connect(addr).expect("connect");
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.len, 0, "default tenant must stay empty");
+        client.shutdown().expect("shutdown");
+        join.join().expect("server thread");
+    }
+}
+
+#[test]
+fn tenant_errors_are_typed() {
+    let schema = schema();
+    let config = config();
+    let monitor: Box<dyn StreamMonitor + Send> = Box::new(FactMonitor::new(
+        schema.clone(),
+        STopDown::new(&schema, config.discovery),
+        config,
+    ));
+    let (addr, join) = spawn_server(monitor);
+    let mut client = Client::connect(addr).expect("connect");
+
+    // USE of a never-opened tenant.
+    match client.use_tenant("nope").unwrap_err() {
+        ServeError::Remote { kind, message } => {
+            assert_eq!(kind, "Tenant");
+            assert!(message.contains("nope"), "{message}");
+        }
+        other => panic!("expected a Tenant error, got {other}"),
+    }
+    // Duplicate OPEN.
+    let spec = TenantSpec::new("dup", &["d"], &[("m", Direction::HigherIsBetter)], 1.0);
+    client.open(&spec).expect("first open");
+    match client.open(&spec).unwrap_err() {
+        ServeError::Remote { kind, .. } => assert_eq!(kind, "Tenant"),
+        other => panic!("expected a Tenant error, got {other}"),
+    }
+    // An invalid spec relays the monitor-config error, typed.
+    let mut bad = spec.clone();
+    bad.name = "bad".into();
+    bad.d_hat = Some(0);
+    match client.open(&bad).unwrap_err() {
+        ServeError::Remote { kind, .. } => assert_eq!(kind, "InvalidConfig"),
+        other => panic!("expected an InvalidConfig error, got {other}"),
+    }
+    // The connection survives it all, still on the default tenant.
+    client.ping().expect("ping");
+    assert_eq!(client.stats().expect("stats").len, 0);
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
+fn stalled_peer_is_dropped_and_does_not_pin_the_worker() {
+    use std::io::Write as _;
+
+    // One connection-handler worker and a short read timeout: a peer that
+    // sends half a frame header and stalls must be dropped, freeing the
+    // worker for the well-behaved client queued behind it.
+    let schema = schema();
+    let config = config();
+    let monitor: Box<dyn StreamMonitor + Send> = Box::new(FactMonitor::new(
+        schema.clone(),
+        STopDown::new(&schema, config.discovery),
+        config,
+    ));
+    let server = FactServer::bind_with_options(
+        "127.0.0.1:0",
+        monitor,
+        ServerOptions {
+            workers: 1,
+            read_timeout: Some(Duration::from_millis(200)),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let join = std::thread::spawn(move || server.run().expect("server exits cleanly"));
+
+    let mut stalled = std::net::TcpStream::connect(addr).expect("stalled peer connects");
+    stalled.write_all(&[0x02, 0x00]).expect("half a header");
+    stalled.flush().expect("flush");
+    // Do NOT finish the frame: the server's read timeout must fire mid-frame
+    // and drop this connection, unpinning the only worker.
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping served despite the stalled peer");
+    let report = client
+        .ingest(&["P0", "T0", "M0"], &[5.0, 3.0])
+        .expect("ingest");
+    assert!(!report.facts.is_empty());
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
+fn snapshot_reads_are_prefix_consistent_under_concurrent_ingest() {
+    // A writer streams batches while a reader hammers TOPK on the same
+    // tenant. Owned mode serves reads from the lock-free snapshot; every
+    // observed report must be exactly some prefix-of-the-stream report the
+    // writer produced (byte-identical), and the observed tuple ids must be
+    // monotone — a reader can never see the stream run backwards.
+    let schema = schema();
+    let config = config();
+    let monitor: Box<dyn StreamMonitor + Send> = Box::new(FactMonitor::new(
+        schema.clone(),
+        STopDown::new(&schema, config.discovery),
+        config,
+    ));
+    let (addr, join) = spawn_server(monitor);
+
+    let rows = raw_stream(120, 5);
+    let writer = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("writer connects");
+        let mut reports = Vec::with_capacity(rows.len());
+        for window in rows.chunks(6) {
+            let window: Vec<RawRow> = window
+                .iter()
+                .map(|(dims, measures)| {
+                    let dims: Vec<&str> = dims.iter().map(String::as_str).collect();
+                    RawRow::new(&dims, measures)
+                })
+                .collect();
+            reports.extend(client.ingest_batch(window).expect("ingest_batch"));
+        }
+        reports
+    });
+    let reader = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("reader connects");
+        let mut observed = Vec::new();
+        for _ in 0..200 {
+            match client.top_k(1 << 20) {
+                Ok(report) => observed.push(report),
+                // Before the first arrival lands, TOPK is a typed State
+                // error — tolerated, the stream just hasn't started.
+                Err(ServeError::Remote { kind, .. }) => assert_eq!(kind, "State"),
+                Err(other) => panic!("reader failed: {other}"),
+            }
+        }
+        observed
+    });
+    let reports = writer.join().expect("writer thread");
+    let observed = reader.join().expect("reader thread");
+
+    let mut last_seen = 0;
+    for report in &observed {
+        let id = report.tuple_id as usize;
+        assert!(
+            id >= last_seen,
+            "reader observed the stream running backwards: {id} after {last_seen}"
+        );
+        last_seen = id;
+        // `k` is far above keep_top, so the observed report must be the
+        // writer's report for that arrival, byte for byte.
+        assert_eq!(report, &reports[id], "snapshot read for tuple {id}");
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
     client.shutdown().expect("shutdown");
     join.join().expect("server thread");
 }

@@ -19,7 +19,7 @@ CARGO=${CARGO:-cargo}
 
 # Ordered step registry. Adding a step here without wiring it into ci.yml
 # (or vice versa) fails `parity`.
-CI_STEPS=(fmt clippy build test check-targets doc analyze quickstart fig-ingest-smoke fig-shard-smoke fig-postings-smoke serve-smoke)
+CI_STEPS=(fmt clippy build test check-targets doc analyze quickstart fig-ingest-smoke fig-shard-smoke fig-postings-smoke fig-serve-smoke serve-smoke)
 
 run_step() {
   echo "==> $1"
@@ -62,21 +62,40 @@ run_step() {
       # timing anything, so this doubles as an index-soundness test.
       $CARGO run --release -p sitfact-bench --bin fig_postings -- \
         --n 1200 --queries 60 --reps 1 --out /tmp/BENCH_postings_smoke.json ;;
+    fig-serve-smoke)
+      # Tiny scale; the binary asserts served reports equal an in-process
+      # monitor per tenant, in both engine modes, before timing anything —
+      # so this doubles as a multi-tenant wire-fidelity test.
+      $CARGO run --release -p sitfact-bench --bin fig_serve -- \
+        --n 60 --batch 10 --clients-max 2 --reads 40 --reps 1 \
+        --out /tmp/BENCH_serve_smoke.json ;;
     serve-smoke)
       # Round-trip the TCP service front-end: start a sharded server on an
       # ephemeral port (it writes the bound address to a file), stream rows
       # through the client binary over both INGEST and INGEST_BATCH, assert a
-      # non-empty report, then shut the server down over the wire. The server
-      # binary is backgrounded directly (not via `cargo run`, whose wrapper
-      # PID would survive a kill and leak the real server on failure).
+      # non-empty report, then shut the server down over the wire. Two
+      # private tenants stream first (isolated OPEN/USE sessions with
+      # different seeds), then the default tenant asserts facts and shuts
+      # the server down. The server binary is backgrounded directly (not via
+      # `cargo run`, whose wrapper PID would survive a kill and leak the
+      # real server on failure).
       $CARGO build --release -p sitfact-serve
       local port_file=/tmp/sitfact_serve_port
       rm -f "$port_file"
       target/release/sitfact_serve \
         --addr 127.0.0.1:0 --port-file "$port_file" --shards 2 --tau 50 &
       local server_pid=$!
-      if ! target/release/sitfact_client \
-        --port-file "$port_file" --n 48 --batch 16 --assert-facts --shutdown; then
+      local client_ok=1
+      target/release/sitfact_client \
+        --port-file "$port_file" --n 32 --batch 8 --seed 11 \
+        --tenant east --tau 50 --assert-facts || client_ok=0
+      target/release/sitfact_client \
+        --port-file "$port_file" --n 24 --batch 6 --seed 23 \
+        --tenant west --tau 50 --assert-facts || client_ok=0
+      target/release/sitfact_client \
+        --port-file "$port_file" --n 48 --batch 16 --assert-facts \
+        --shutdown || client_ok=0
+      if [[ "$client_ok" != 1 ]]; then
         kill "$server_pid" 2>/dev/null || true
         wait "$server_pid" 2>/dev/null || true
         echo "serve-smoke: client round trip failed" >&2

@@ -14,8 +14,8 @@
 //!   file-backed variants, plus the paper's baselines);
 //! * [`prominence`] — prominence ranking, thresholds and narration, unified
 //!   behind the [`StreamMonitor`](prominence::StreamMonitor) trait;
-//! * [`serve`] — the framed-TCP service front-end (server + client) over any
-//!   `Box<dyn StreamMonitor>`;
+//! * [`serve`] — the framed-TCP, multi-tenant service front-end (server +
+//!   client) over any `Box<dyn StreamMonitor>`;
 //! * [`datagen`] — synthetic NBA / weather / stock workloads and CSV IO.
 //!
 //! ## Quickstart
@@ -24,7 +24,11 @@
 //! trait (re-exported by the prelude): `ingest_raw` for one row, `ingest_batch`
 //! for amortised windows — identically on a [`FactMonitor`](prominence::FactMonitor),
 //! a [`ShardedMonitor`](prominence::ShardedMonitor), or a `Box<dyn StreamMonitor>`
-//! serving traffic over TCP.
+//! serving traffic over TCP. On the wire, one [`FactServer`](serve::FactServer)
+//! multiplexes many such monitors: a client `OPEN`s a named *tenant* (its own
+//! schema, threshold and discovery caps — see [`TenantSpec`](serve::TenantSpec))
+//! and `USE`s it, each tenant owned by a server worker and read through
+//! lock-free snapshots, so independent streams never share state.
 //!
 //! ```
 //! use situational_facts::prelude::*;
@@ -93,7 +97,9 @@ pub mod prelude {
         narrate, ArrivalReport, DistributionStats, FactMonitor, MonitorConfig, RankedFact,
         ShardedMonitor, StreamMonitor,
     };
-    pub use sitfact_serve::{Client, FactServer, RawRow, ServeError, ServerHandle};
+    pub use sitfact_serve::{
+        Client, FactServer, RawRow, ServeError, ServeMode, ServerHandle, ServerOptions, TenantSpec,
+    };
     pub use sitfact_storage::{
         ContextCounter, FileSkylineStore, KdTree, MemorySkylineStore, SkylineStore, StoreStats,
         Table, WorkStats,
