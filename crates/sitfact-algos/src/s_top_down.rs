@@ -10,7 +10,7 @@ use sitfact_core::{
     BoundMask, Constraint, DiscoveryConfig, Schema, SkylinePair, SubspaceMask, Tuple, TupleId,
 };
 use sitfact_storage::{
-    MemorySkylineStore, SkylineStore, StoreStats, StoredEntry, Table, WorkStats,
+    MemorySkylineStore, SkylineStore, StoreCell, StoreStats, StoredEntry, Table, WorkStats,
 };
 
 /// `STopDown` runs the `TopDown` traversal once in the **full** measure space
@@ -297,6 +297,17 @@ impl<S: SkylineStore> Discovery for STopDown<S> {
         } else {
             crate::common::skyline_cardinality_recompute(table, constraint, subspace, limit)
         }
+    }
+
+    /// `STopDown`'s durable state is exactly its skyline store: the pruning
+    /// matrix is reset per arrival, the traversal scratch is scratch, and the
+    /// work counters are not observable through the monitor's query surface.
+    fn export_store_cells(&self) -> Option<Vec<StoreCell>> {
+        self.store.dump_cells()
+    }
+
+    fn import_store_cells(&mut self, cells: Vec<StoreCell>) -> sitfact_core::Result<()> {
+        self.store.load_cells(cells)
     }
 }
 

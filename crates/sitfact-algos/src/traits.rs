@@ -1,8 +1,8 @@
 //! The [`Discovery`] trait implemented by every algorithm, plus the
 //! [`AlgorithmKind`] enumeration used by the experiment harness.
 
-use sitfact_core::{Constraint, SkylinePair, SubspaceMask, Tuple, TupleId};
-use sitfact_storage::{StoreStats, Table, WorkStats};
+use sitfact_core::{Constraint, Result, SitFactError, SkylinePair, SubspaceMask, Tuple, TupleId};
+use sitfact_storage::{StoreCell, StoreStats, Table, WorkStats};
 
 /// A situational-fact discovery algorithm.
 ///
@@ -107,6 +107,27 @@ pub trait Discovery {
         subspace: SubspaceMask,
     ) -> usize {
         self.skyline_cardinality_at(table, constraint, subspace, table.next_id())
+    }
+
+    /// Dumps the algorithm's durable state — its skyline-store cells — for a
+    /// crash-recovery snapshot, or `None` when the algorithm cannot export
+    /// (the default; recovery then falls back to full-log replay). Scratch
+    /// state (pruning matrices, caches, work counters) is deliberately
+    /// excluded: it is rebuilt per arrival and not observable through the
+    /// monitor's query surface.
+    fn export_store_cells(&self) -> Option<Vec<StoreCell>> {
+        None
+    }
+
+    /// Replaces the algorithm's durable state with previously exported
+    /// cells. The default refuses, matching the default
+    /// [`Discovery::export_store_cells`].
+    fn import_store_cells(&mut self, cells: Vec<StoreCell>) -> Result<()> {
+        let _ = cells;
+        Err(SitFactError::InvalidConfig(format!(
+            "algorithm {} does not support state import",
+            self.name()
+        )))
     }
 }
 

@@ -27,7 +27,7 @@ use sitfact_bench::{generate_rows, DatasetKind, ExperimentParams};
 use sitfact_core::{Direction, DiscoveryConfig};
 use sitfact_datagen::Row;
 use sitfact_prominence::{FactMonitor, MonitorConfig, StreamMonitor};
-use sitfact_serve::{Client, FactServer, RawRow, ServeMode, ServerOptions, TenantSpec};
+use sitfact_serve::{Client, FactServer, RawRow, ServeMode, TenantSpec};
 
 const ROWS: usize = 400;
 const BATCH: usize = 50;
@@ -127,15 +127,10 @@ fn served_mode(
     mode: ServeMode,
 ) -> usize {
     let monitor: Box<dyn StreamMonitor + Send> = Box::new(fresh_monitor(schema));
-    let server = FactServer::bind_with_options(
-        "127.0.0.1:0",
-        monitor,
-        ServerOptions {
-            mode,
-            ..ServerOptions::default()
-        },
-    )
-    .expect("bind");
+    let server = FactServer::builder()
+        .with_mode(mode)
+        .bind("127.0.0.1:0", monitor)
+        .expect("bind");
     let addr = server.local_addr();
     let join = std::thread::spawn(move || server.run().expect("clean exit"));
     let mut client = Client::connect(addr).expect("connect");

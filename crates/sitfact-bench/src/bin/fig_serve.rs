@@ -31,7 +31,7 @@ use sitfact_bench::{generate_rows, DatasetKind, ExperimentParams};
 use sitfact_core::{Direction, DiscoveryConfig, Schema, ThreadPool};
 use sitfact_datagen::Row;
 use sitfact_prominence::{ArrivalReport, FactMonitor, MonitorConfig, StreamMonitor};
-use sitfact_serve::{Client, FactServer, RawRow, ServeMode, ServerOptions, TenantSpec};
+use sitfact_serve::{Client, FactServer, RawRow, ServeMode, TenantSpec};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -95,18 +95,14 @@ struct RunningServer {
 
 fn start_server(schema: &Schema, mode: ServeMode, clients: usize) -> RunningServer {
     let monitor: Box<dyn StreamMonitor + Send> = Box::new(fresh_monitor(schema));
-    let server = FactServer::bind_with_options(
-        "127.0.0.1:0",
-        monitor,
-        ServerOptions {
-            workers: clients + 1,
-            owners: clients.max(1),
-            mode,
-            read_timeout: Some(Duration::from_secs(30)),
-            write_timeout: Some(Duration::from_secs(30)),
-        },
-    )
-    .expect("bind loopback server");
+    let server = FactServer::builder()
+        .with_workers(clients + 1)
+        .with_owners(clients.max(1))
+        .with_mode(mode)
+        .with_read_timeout(Some(Duration::from_secs(30)))
+        .with_write_timeout(Some(Duration::from_secs(30)))
+        .bind("127.0.0.1:0", monitor)
+        .expect("bind loopback server");
     let addr = server.local_addr();
     let handle = server.handle();
     let runner = ThreadPool::new(1);

@@ -143,7 +143,7 @@ impl<T> SnapshotCell<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
 
     #[test]
     fn load_returns_initial_then_published() {
@@ -173,10 +173,14 @@ mod tests {
     fn concurrent_readers_observe_monotonic_prefixes() {
         let cell = Arc::new(SnapshotCell::new(Arc::new(0u64)));
         let stop = Arc::new(AtomicBool::new(false));
-        let readers: Vec<_> = (0..4)
-            .map(|_| {
+        let progress: Vec<Arc<AtomicUsize>> =
+            (0..4).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        let readers: Vec<_> = progress
+            .iter()
+            .map(|counter| {
                 let cell = Arc::clone(&cell);
                 let stop = Arc::clone(&stop);
+                let counter = Arc::clone(counter);
                 std::thread::spawn(move || {
                     let mut last = 0u64;
                     let mut observed = 0usize;
@@ -185,6 +189,7 @@ mod tests {
                         assert!(seen >= last, "snapshot went backwards: {seen} < {last}");
                         last = seen;
                         observed += 1;
+                        counter.store(observed, Ordering::Relaxed);
                     }
                     observed
                 })
@@ -192,6 +197,13 @@ mod tests {
             .collect();
         for i in 1..=2_000u64 {
             cell.publish(Arc::new(i));
+        }
+        // On a single-core box the publish loop above can finish before any
+        // reader thread was ever scheduled; don't stop the readers until each
+        // has loaded at least one snapshot, or the assertion below is a
+        // scheduling coin flip rather than a correctness check.
+        while progress.iter().any(|c| c.load(Ordering::Relaxed) == 0) {
+            std::thread::yield_now();
         }
         stop.store(true, Ordering::Relaxed);
         for reader in readers {

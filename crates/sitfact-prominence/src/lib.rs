@@ -22,7 +22,9 @@
 //! `FactMonitor` shards and fans batched windows out in parallel — provably
 //! equivalent to an unsharded monitor over the anchored constraint space (see
 //! the [`sharded`] module docs for the soundness argument).
-//! [`DistributionStats`]
+//! [`DurableMonitor`] wraps any monitor with a
+//! write-ahead arrival log and snapshot-bounded crash recovery (see the
+//! [`durable`] module docs). [`DistributionStats`]
 //! accumulates the figures of the paper's case study (Figs. 14–15), and
 //! [`narrate()`] renders facts as English sentences in the style of the
 //! paper's examples.
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod distribution;
+pub mod durable;
 pub mod fact;
 pub mod monitor;
 pub mod narrate;
@@ -38,8 +41,13 @@ pub mod sharded;
 pub mod stream;
 
 pub use distribution::DistributionStats;
+pub use durable::{replay_log, DurableMonitor, RecoveryReport, ReplayOutcome, WalOptions};
 pub use fact::{ArrivalReport, RankedFact};
 pub use monitor::{FactMonitor, MonitorConfig};
 pub use narrate::narrate;
 pub use sharded::ShardedMonitor;
 pub use stream::{MonitorSnapshot, StreamMonitor};
+// The WAL types that cross the serve boundary (`STATS` counters, sync
+// policy), re-exported so the serving layer needs no direct storage
+// dependency.
+pub use sitfact_storage::{SyncPolicy, WalStats};

@@ -6,7 +6,7 @@ use sitfact_algos::Discovery;
 use sitfact_core::{
     DiscoveryConfig, Result, Schema, SitFactError, SkylinePair, Tuple, TupleId, TupleRef,
 };
-use sitfact_storage::{ContextCounter, PostingIndexStats, Table};
+use sitfact_storage::{wal, ContextCounter, PostingIndexStats, Table};
 
 /// Configuration of a [`FactMonitor`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -313,6 +313,65 @@ impl<A: Discovery> StreamMonitor for FactMonitor<A> {
 
     fn posting_stats(&self) -> PostingIndexStats {
         self.table.posting_index_stats()
+    }
+
+    /// Serializes the full monitor state when the algorithm can export its
+    /// skyline store (see [`Discovery::export_store_cells`]): the table —
+    /// schema dictionaries, columns and the *native* posting layout — then
+    /// the store cells. The context counter is deliberately not serialized:
+    /// it is denormalized state, rebuilt from the table on restore (exactly
+    /// as the deep audit's ground-truth recomputation does).
+    fn export_durable(&self) -> Option<Vec<u8>> {
+        let cells = self.algorithm.export_store_cells()?;
+        let mut out = Vec::new();
+        wal::encode_table(&self.table, &mut out);
+        wal::encode_cells(&cells, &mut out);
+        Some(out)
+    }
+
+    fn restore_durable(&mut self, snapshot: &[u8]) -> Result<bool> {
+        let mut cur = wal::ByteCursor::new(snapshot);
+        let table = wal::decode_table(&mut cur)?;
+        let cells = wal::decode_cells(&mut cur)?;
+        if !cur.is_empty() {
+            return Err(SitFactError::Parse(format!(
+                "monitor snapshot has {} trailing bytes",
+                cur.remaining()
+            )));
+        }
+        // The snapshot must be shaped for this monitor: same relation name,
+        // dimension attributes and measure attributes (with directions).
+        // Dictionary *contents* may of course differ — that is the state
+        // being restored.
+        let (current, decoded) = (self.table.schema(), table.schema());
+        let measures_match = decoded.measures().len() == current.measures().len()
+            && decoded
+                .measures()
+                .iter()
+                .zip(current.measures())
+                .all(|(a, b)| a.name == b.name && a.direction == b.direction);
+        if decoded.name() != current.name()
+            || decoded.dimension_names() != current.dimension_names()
+            || !measures_match
+        {
+            return Err(SitFactError::Parse(format!(
+                "monitor snapshot is shaped for relation {:?}, not {:?}",
+                decoded.name(),
+                current.name()
+            )));
+        }
+        // The algorithm import happens first: if it refuses (an algorithm
+        // without state import), the monitor is left untouched and the
+        // caller falls back to replaying the full log.
+        self.algorithm.import_store_cells(cells)?;
+        let mut counter = ContextCounter::new(
+            decoded.num_dimensions(),
+            self.config.discovery.effective_d_hat(table.schema()),
+        );
+        counter.observe_batch(table.iter().map(|(_, view)| view));
+        self.counter = counter;
+        self.table = table;
+        Ok(true)
     }
 }
 

@@ -19,7 +19,7 @@
 use crate::fact::ArrivalReport;
 use crate::monitor::MonitorConfig;
 use sitfact_core::{Result, Schema, Tuple, TupleId, TupleRef};
-use sitfact_storage::PostingIndexStats;
+use sitfact_storage::{PostingIndexStats, WalStats};
 
 /// A point-in-time export of a monitor's externally visible state, assembled
 /// by [`StreamMonitor::export_snapshot`].
@@ -43,6 +43,9 @@ pub struct MonitorSnapshot {
     /// Aggregate posting-index footprint (for a sharded monitor: summed over
     /// all shards).
     pub postings: PostingIndexStats,
+    /// Write-ahead-log counters (all zero for a monitor without a durability
+    /// layer; see [`StreamMonitor::wal_stats`]).
+    pub wal: WalStats,
 }
 
 /// A monitor that turns a stream of tuples into per-arrival fact reports.
@@ -165,6 +168,110 @@ pub trait StreamMonitor {
             keep_top: config.keep_top,
             anchor_dim: config.discovery.anchor_dim,
             postings: self.posting_stats(),
+            wal: self.wal_stats(),
         }
+    }
+
+    /// Serializes the monitor's full state (table with dictionaries and
+    /// native posting layout, plus the algorithm's skyline-store cells) for
+    /// a crash-recovery snapshot, or `None` when this monitor cannot export
+    /// full state (the default; a [`ShardedMonitor`](crate::ShardedMonitor)
+    /// also returns `None` — its durable form is the raw arrival log, which
+    /// replays into any shard count). Recovery falls back to full-log replay
+    /// when export is unsupported.
+    fn export_durable(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Replaces the monitor's state with a snapshot produced by
+    /// [`StreamMonitor::export_durable`].
+    ///
+    /// Returns `Ok(true)` when the state was restored, `Ok(false)` when this
+    /// monitor does not support snapshot restore (the monitor is untouched
+    /// and the caller falls back to full-log replay), and `Err` when the
+    /// snapshot is corrupt or shaped for a different monitor (the monitor is
+    /// again untouched — restore is all-or-nothing).
+    fn restore_durable(&mut self, snapshot: &[u8]) -> Result<bool> {
+        let _ = snapshot;
+        Ok(false)
+    }
+
+    /// Write-ahead-log counters, surfaced through the serve `STATS` verb.
+    /// All zero by default; the durability wrapper
+    /// ([`DurableMonitor`](crate::DurableMonitor)) overrides this with its
+    /// log's live counters.
+    fn wal_stats(&self) -> WalStats {
+        WalStats::default()
+    }
+}
+
+/// Forwarding impl so a boxed monitor *is* a monitor — this is what lets the
+/// durability wrapper ([`DurableMonitor`](crate::DurableMonitor)) wrap the
+/// serve layer's `Box<dyn StreamMonitor + Send>` tenants without knowing the
+/// concrete type. Every method forwards (provided ones included), so an
+/// override on the boxed type is preserved through the box.
+impl<M: StreamMonitor + ?Sized> StreamMonitor for Box<M> {
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+
+    fn config(&self) -> &MonitorConfig {
+        (**self).config()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn tuple(&self, tuple_id: TupleId) -> Option<TupleRef<'_>> {
+        (**self).tuple(tuple_id)
+    }
+
+    fn encode_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<Tuple> {
+        (**self).encode_raw(dims, measures)
+    }
+
+    fn ingest(&mut self, tuple: Tuple) -> Result<ArrivalReport> {
+        (**self).ingest(tuple)
+    }
+
+    fn ingest_batch_slice(&mut self, tuples: &[Tuple]) -> Result<Vec<ArrivalReport>> {
+        (**self).ingest_batch_slice(tuples)
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+
+    fn ingest_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<ArrivalReport> {
+        (**self).ingest_raw(dims, measures)
+    }
+
+    fn ingest_batch(&mut self, tuples: Vec<Tuple>) -> Result<Vec<ArrivalReport>> {
+        (**self).ingest_batch(tuples)
+    }
+
+    fn ingest_all(&mut self, tuples: Vec<Tuple>) -> Result<Vec<ArrivalReport>> {
+        (**self).ingest_all(tuples)
+    }
+
+    fn posting_stats(&self) -> PostingIndexStats {
+        (**self).posting_stats()
+    }
+
+    fn export_snapshot(&self) -> MonitorSnapshot {
+        (**self).export_snapshot()
+    }
+
+    fn export_durable(&self) -> Option<Vec<u8>> {
+        (**self).export_durable()
+    }
+
+    fn restore_durable(&mut self, snapshot: &[u8]) -> Result<bool> {
+        (**self).restore_durable(snapshot)
+    }
+
+    fn wal_stats(&self) -> WalStats {
+        (**self).wal_stats()
     }
 }

@@ -5,7 +5,8 @@
 //! sitfact_client (--addr HOST:PORT | --port-file PATH) [--wait-secs 30]
 //!                [--n 48] [--batch 16] [--dims 5] [--measures 4] [--seed 7]
 //!                [--topk 3] [--tenant NAME] [--tau 100]
-//!                [--assert-facts] [--shutdown]
+//!                [--assert-facts] [--state-out PATH] [--state-expect PATH]
+//!                [--shutdown]
 //! ```
 //!
 //! With `--port-file` the client polls for the file the server writes after
@@ -15,7 +16,13 @@
 //! threshold `--tau`) and `USE`s it, so several clients can stream into one
 //! server without sharing state. `--assert-facts` exits non-zero unless at
 //! least one report carried facts — the CI smoke step's success criterion.
-//! `--shutdown` asks the server to exit afterwards.
+//! `--n 0` streams nothing and only queries, for inspecting a server's
+//! existing state. `--state-out PATH` writes a fingerprint of the current
+//! tenant's `TOPK` + `STATS` after streaming; `--state-expect PATH` exits
+//! non-zero unless the live state matches a previously written fingerprint —
+//! together they are how the CI `wal-smoke` step asserts a SIGKILLed durable
+//! server recovers exactly the state it acknowledged. `--shutdown` asks the
+//! server to exit afterwards.
 
 use sitfact_datagen::nba::nba_schema;
 use sitfact_datagen::nba::{NbaConfig, NbaGenerator};
@@ -78,35 +85,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("opened and switched to tenant {tenant:?}");
     }
 
-    // Rows only need to match the server's schema *arity*; the server interns
-    // the strings. Same generator family as the server's demo schema.
-    let mut generator = NbaGenerator::new(NbaConfig {
-        dimensions: dims,
-        measures,
-        players: 60,
-        teams: 8,
-        seasons: 2,
-        games_per_season: n.max(1),
-        seed,
-    });
-
     let mut reports = Vec::with_capacity(n);
-    // First row through the per-arrival path, the rest through batched
-    // windows — exercising both wire verbs.
-    let first = generator.next_row();
-    let first_dims: Vec<&str> = first.dims.iter().map(String::as_str).collect();
-    reports.push(client.ingest(&first_dims, &first.measures)?);
-    let mut pending: Vec<RawRow> = Vec::with_capacity(batch);
-    for _ in 1..n {
-        let row = generator.next_row();
-        let row_dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
-        pending.push(RawRow::new(&row_dims, &row.measures));
-        if pending.len() == batch {
-            reports.extend(client.ingest_batch(std::mem::take(&mut pending))?);
+    if n > 0 {
+        // Rows only need to match the server's schema *arity*; the server
+        // interns the strings. Same generator family as the server's demo
+        // schema.
+        let mut generator = NbaGenerator::new(NbaConfig {
+            dimensions: dims,
+            measures,
+            players: 60,
+            teams: 8,
+            seasons: 2,
+            games_per_season: n,
+            seed,
+        });
+        // First row through the per-arrival path, the rest through batched
+        // windows — exercising both wire verbs.
+        let first = generator.next_row();
+        let first_dims: Vec<&str> = first.dims.iter().map(String::as_str).collect();
+        reports.push(client.ingest(&first_dims, &first.measures)?);
+        let mut pending: Vec<RawRow> = Vec::with_capacity(batch);
+        for _ in 1..n {
+            let row = generator.next_row();
+            let row_dims: Vec<&str> = row.dims.iter().map(String::as_str).collect();
+            pending.push(RawRow::new(&row_dims, &row.measures));
+            if pending.len() == batch {
+                reports.extend(client.ingest_batch(std::mem::take(&mut pending))?);
+            }
         }
-    }
-    if !pending.is_empty() {
-        reports.extend(client.ingest_batch(pending)?);
+        if !pending.is_empty() {
+            reports.extend(client.ingest_batch(pending)?);
+        }
     }
 
     let total_facts: usize = reports.iter().map(|r| r.facts.len()).sum();
@@ -132,13 +141,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if has_flag(&args, "--assert-facts") && total_facts == 0 {
         return Err("smoke assertion failed: no report carried any fact".into());
     }
-    if reports.len() != n || stats.len as usize != n {
+    if n > 0 && (reports.len() != n || stats.len as usize != n) {
         return Err(format!(
             "smoke assertion failed: sent {n} rows but got {} reports / server len {}",
             reports.len(),
             stats.len
         )
         .into());
+    }
+    // The fingerprint is the Debug rendering of the top-k report + the full
+    // server stats — any drift in recovered state (facts, counters, WAL
+    // accounting) changes it.
+    let fingerprint = format!("{top:?}\n{stats:?}\n");
+    if let Some(path) = flag_value(&args, "--state-out") {
+        std::fs::write(path, &fingerprint)?;
+        println!("wrote state fingerprint to {path}");
+    }
+    if let Some(path) = flag_value(&args, "--state-expect") {
+        let expected = std::fs::read_to_string(path)?;
+        if expected != fingerprint {
+            return Err(format!(
+                "state drift against {path}:\nexpected: {expected}got:      {fingerprint}"
+            )
+            .into());
+        }
+        println!("server state matches the fingerprint in {path}");
     }
     if has_flag(&args, "--shutdown") {
         client.shutdown()?;

@@ -6,7 +6,8 @@
 //!               [--route team] [--tau 100] [--keep-top 16]
 //!               [--dims 5] [--measures 4] [--d-hat 3] [--m-hat 3]
 //!               [--workers 4] [--owners 4] [--mode owned|mutex]
-//!               [--timeout-secs 30]
+//!               [--timeout-secs 30] [--data-dir PATH]
+//!               [--sync always|os] [--snapshot-every N]
 //! ```
 //!
 //! `--shards 0` (the default) serves an unsharded [`FactMonitor`];
@@ -19,6 +20,14 @@
 //! single-global-mutex baseline the `fig_serve` bench compares against.
 //! `--timeout-secs` sets both socket timeouts (0 = wait forever).
 //!
+//! `--data-dir PATH` makes every tenant durable: accepted windows are
+//! appended to a per-tenant write-ahead log before they are acknowledged,
+//! and restarting against the same directory recovers the default tenant's
+//! state (the CI `wal-smoke` step SIGKILLs the process and asserts exactly
+//! that). `--sync always` (default) fsyncs each append; `--sync os` leaves
+//! flushing to the OS. `--snapshot-every N` takes a full-state snapshot
+//! every N rows to bound recovery replay (0 = log-only, the default).
+//!
 //! The bound address is printed to stdout and, with `--port-file`, written
 //! atomically to a file a client can poll — that is how the CI smoke step
 //! finds the ephemeral port. The process exits when a client sends
@@ -29,7 +38,7 @@ use sitfact_core::DiscoveryConfig;
 use sitfact_datagen::nba::nba_schema;
 use sitfact_prominence::{FactMonitor, MonitorConfig, ShardedMonitor, StreamMonitor};
 use sitfact_serve::cli::{flag_value, parsed};
-use sitfact_serve::{FactServer, ServeMode, ServerOptions};
+use sitfact_serve::{FactServer, ServeMode, SyncPolicy, WalOptions};
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -55,6 +64,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let timeout_secs: u64 = parsed(&args, "--timeout-secs", 30);
     let timeout = (timeout_secs > 0).then(|| Duration::from_secs(timeout_secs));
+    let data_dir = flag_value(&args, "--data-dir").map(str::to_string);
+    let sync = match flag_value(&args, "--sync").unwrap_or("always") {
+        "always" => SyncPolicy::Always,
+        "os" => SyncPolicy::Os,
+        other => return Err(format!("--sync: expected always|os, got {other:?}").into()),
+    };
+    let snapshot_every: u64 = parsed(&args, "--snapshot-every", 0);
 
     let schema = nba_schema(dims, measures);
     let discovery = DiscoveryConfig::capped(d_hat, m_hat);
@@ -81,17 +97,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?)
     };
 
-    let server = FactServer::bind_with_options(
-        addr.as_str(),
-        monitor,
-        ServerOptions {
-            workers,
-            owners,
-            mode,
-            read_timeout: timeout,
-            write_timeout: timeout,
-        },
-    )?;
+    let mut wal = WalOptions::default().with_sync(sync);
+    wal = if snapshot_every > 0 {
+        wal.with_snapshot_every(snapshot_every)
+    } else {
+        wal.without_snapshots()
+    };
+    let mut options = FactServer::builder()
+        .with_workers(workers)
+        .with_owners(owners)
+        .with_mode(mode)
+        .with_read_timeout(timeout)
+        .with_write_timeout(timeout)
+        .with_wal(wal);
+    if let Some(root) = &data_dir {
+        options = options.with_data_dir(root);
+    }
+    let server = options.bind(addr.as_str(), monitor)?;
     let bound = server.local_addr();
     let shape = if shards == 0 {
         "unsharded".to_string()
@@ -102,8 +124,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServeMode::Owned => "owned",
         ServeMode::GlobalMutex => "mutex",
     };
+    let durable = match &data_dir {
+        Some(root) => format!("wal@{root} sync={}", sync.name()),
+        None => "ephemeral".to_string(),
+    };
     println!(
-        "sitfact-serve listening on {bound} ({shape}, mode={mode_name}, τ={tau}, keep_top={keep_top})"
+        "sitfact-serve listening on {bound} ({shape}, mode={mode_name}, τ={tau}, keep_top={keep_top}, {durable})"
     );
     if let Some(path) = port_file {
         // Write-then-rename so a polling client never reads a torn address.

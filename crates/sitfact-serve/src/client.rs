@@ -74,6 +74,17 @@ impl Client {
         }
     }
 
+    /// Evicts the named tenant's monitor from server memory (a typed
+    /// `Tenant` error if the name is unknown). On a durable server the
+    /// tenant's on-disk state survives: a later [`Client::open`] of the same
+    /// name recovers it.
+    pub fn close(&mut self, name: &str) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Close(name.to_string()))? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected("OK", &other)),
+        }
+    }
+
     /// Current tenant's monitor statistics.
     pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
         match self.roundtrip(&Request::Stats)? {

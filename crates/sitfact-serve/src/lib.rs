@@ -22,8 +22,17 @@
 //!   byte-identical to what the server-side monitor produced.
 //! * [`protocol`] defines the wire format: length-prefixed frames around a
 //!   small TAB/LF text grammar (`PING` / `STATS` / `TOPK` / `INGEST` /
-//!   `INGEST_BATCH` / `OPEN` / `USE` / `SHUTDOWN`) — see the module docs for
-//!   the full grammar, also reproduced in the repository's ROADMAP.
+//!   `INGEST_BATCH` / `OPEN` / `USE` / `CLOSE` / `SHUTDOWN`) — see the
+//!   module docs for the full grammar, also reproduced in the repository's
+//!   ROADMAP.
+//! * Durability is opt-in via
+//!   [`ServerOptions::with_data_dir`](server::ServerOptions::with_data_dir):
+//!   every tenant monitor is wrapped in a
+//!   [`DurableMonitor`](sitfact_prominence::DurableMonitor) — each accepted
+//!   window is appended to a checksummed write-ahead log *before* it is
+//!   acknowledged, binding recovers the default tenant, and `OPEN` of a
+//!   tenant whose directory already exists replays it back to life. The
+//!   `STATS` verb reports the per-tenant WAL counters.
 //!
 //! The crate ships two demo binaries: `sitfact_serve` (stand up a server
 //! over a synthetic-NBA monitor) and `sitfact_client` (stream rows into it
@@ -43,3 +52,6 @@ pub use client::Client;
 pub use error::ServeError;
 pub use protocol::{RawRow, Request, Response, ServerStats, TenantSpec};
 pub use server::{FactServer, ServeMode, ServerHandle, ServerOptions};
+// The durability knobs [`ServerOptions::wal`] is made of, re-exported so
+// server embedders configure the WAL without naming another crate.
+pub use sitfact_prominence::{SyncPolicy, WalOptions};

@@ -22,13 +22,14 @@
 //!           | "OPEN" TAB tenant TAB tau TAB keep_top TAB d_hat TAB m_hat
 //!             LF dim (TAB dim)* LF mdef (TAB mdef)*
 //!           | "USE" TAB tenant
+//!           | "CLOSE" TAB tenant
 //! row      := ndims TAB nmeasures TAB dim* TAB measure*
 //! mdef     := measure_name ":" ("max" | "min")
 //!
 //! response := "PONG" | "BYE" | "OK"
 //!           | "STATS" TAB len TAB tau TAB keep_top TAB anchor
 //!             TAB sealed_blocks TAB tail_ids TAB comp_bytes TAB raw_bytes
-//!             TAB schema
+//!             TAB wal_segments TAB wal_bytes TAB wal_synced TAB schema
 //!           | "REPORT" LF report
 //!           | "REPORTS" TAB count (LF report)*
 //!           | "ERR" TAB kind TAB message
@@ -39,9 +40,15 @@
 //!
 //! `OPEN` creates a named tenant monitor from an inline schema + config (the
 //! server owns one independent monitor per tenant); `USE` switches the
-//! connection's current tenant. Tenant and attribute names may not contain
-//! TAB, LF or CR (and measure names may not contain `:`). Optional numeric
-//! fields (`keep_top`, `d_hat`, `m_hat`, `anchor`) render as `_` when unset.
+//! connection's current tenant; `CLOSE` evicts a named tenant from memory
+//! (its durable state, if the server runs with a data directory, survives —
+//! a later `OPEN` of the same name recovers it). Tenant and attribute names
+//! may not contain TAB, LF or CR (and measure names may not contain `:`).
+//! Optional numeric fields (`keep_top`, `d_hat`, `m_hat`, `anchor`) render
+//! as `_` when unset. The `wal_*` STATS fields are the tenant's
+//! write-ahead-log counters (all zero when the server runs without a data
+//! directory): live segment files, total logged bytes, and rows durably
+//! synced to the log.
 //!
 //! Measures travel as Rust's shortest-round-trip `f64` rendering, so a report
 //! decoded by the client is **byte-identical** to the [`ArrivalReport`] the
@@ -120,7 +127,7 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<String>, ServeError> 
 /// ROADMAP.md — the `sitfact-audit` drift check compares the two, and unit
 /// tests in this module tie the list to what `encode`/`decode` actually
 /// produce and accept.
-pub const REQUEST_VERBS: [&str; 8] = [
+pub const REQUEST_VERBS: [&str; 9] = [
     "PING",
     "STATS",
     "SHUTDOWN",
@@ -129,6 +136,7 @@ pub const REQUEST_VERBS: [&str; 8] = [
     "INGEST_BATCH",
     "OPEN",
     "USE",
+    "CLOSE",
 ];
 
 /// Every response verb of the grammar, exactly as it travels on the wire.
@@ -226,6 +234,11 @@ pub enum Request {
     /// Switch this connection's current tenant; answered with
     /// [`Response::Ok`] (or a typed `Tenant` error if the name is unknown).
     Use(String),
+    /// Evict a named tenant monitor from memory; answered with
+    /// [`Response::Ok`] (or a typed `Tenant` error if the name is unknown).
+    /// Durable on-disk state, if any, is kept — a later [`Request::Open`] of
+    /// the same name recovers it.
+    Close(String),
     /// Ask the server to stop accepting connections and exit its accept
     /// loop; answered with [`Response::Bye`], then the connection closes.
     Shutdown,
@@ -253,6 +266,15 @@ pub struct ServerStats {
     pub compressed_bytes: u64,
     /// Bytes the same posting ids would occupy uncompressed.
     pub uncompressed_bytes: u64,
+    /// Live write-ahead-log segment files for this tenant (zero when the
+    /// server runs without a data directory).
+    pub wal_segments: u64,
+    /// Total bytes across the tenant's write-ahead-log segments.
+    pub wal_bytes: u64,
+    /// Rows durably synced to the tenant's write-ahead log. The id of the
+    /// last synced arrival is `wal_synced - 1` (ids are assigned in arrival
+    /// order from zero).
+    pub wal_synced: u64,
     /// Name of the schema the server ingests against.
     pub schema: String,
 }
@@ -482,6 +504,10 @@ impl Request {
                 check_name("tenant", name)?;
                 let _ = write!(out, "USE\t{name}");
             }
+            Request::Close(name) => {
+                check_name("tenant", name)?;
+                let _ = write!(out, "CLOSE\t{name}");
+            }
         }
         Ok(out)
     }
@@ -569,6 +595,15 @@ impl Request {
                 let name = fields[1].to_string();
                 check_name("tenant", &name)?;
                 Ok(Request::Use(name))
+            }
+            "CLOSE" => {
+                extra_lines_forbidden("CLOSE")?;
+                if fields.len() != 2 {
+                    return Err(bad("CLOSE takes exactly one field".into()));
+                }
+                let name = fields[1].to_string();
+                check_name("tenant", &name)?;
+                Ok(Request::Close(name))
             }
             verb => Err(bad(format!("unknown request verb {verb:?}"))),
         }
@@ -667,11 +702,14 @@ impl Response {
                 encode_opt_u64(stats.anchor_dim, &mut out);
                 let _ = write!(
                     out,
-                    "\t{}\t{}\t{}\t{}",
+                    "\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
                     stats.sealed_blocks,
                     stats.tail_ids,
                     stats.compressed_bytes,
-                    stats.uncompressed_bytes
+                    stats.uncompressed_bytes,
+                    stats.wal_segments,
+                    stats.wal_bytes,
+                    stats.wal_synced
                 );
                 out.push('\t');
                 // The schema name is free text under SchemaBuilder; flatten
@@ -716,8 +754,8 @@ impl Response {
             "BYE" => Ok(Response::Bye),
             "OK" => Ok(Response::Ok),
             "STATS" => {
-                if fields.len() != 10 {
-                    return Err(bad("STATS must carry 9 fields".into()));
+                if fields.len() != 13 {
+                    return Err(bad("STATS must carry 12 fields".into()));
                 }
                 let parse_u64 = |s: &str, what: &str| -> Result<u64, ServeError> {
                     s.parse()
@@ -732,7 +770,10 @@ impl Response {
                     tail_ids: parse_u64(fields[6], "STATS tail_ids")?,
                     compressed_bytes: parse_u64(fields[7], "STATS compressed_bytes")?,
                     uncompressed_bytes: parse_u64(fields[8], "STATS uncompressed_bytes")?,
-                    schema: fields[9].to_string(),
+                    wal_segments: parse_u64(fields[9], "STATS wal_segments")?,
+                    wal_bytes: parse_u64(fields[10], "STATS wal_bytes")?,
+                    wal_synced: parse_u64(fields[11], "STATS wal_synced")?,
+                    schema: fields[12].to_string(),
                 }))
             }
             "REPORT" => Ok(Response::Report(decode_report(&mut lines)?)),
@@ -800,6 +841,9 @@ mod tests {
             tail_ids: 17,
             compressed_bytes: 640,
             uncompressed_bytes: 1920,
+            wal_segments: 2,
+            wal_bytes: 4096,
+            wal_synced: 12,
             schema: "nba_gamelog".into(),
         }
     }
@@ -834,6 +878,7 @@ mod tests {
             Request::IngestBatch(vec![RawRow::new(&["a"], &[1.0])]),
             Request::Open(sample_spec()),
             Request::Use("league-east".into()),
+            Request::Close("league-east".into()),
         ];
         let mut seen: Vec<&str> = Vec::new();
         for request in &requests {
@@ -956,6 +1001,7 @@ mod tests {
                 0.5,
             )),
             Request::Use("league-east".into()),
+            Request::Close("league-east".into()),
         ] {
             let payload = request.encode().unwrap();
             assert_eq!(Request::decode(&payload).unwrap(), request);
@@ -996,6 +1042,14 @@ mod tests {
         });
         assert!(matches!(
             Request::Use(String::new()).encode(),
+            Err(ServeError::Protocol(_))
+        ));
+        assert!(matches!(
+            Request::Close(String::new()).encode(),
+            Err(ServeError::Protocol(_))
+        ));
+        assert!(matches!(
+            Request::Close("a\rb".into()).encode(),
             Err(ServeError::Protocol(_))
         ));
     }
@@ -1089,6 +1143,10 @@ mod tests {
             "USE\t",
             "USE\ta\tb",
             "USE\tt\nextra",
+            "CLOSE",
+            "CLOSE\t",
+            "CLOSE\ta\tb",
+            "CLOSE\tt\nextra",
         ] {
             assert!(
                 Request::decode(payload).is_err(),

@@ -28,12 +28,13 @@
 //! frames* is kept alive indefinitely.
 
 use crate::protocol::{write_frame, Request, Response, MAX_FRAME_LEN};
-use crate::tenant::{Engine, DEFAULT_TENANT};
+use crate::tenant::{Durability, Engine, DEFAULT_TENANT};
 use sitfact_core::pool::ThreadPool;
-use sitfact_prominence::StreamMonitor;
+use sitfact_prominence::{StreamMonitor, WalOptions};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -57,7 +58,33 @@ pub enum ServeMode {
     GlobalMutex,
 }
 
-/// Construction-time knobs for [`FactServer::bind_with_options`].
+/// Construction-time knobs for a [`FactServer`], built fluently from
+/// [`FactServer::builder`] and finished with [`ServerOptions::bind`]:
+///
+/// ```no_run
+/// # use sitfact_core::{Direction, SchemaBuilder};
+/// # use sitfact_algos::STopDown;
+/// # use sitfact_prominence::{FactMonitor, MonitorConfig, StreamMonitor};
+/// use sitfact_serve::{FactServer, ServeMode};
+///
+/// # let schema = SchemaBuilder::new("gamelog")
+/// #     .dimension("player")
+/// #     .measure("points", Direction::HigherIsBetter)
+/// #     .build()
+/// #     .unwrap();
+/// # let config = MonitorConfig::default().with_tau(2.0);
+/// # let monitor: Box<dyn StreamMonitor + Send> = Box::new(FactMonitor::new(
+/// #     schema.clone(),
+/// #     STopDown::new(&schema, config.discovery),
+/// #     config,
+/// # ));
+/// let server = FactServer::builder()
+///     .with_workers(8)
+///     .with_mode(ServeMode::Owned)
+///     .with_data_dir("/var/lib/sitfact")
+///     .bind("127.0.0.1:0", monitor)
+///     .unwrap();
+/// ```
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// Connection-handler workers: at most this many connections are
@@ -74,6 +101,15 @@ pub struct ServerOptions {
     /// Dropped if a peer leaves a response undelivered this long (e.g. a
     /// full TCP window that never drains). `None` waits forever.
     pub write_timeout: Option<Duration>,
+    /// Root directory for per-tenant write-ahead logs. `None` (the default)
+    /// serves purely in memory; `Some` makes every tenant durable — each
+    /// accepted window is logged before it is acknowledged, and binding (or
+    /// `OPEN`ing a tenant whose directory already exists) recovers state
+    /// from disk.
+    pub data_dir: Option<PathBuf>,
+    /// WAL sync/snapshot policy applied to every tenant (ignored without
+    /// [`ServerOptions::data_dir`]).
+    pub wal: WalOptions,
 }
 
 impl Default for ServerOptions {
@@ -84,7 +120,65 @@ impl Default for ServerOptions {
             mode: ServeMode::Owned,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            data_dir: None,
+            wal: WalOptions::default(),
         }
+    }
+}
+
+impl ServerOptions {
+    /// Sets the number of connection-handler workers.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the number of monitor-owning workers ([`ServeMode::Owned`]).
+    pub fn with_owners(mut self, owners: usize) -> Self {
+        self.owners = owners;
+        self
+    }
+
+    /// Selects the request-execution engine.
+    pub fn with_mode(mut self, mode: ServeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the mid-frame read timeout (`None` waits forever).
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the response write timeout (`None` waits forever).
+    pub fn with_write_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.write_timeout = timeout;
+        self
+    }
+
+    /// Enables durability: per-tenant write-ahead logs under `root`, crash
+    /// recovery at bind / `OPEN` time.
+    pub fn with_data_dir(mut self, root: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(root.into());
+        self
+    }
+
+    /// Sets the WAL sync/snapshot policy used with
+    /// [`ServerOptions::with_data_dir`].
+    pub fn with_wal(mut self, wal: WalOptions) -> Self {
+        self.wal = wal;
+        self
+    }
+
+    /// Binds a listener with these options — the builder's terminal step,
+    /// equivalent to [`FactServer::bind_with_options`].
+    pub fn bind(
+        self,
+        addr: impl ToSocketAddrs,
+        monitor: Box<dyn StreamMonitor + Send>,
+    ) -> std::io::Result<FactServer> {
+        FactServer::bind_with_options(addr, monitor, self)
     }
 }
 
@@ -214,38 +308,51 @@ impl FactServer {
         Self::bind_with_options(addr, monitor, ServerOptions::default())
     }
 
+    /// Starts a fluent options builder; finish with [`ServerOptions::bind`].
+    pub fn builder() -> ServerOptions {
+        ServerOptions::default()
+    }
+
     /// [`FactServer::bind`] with an explicit worker count (used for both
     /// connection handlers and monitor owners).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `FactServer::builder().with_workers(n).bind(addr, monitor)`"
+    )]
     pub fn bind_with_workers(
         addr: impl ToSocketAddrs,
         monitor: Box<dyn StreamMonitor + Send>,
         workers: usize,
     ) -> std::io::Result<Self> {
-        Self::bind_with_options(
-            addr,
-            monitor,
-            ServerOptions {
-                workers,
-                owners: workers,
-                ..ServerOptions::default()
-            },
-        )
+        Self::builder()
+            .with_workers(workers)
+            .with_owners(workers)
+            .bind(addr, monitor)
     }
 
-    /// [`FactServer::bind`] with full control over mode, worker counts and
-    /// socket timeouts.
+    /// [`FactServer::bind`] with full control over mode, worker counts,
+    /// socket timeouts and durability. A configured
+    /// [`ServerOptions::data_dir`] makes this recover the default tenant
+    /// from disk before the listener goes live; recovery failures (corrupt
+    /// directory, I/O errors) surface here as `io::Error`.
     pub fn bind_with_options(
         addr: impl ToSocketAddrs,
         monitor: Box<dyn StreamMonitor + Send>,
         options: ServerOptions,
     ) -> std::io::Result<Self> {
+        let durability = options.data_dir.clone().map(|root| Durability {
+            root,
+            wal: options.wal,
+        });
+        let engine = Engine::new(monitor, options.mode, options.owners, durability)
+            .map_err(|error| std::io::Error::new(ErrorKind::InvalidData, error.to_string()))?;
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(FactServer {
             listener,
             pool: ThreadPool::new(options.workers),
             shared: Arc::new(Shared {
-                engine: Engine::new(monitor, options.mode, options.owners),
+                engine,
                 running: AtomicBool::new(true),
                 addr,
                 connections: Mutex::new(HashMap::new()),
@@ -449,6 +556,10 @@ fn handle_request(request: Request, shared: &Arc<Shared>, session: &mut Session)
             }
             response
         }
+        // CLOSE does not reset any session: a connection still pointing at
+        // the closed tenant simply gets typed `Tenant` errors on dispatch,
+        // exactly as if it had never been opened.
+        Request::Close(name) => shared.engine.close(&name),
         other => shared.engine.dispatch(&session.tenant, other),
     }
 }
@@ -462,6 +573,7 @@ fn handle_request(request: Request, shared: &Arc<Shared>, session: &mut Session)
 mod tests {
     use super::*;
     use crate::protocol::RawRow;
+    use crate::tenant::EngineKind;
     use crate::ServeError;
     use sitfact_algos::STopDown;
     use sitfact_core::{Direction, Result, Schema, SchemaBuilder, Tuple, TupleId, TupleRef};
@@ -528,7 +640,7 @@ mod tests {
         let poisoner = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
-                let Engine::Locked(ref locked) = shared.engine else {
+                let EngineKind::Locked(ref locked) = shared.engine.kind else {
                     unreachable!("bound in GlobalMutex mode");
                 };
                 let _guard = locked.state.lock().unwrap();
@@ -537,7 +649,7 @@ mod tests {
         };
         assert!(poisoner.join().is_err());
         {
-            let Engine::Locked(ref locked) = shared.engine else {
+            let EngineKind::Locked(ref locked) = shared.engine.kind else {
                 unreachable!("bound in GlobalMutex mode");
             };
             assert!(locked.state.lock().is_err(), "mutex must be poisoned");

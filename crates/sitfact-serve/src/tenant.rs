@@ -26,11 +26,12 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
 use sitfact_core::{ActorPool, FxBuildHasher, SitFactError, SnapshotCell};
-use sitfact_prominence::{ArrivalReport, StreamMonitor};
+use sitfact_prominence::{ArrivalReport, DurableMonitor, StreamMonitor, WalOptions};
 
 use crate::error::error_kind;
 use crate::protocol::{RawRow, Request, Response, ServerStats, TenantSpec};
@@ -71,8 +72,60 @@ pub(crate) fn stats_of(monitor: &dyn StreamMonitor) -> ServerStats {
         tail_ids: snapshot.postings.tail_ids as u64,
         compressed_bytes: snapshot.postings.compressed_bytes as u64,
         uncompressed_bytes: snapshot.postings.uncompressed_bytes as u64,
+        wal_segments: snapshot.wal.segments,
+        wal_bytes: snapshot.wal.bytes,
+        wal_synced: snapshot.wal.durable_rows,
         schema: snapshot.schema_name,
     }
+}
+
+/// Where and how the server persists tenant monitors (`--data-dir`): each
+/// tenant gets its own write-ahead-log directory under `root`, and every
+/// tenant shares the same sync/snapshot policy.
+#[derive(Debug, Clone)]
+pub(crate) struct Durability {
+    /// Root data directory.
+    pub(crate) root: PathBuf,
+    /// WAL sync/snapshot policy applied to every tenant.
+    pub(crate) wal: WalOptions,
+}
+
+/// Maps a tenant name to its directory under the data root. The default
+/// tenant (the empty name, unreachable over the wire) gets `_default`; a
+/// named tenant gets `t-<name>` with every byte outside `[A-Za-z0-9._-]`
+/// percent-encoded, so distinct names never collide and nothing in a name
+/// can traverse out of the root.
+pub(crate) fn tenant_dir_name(name: &str) -> String {
+    use std::fmt::Write as _;
+    if name == DEFAULT_TENANT {
+        return "_default".to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 2);
+    out.push_str("t-");
+    for byte in name.bytes() {
+        match byte {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => out.push(byte as char),
+            other => {
+                let _ = write!(out, "%{other:02X}");
+            }
+        }
+    }
+    out
+}
+
+/// Wraps a freshly built tenant monitor in the durability layer, recovering
+/// whatever state a previous process left under the tenant's directory.
+/// Returns the wrapped monitor plus the recovered last arrival report, so
+/// `TOPK` answers survive a restart.
+fn wrap_durable(
+    monitor: BoxedMonitor,
+    durability: &Durability,
+    tenant: &str,
+) -> Result<(BoxedMonitor, Option<ArrivalReport>), SitFactError> {
+    let dir = durability.root.join(tenant_dir_name(tenant));
+    let (durable, _recovery) = DurableMonitor::open(dir, monitor, durability.wal)?;
+    let last_report = durable.last_report().cloned();
+    Ok((Box::new(durable), last_report))
 }
 
 /// Builds an independent monitor from a wire [`TenantSpec`].
@@ -234,14 +287,14 @@ pub(crate) struct OwnedEngine {
 }
 
 impl OwnedEngine {
-    fn new(monitor: BoxedMonitor, owners: usize) -> Self {
+    fn new(monitor: BoxedMonitor, last_report: Option<ArrivalReport>, owners: usize) -> Self {
         let owners = owners.max(1);
         let engine = OwnedEngine {
             pool: ActorPool::new((0..owners).map(|_| OwnerState::new()).collect()),
             registry: Mutex::new(HashMap::new()),
             owners,
         };
-        engine.install(DEFAULT_TENANT.to_string(), monitor);
+        engine.install(DEFAULT_TENANT.to_string(), monitor, last_report);
         engine
     }
 
@@ -251,11 +304,17 @@ impl OwnedEngine {
     }
 
     /// Transfers `monitor` into the owning worker and registers the tenant.
-    /// Returns the `OPEN` response.
-    fn install(&self, name: String, monitor: BoxedMonitor) -> Response {
+    /// `last_report` seeds the tenant's `TOPK` state (non-`None` when a
+    /// durable monitor recovered it from disk). Returns the `OPEN` response.
+    fn install(
+        &self,
+        name: String,
+        monitor: BoxedMonitor,
+        last_report: Option<ArrivalReport>,
+    ) -> Response {
         let worker = self.worker_of(&name);
         let snapshot = Arc::new(SnapshotCell::new(Arc::new(TenantSnapshot {
-            report: None,
+            report: last_report.clone(),
             stats: stats_of(monitor.as_ref()),
             poisoned: false,
         })));
@@ -280,7 +339,7 @@ impl OwnedEngine {
                 tenant_name,
                 OwnedTenant {
                     monitor,
-                    last_report: None,
+                    last_report,
                     snapshot,
                     poisoned: false,
                 },
@@ -299,6 +358,39 @@ impl OwnedEngine {
             .unwrap_or_else(|poison| poison.into_inner())
             .get(name)
             .cloned()
+    }
+
+    /// Evicts a tenant: unregisters it, then drops its monitor on the owning
+    /// worker. Blocks until the drop ran, so by the time `OK` reaches the
+    /// client every previously enqueued ingest has completed and the
+    /// monitor's resources (WAL file handles included) are released — a
+    /// subsequent `OPEN` of the same name can safely reclaim the directory.
+    fn close(&self, name: &str) -> Response {
+        let handle = {
+            let mut registry = self
+                .registry
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            match registry.remove(name) {
+                Some(handle) => handle,
+                None => return unknown_tenant(name),
+            }
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let tenant_name = name.to_string();
+        let sent = self
+            .pool
+            .send(handle.worker, move |owned: &mut OwnerState| {
+                owned.remove(&tenant_name);
+                let _ = reply_tx.send(());
+            });
+        if !sent {
+            return err("State", "server is shutting down");
+        }
+        match reply_rx.recv() {
+            Ok(()) => Response::Ok,
+            Err(_) => err("State", "server is shutting down"),
+        }
     }
 
     fn dispatch(&self, tenant: &str, request: Request) -> Response {
@@ -389,13 +481,13 @@ pub(crate) struct LockedEngine {
 }
 
 impl LockedEngine {
-    fn new(monitor: BoxedMonitor) -> Self {
+    fn new(monitor: BoxedMonitor, last_report: Option<ArrivalReport>) -> Self {
         let mut tenants = HashMap::new();
         tenants.insert(
             DEFAULT_TENANT.to_string(),
             LockedTenant {
                 monitor,
-                last_report: None,
+                last_report,
             },
         );
         LockedEngine {
@@ -403,7 +495,12 @@ impl LockedEngine {
         }
     }
 
-    fn install(&self, name: String, monitor: BoxedMonitor) -> Response {
+    fn install(
+        &self,
+        name: String,
+        monitor: BoxedMonitor,
+        last_report: Option<ArrivalReport>,
+    ) -> Response {
         let Ok(mut tenants) = self.state.lock() else {
             return err("State", POISONED_MSG);
         };
@@ -414,9 +511,21 @@ impl LockedEngine {
             name,
             LockedTenant {
                 monitor,
-                last_report: None,
+                last_report,
             },
         );
+        Response::Ok
+    }
+
+    /// Evicts a tenant under the global lock; the monitor drops before the
+    /// response is produced, mirroring [`OwnedEngine::close`].
+    fn close(&self, name: &str) -> Response {
+        let Ok(mut tenants) = self.state.lock() else {
+            return err("State", POISONED_MSG);
+        };
+        if tenants.remove(name).is_none() {
+            return unknown_tenant(name);
+        }
         Response::Ok
     }
 
@@ -456,8 +565,19 @@ impl LockedEngine {
 // ---------------------------------------------------------------------------
 
 /// The monitor-touching half of the server, behind one request-in,
-/// response-out surface so `server.rs` stays architecture-agnostic.
-pub(crate) enum Engine {
+/// response-out surface so `server.rs` stays architecture-agnostic. The
+/// engine owns the optional durability policy: when set, every tenant
+/// monitor (the default one included) is wrapped in a
+/// [`DurableMonitor`] before installation, and `OPEN` of a name whose
+/// directory already exists recovers its state from disk.
+pub(crate) struct Engine {
+    /// Which architecture executes requests.
+    pub(crate) kind: EngineKind,
+    durability: Option<Durability>,
+}
+
+/// The two request-execution architectures.
+pub(crate) enum EngineKind {
     /// Shared-nothing: worker-owned monitors, lock-free reads.
     Owned(OwnedEngine),
     /// Global mutex (the measured baseline).
@@ -466,38 +586,73 @@ pub(crate) enum Engine {
 
 impl Engine {
     /// Builds the engine around the server's initial (default-tenant)
-    /// monitor.
+    /// monitor, recovering the default tenant from `durability`'s data
+    /// directory when one is configured. Fails only on a durable-recovery
+    /// error (corrupt directory, I/O failure, non-empty initial monitor).
     pub(crate) fn new(
         monitor: BoxedMonitor,
         mode: crate::server::ServeMode,
         owners: usize,
-    ) -> Self {
-        match mode {
-            crate::server::ServeMode::Owned => Engine::Owned(OwnedEngine::new(monitor, owners)),
-            crate::server::ServeMode::GlobalMutex => Engine::Locked(LockedEngine::new(monitor)),
-        }
+        durability: Option<Durability>,
+    ) -> Result<Self, SitFactError> {
+        let (monitor, last_report) = match &durability {
+            Some(policy) => wrap_durable(monitor, policy, DEFAULT_TENANT)?,
+            None => (monitor, None),
+        };
+        let kind = match mode {
+            crate::server::ServeMode::Owned => {
+                EngineKind::Owned(OwnedEngine::new(monitor, last_report, owners))
+            }
+            crate::server::ServeMode::GlobalMutex => {
+                EngineKind::Locked(LockedEngine::new(monitor, last_report))
+            }
+        };
+        Ok(Engine { kind, durability })
     }
 
     /// Handles `OPEN`: builds a monitor from the spec and installs it under
     /// its name. Duplicate names are a typed `Tenant` error; the existing
-    /// tenant is untouched.
+    /// tenant is untouched. With durability configured, the fresh monitor is
+    /// wrapped in a [`DurableMonitor`] first — if the tenant's directory
+    /// already holds a log (from a previous process, or a `CLOSE`d tenant),
+    /// its state is recovered before the tenant goes live.
     pub(crate) fn open(&self, spec: &TenantSpec) -> Response {
+        if self.durability.is_some() {
+            // Refuse duplicates *before* touching the durable directory, so
+            // an `OPEN` race can never attach a second log writer to a live
+            // tenant's directory. (The registry re-checks under its lock;
+            // the losing racer's wrapper is dropped without ever writing.)
+            let exists = match &self.kind {
+                EngineKind::Owned(engine) => engine.handle_of(&spec.name).is_some(),
+                EngineKind::Locked(engine) => engine.knows(&spec.name).unwrap_or(false),
+            };
+            if exists {
+                return err("Tenant", format!("tenant {:?} already exists", spec.name));
+            }
+        }
         let monitor = match build_monitor(spec) {
             Ok(monitor) => monitor,
             Err(error) => return relay(&error),
         };
-        match self {
-            Engine::Owned(engine) => engine.install(spec.name.clone(), monitor),
-            Engine::Locked(engine) => engine.install(spec.name.clone(), monitor),
+        let (monitor, last_report) = match &self.durability {
+            Some(policy) => match wrap_durable(monitor, policy, &spec.name) {
+                Ok(wrapped) => wrapped,
+                Err(error) => return relay(&error),
+            },
+            None => (monitor, None),
+        };
+        match &self.kind {
+            EngineKind::Owned(engine) => engine.install(spec.name.clone(), monitor, last_report),
+            EngineKind::Locked(engine) => engine.install(spec.name.clone(), monitor, last_report),
         }
     }
 
     /// Handles `USE`: validates that the tenant exists (the connection layer
     /// records the switch). Unknown names are a typed `Tenant` error.
     pub(crate) fn use_tenant(&self, name: &str) -> Response {
-        let known = match self {
-            Engine::Owned(engine) => Some(engine.handle_of(name).is_some()),
-            Engine::Locked(engine) => engine.knows(name),
+        let known = match &self.kind {
+            EngineKind::Owned(engine) => Some(engine.handle_of(name).is_some()),
+            EngineKind::Locked(engine) => engine.knows(name),
         };
         match known {
             None => err("State", POISONED_MSG),
@@ -506,12 +661,22 @@ impl Engine {
         }
     }
 
+    /// Handles `CLOSE`: evicts the named tenant's monitor from memory.
+    /// Unknown names are a typed `Tenant` error. Durable on-disk state is
+    /// untouched — a later `OPEN` of the same name recovers it.
+    pub(crate) fn close(&self, name: &str) -> Response {
+        match &self.kind {
+            EngineKind::Owned(engine) => engine.close(name),
+            EngineKind::Locked(engine) => engine.close(name),
+        }
+    }
+
     /// Executes a monitor-touching request (`STATS` / `TOPK` / `INGEST` /
     /// `INGEST_BATCH`) against the named tenant.
     pub(crate) fn dispatch(&self, tenant: &str, request: Request) -> Response {
-        match self {
-            Engine::Owned(engine) => engine.dispatch(tenant, request),
-            Engine::Locked(engine) => engine.dispatch(tenant, request),
+        match &self.kind {
+            EngineKind::Owned(engine) => engine.dispatch(tenant, request),
+            EngineKind::Locked(engine) => engine.dispatch(tenant, request),
         }
     }
 }
@@ -541,9 +706,19 @@ mod tests {
 
     fn engines() -> Vec<Engine> {
         vec![
-            Engine::new(default_monitor(), ServeMode::Owned, 2),
-            Engine::new(default_monitor(), ServeMode::GlobalMutex, 0),
+            Engine::new(default_monitor(), ServeMode::Owned, 2, None).expect("no durability"),
+            Engine::new(default_monitor(), ServeMode::GlobalMutex, 0, None).expect("no durability"),
         ]
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sitfact-tenant-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -638,8 +813,111 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_on_close_semantics() {
+        for engine in engines() {
+            // Unknown CLOSE is a typed Tenant error.
+            assert!(matches!(
+                engine.close("ghost"),
+                Response::Error { ref kind, .. } if kind == "Tenant"
+            ));
+            // OPEN, ingest, CLOSE: the tenant is gone from every surface.
+            assert_eq!(engine.open(&spec("east")), Response::Ok);
+            assert!(matches!(
+                engine.dispatch("east", Request::Ingest(row("Wes", "BOS", 31.0))),
+                Response::Report(_)
+            ));
+            assert_eq!(engine.close("east"), Response::Ok);
+            assert!(matches!(
+                engine.dispatch("east", Request::Stats),
+                Response::Error { ref kind, .. } if kind == "Tenant"
+            ));
+            assert!(matches!(
+                engine.use_tenant("east"),
+                Response::Error { ref kind, .. } if kind == "Tenant"
+            ));
+            // Double CLOSE is the same typed error.
+            assert!(matches!(
+                engine.close("east"),
+                Response::Error { ref kind, .. } if kind == "Tenant"
+            ));
+            // The name is reusable: a fresh OPEN starts from zero (no
+            // durability configured, so nothing survives the eviction).
+            assert_eq!(engine.open(&spec("east")), Response::Ok);
+            assert!(matches!(
+                engine.dispatch("east", Request::Stats),
+                Response::Stats(ref s) if s.len == 0
+            ));
+        }
+    }
+
+    #[test]
+    fn tenant_dir_names_are_safe_and_injective() {
+        assert_eq!(tenant_dir_name(DEFAULT_TENANT), "_default");
+        assert_eq!(tenant_dir_name("east-2.b"), "t-east-2.b");
+        assert_eq!(tenant_dir_name("../evil"), "t-..%2Fevil");
+        assert_eq!(tenant_dir_name("a/b"), "t-a%2Fb");
+        assert_ne!(tenant_dir_name("a/b"), tenant_dir_name("a%2Fb"));
+        // Percent itself is escaped, so encoded forms cannot collide.
+        assert_eq!(tenant_dir_name("a%2Fb"), "t-a%252Fb");
+    }
+
+    #[test]
+    fn durable_engines_recover_tenants_across_restarts() {
+        for (mode, owners, tag) in [
+            (ServeMode::Owned, 2, "owned"),
+            (ServeMode::GlobalMutex, 0, "locked"),
+        ] {
+            let root = temp_root(tag);
+            let durability = Durability {
+                root: root.clone(),
+                wal: WalOptions::default(),
+            };
+            let pre_kill;
+            {
+                let engine = Engine::new(default_monitor(), mode, owners, Some(durability.clone()))
+                    .expect("fresh data dir");
+                assert_eq!(engine.open(&spec("east")), Response::Ok);
+                for r in [
+                    row("Wes", "BOS", 31.0),
+                    row("Amy", "NYK", 12.0),
+                    row("Wes", "BOS", 7.0),
+                ] {
+                    assert!(matches!(
+                        engine.dispatch("east", Request::Ingest(r)),
+                        Response::Report(_)
+                    ));
+                }
+                pre_kill = (
+                    engine.dispatch("east", Request::TopK(8)).encode(),
+                    engine.dispatch("east", Request::Stats).encode(),
+                );
+                // Crash: the engine is dropped without any orderly handoff
+                // (per-append sync makes the log already durable).
+            }
+            let engine = Engine::new(default_monitor(), mode, owners, Some(durability))
+                .expect("recover data dir");
+            // Re-OPEN with the same spec recovers the tenant's state.
+            assert_eq!(engine.open(&spec("east")), Response::Ok);
+            assert_eq!(
+                engine.dispatch("east", Request::TopK(8)).encode(),
+                pre_kill.0
+            );
+            assert_eq!(engine.dispatch("east", Request::Stats).encode(), pre_kill.1);
+            // CLOSE then re-OPEN also round-trips through disk.
+            assert_eq!(engine.close("east"), Response::Ok);
+            assert_eq!(engine.open(&spec("east")), Response::Ok);
+            assert_eq!(
+                engine.dispatch("east", Request::TopK(8)).encode(),
+                pre_kill.0
+            );
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
     fn owned_ingest_errors_keep_the_window_all_or_nothing() {
-        let engine = Engine::new(default_monitor(), ServeMode::Owned, 3);
+        let engine =
+            Engine::new(default_monitor(), ServeMode::Owned, 3, None).expect("no durability");
         let bad = Request::IngestBatch(vec![
             row("Wes", "BOS", 31.0),
             RawRow::new(&["only-one-dim"], &[1.0]),

@@ -9,7 +9,7 @@ use sitfact_core::{Direction, Schema, SchemaBuilder};
 use sitfact_prominence::{
     ArrivalReport, FactMonitor, MonitorConfig, ShardedMonitor, StreamMonitor,
 };
-use sitfact_serve::{Client, FactServer, RawRow, ServeError, ServeMode, ServerOptions, TenantSpec};
+use sitfact_serve::{Client, FactServer, RawRow, ServeError, ServeMode, TenantSpec};
 use std::net::SocketAddr;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -274,15 +274,10 @@ fn tenants_are_isolated_and_byte_identical_to_their_references() {
             STopDown::new(&schema, config.discovery),
             config,
         ));
-        let server = FactServer::bind_with_options(
-            "127.0.0.1:0",
-            monitor,
-            ServerOptions {
-                mode,
-                ..ServerOptions::default()
-            },
-        )
-        .expect("bind");
+        let server = FactServer::builder()
+            .with_mode(mode)
+            .bind("127.0.0.1:0", monitor)
+            .expect("bind");
         let addr = server.local_addr();
         let join = std::thread::spawn(move || server.run().expect("server exits cleanly"));
 
@@ -436,16 +431,11 @@ fn stalled_peer_is_dropped_and_does_not_pin_the_worker() {
         STopDown::new(&schema, config.discovery),
         config,
     ));
-    let server = FactServer::bind_with_options(
-        "127.0.0.1:0",
-        monitor,
-        ServerOptions {
-            workers: 1,
-            read_timeout: Some(Duration::from_millis(200)),
-            ..ServerOptions::default()
-        },
-    )
-    .expect("bind");
+    let server = FactServer::builder()
+        .with_workers(1)
+        .with_read_timeout(Some(Duration::from_millis(200)))
+        .bind("127.0.0.1:0", monitor)
+        .expect("bind");
     let addr = server.local_addr();
     let join = std::thread::spawn(move || server.run().expect("server exits cleanly"));
 
@@ -530,6 +520,219 @@ fn snapshot_reads_are_prefix_consistent_under_concurrent_ingest() {
     let mut client = Client::connect(addr).expect("connect");
     client.shutdown().expect("shutdown");
     join.join().expect("server thread");
+}
+
+fn temp_data_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sitfact-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn default_monitor() -> Box<dyn StreamMonitor + Send> {
+    let schema = schema();
+    let config = config();
+    Box::new(FactMonitor::new(
+        schema.clone(),
+        STopDown::new(&schema, config.discovery),
+        config,
+    ))
+}
+
+fn spawn_durable_server(
+    data_dir: &std::path::Path,
+    mode: ServeMode,
+) -> (SocketAddr, JoinHandle<()>) {
+    let server = FactServer::builder()
+        .with_mode(mode)
+        .with_data_dir(data_dir)
+        .bind("127.0.0.1:0", default_monitor())
+        .expect("bind durable server");
+    let addr = server.local_addr();
+    let join = std::thread::spawn(move || server.run().expect("server exits cleanly"));
+    (addr, join)
+}
+
+fn ingest_windows(client: &mut Client, rows: &[(Vec<String>, Vec<f64>)]) -> Vec<ArrivalReport> {
+    let mut reports = Vec::with_capacity(rows.len());
+    for window in rows.chunks(5) {
+        let window: Vec<RawRow> = window
+            .iter()
+            .map(|(dims, measures)| {
+                let dims: Vec<&str> = dims.iter().map(String::as_str).collect();
+                RawRow::new(&dims, measures)
+            })
+            .collect();
+        reports.extend(client.ingest_batch(window).expect("ingest_batch"));
+    }
+    reports
+}
+
+#[test]
+fn wal_stats_are_zero_without_a_data_dir() {
+    let (addr, join) = spawn_server(default_monitor());
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .ingest(&["P0", "T0", "M0"], &[5.0, 3.0])
+        .expect("ingest");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.wal_segments, 0);
+    assert_eq!(stats.wal_bytes, 0);
+    assert_eq!(stats.wal_synced, 0);
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
+fn killed_server_recovers_byte_identical_state_from_its_data_dir() {
+    // The acceptance test of the durability layer, over real sockets: a
+    // server ingests with a data dir, dies without any orderly state
+    // handoff (per-append fsync means the log already holds everything
+    // acknowledged), and a new process bound to the same directory must
+    // answer STATS and TOPK byte-identically — then continue the stream
+    // exactly like a monitor that never crashed.
+    for mode in [ServeMode::Owned, ServeMode::GlobalMutex] {
+        let tag = match mode {
+            ServeMode::Owned => "recover-owned",
+            ServeMode::GlobalMutex => "recover-locked",
+        };
+        let data_dir = temp_data_dir(tag);
+        let rows = raw_stream(60, 42);
+
+        // First life: ingest the first half, record what a client saw last.
+        let (addr, join) = spawn_durable_server(&data_dir, mode);
+        let mut client = Client::connect(addr).expect("connect");
+        let first_half = ingest_windows(&mut client, &rows[..30]);
+        let pre_kill_top = client.top_k(1 << 20).expect("topk pre-kill");
+        let pre_kill_stats = client.stats().expect("stats pre-kill");
+        assert_eq!(pre_kill_stats.wal_synced, 30, "every row is synced");
+        assert!(pre_kill_stats.wal_bytes > 0);
+        assert!(pre_kill_stats.wal_segments >= 1);
+        client.shutdown().expect("shutdown");
+        join.join().expect("server thread");
+        drop(client);
+
+        // Second life: same directory, fresh process, fresh monitor.
+        let (addr, join) = spawn_durable_server(&data_dir, mode);
+        let mut client = Client::connect(addr).expect("reconnect");
+        assert_eq!(
+            client.top_k(1 << 20).expect("topk post-recovery"),
+            pre_kill_top,
+            "recovered TOPK must be byte-identical"
+        );
+        assert_eq!(
+            client.stats().expect("stats post-recovery"),
+            pre_kill_stats,
+            "recovered STATS (WAL counters included) must be byte-identical"
+        );
+
+        // The recovered monitor continues the stream exactly like one that
+        // never crashed: compare the full transcript with an in-process
+        // reference fed the same windows without interruption.
+        let second_half = ingest_windows(&mut client, &rows[30..]);
+        client.shutdown().expect("shutdown");
+        join.join().expect("server thread");
+
+        let schema = schema();
+        let config = config();
+        let mut reference = FactMonitor::new(
+            schema.clone(),
+            STopDown::new(&schema, config.discovery),
+            config,
+        );
+        let expected = reports_in_process_windows(&mut reference, &rows);
+        assert_eq!(
+            first_half
+                .iter()
+                .chain(&second_half)
+                .cloned()
+                .collect::<Vec<_>>(),
+            expected,
+            "crash + recovery must not perturb a single report"
+        );
+        let _ = std::fs::remove_dir_all(&data_dir);
+    }
+}
+
+/// Like [`reports_in_process`], but windows of 5 to match
+/// [`ingest_windows`].
+fn reports_in_process_windows(
+    monitor: &mut dyn StreamMonitor,
+    rows: &[(Vec<String>, Vec<f64>)],
+) -> Vec<ArrivalReport> {
+    let mut reports = Vec::with_capacity(rows.len());
+    for window in rows.chunks(5) {
+        let window: Vec<_> = window
+            .iter()
+            .map(|(dims, measures)| {
+                let dims: Vec<&str> = dims.iter().map(String::as_str).collect();
+                monitor.encode_raw(&dims, measures.clone()).unwrap()
+            })
+            .collect();
+        reports.extend(monitor.ingest_batch(window).unwrap());
+    }
+    reports
+}
+
+#[test]
+fn close_evicts_a_tenant_and_durable_state_survives_it() {
+    let data_dir = temp_data_dir("close");
+    let (addr, join) = spawn_durable_server(&data_dir, ServeMode::Owned);
+    let mut client = Client::connect(addr).expect("connect");
+
+    // CLOSE of a never-opened tenant is a typed error.
+    match client.close("ghost").unwrap_err() {
+        ServeError::Remote { kind, message } => {
+            assert_eq!(kind, "Tenant");
+            assert!(message.contains("ghost"), "{message}");
+        }
+        other => panic!("expected a Tenant error, got {other}"),
+    }
+
+    let spec = TenantSpec::new(
+        "east",
+        &["player", "team"],
+        &[("points", Direction::HigherIsBetter)],
+        1.0,
+    );
+    client.open(&spec).expect("open");
+    client.use_tenant("east").expect("use");
+    let report = client.ingest(&["Wes", "BOS"], &[31.0]).expect("ingest");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.len, 1);
+    assert_eq!(stats.wal_synced, 1, "tenant WALs are per-tenant");
+
+    client.close("east").expect("close");
+    // The session still points at the evicted tenant: dispatch now yields
+    // the same typed error an unknown tenant would.
+    match client.stats().unwrap_err() {
+        ServeError::Remote { kind, .. } => assert_eq!(kind, "Tenant"),
+        other => panic!("expected a Tenant error, got {other}"),
+    }
+    match client.use_tenant("east").unwrap_err() {
+        ServeError::Remote { kind, .. } => assert_eq!(kind, "Tenant"),
+        other => panic!("expected a Tenant error, got {other}"),
+    }
+
+    // Re-OPEN recovers the tenant from its directory: the eviction freed
+    // memory, not history.
+    client.open(&spec).expect("re-open recovers");
+    client.use_tenant("east").expect("use again");
+    let stats = client.stats().expect("stats after recovery");
+    assert_eq!(stats.len, 1);
+    assert_eq!(stats.wal_synced, 1);
+    assert_eq!(
+        client.top_k(1 << 20).expect("topk after recovery"),
+        report,
+        "the recovered tenant's last report survives CLOSE"
+    );
+
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&data_dir);
 }
 
 #[test]

@@ -15,7 +15,10 @@
 //! * [`KdTree`] — the k-d tree used by the `BaselineIdx` algorithm for
 //!   one-sided ("who dominates me") range queries over the measure space;
 //! * [`WorkStats`] / [`StoreStats`] — the counters behind the paper's
-//!   work/memory experiments (Figs. 10–11).
+//!   work/memory experiments (Figs. 10–11);
+//! * [`wal`] — the write-ahead arrival log and the snapshot state codecs
+//!   behind the durability layer (checksummed frames, segmented log files,
+//!   torn-tail truncation, native table/store serialization).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod postings;
 pub mod stats;
 pub mod store;
 pub mod table;
+pub mod wal;
 
 pub use context::ContextCounter;
 pub use file_store::FileSkylineStore;
@@ -35,5 +39,6 @@ pub use kdtree::KdTree;
 pub use memory_store::MemorySkylineStore;
 pub use postings::{CompressedPostings, PostingsCursor};
 pub use stats::{StoreStats, WorkStats};
-pub use store::{SkylineStore, StoredEntry};
+pub use store::{SkylineStore, StoreCell, StoredEntry};
 pub use table::{PostingIndexStats, Table};
+pub use wal::{ArrivalLog, LoggedRow, ScannedLog, SyncPolicy, WalStats, WindowRecord};

@@ -2,7 +2,7 @@
 //! copy-on-write vector of entries.
 
 use crate::stats::StoreStats;
-use crate::store::{SkylineStore, StoredEntry};
+use crate::store::{SkylineStore, StoreCell, StoredEntry};
 use sitfact_core::{Constraint, FxHashMap, SubspaceMask, TupleId};
 use std::sync::Arc;
 
@@ -287,6 +287,33 @@ impl SkylineStore for MemorySkylineStore {
         self.cells.clear();
         self.stored_entries = 0;
         self.non_empty_cells = 0;
+    }
+
+    fn dump_cells(&self) -> Option<Vec<StoreCell>> {
+        Some(
+            self.iter_cells()
+                .map(|(constraint, subspace, entries)| StoreCell {
+                    constraint: constraint.values().to_vec(),
+                    subspace: subspace.0,
+                    entries: entries
+                        .iter()
+                        .map(|e| (e.id, e.measures.to_vec()))
+                        .collect(),
+                })
+                .collect(),
+        )
+    }
+
+    fn load_cells(&mut self, cells: Vec<StoreCell>) -> sitfact_core::Result<()> {
+        self.clear();
+        for cell in cells {
+            let constraint = Constraint::from_values(cell.constraint);
+            let subspace = SubspaceMask(cell.subspace);
+            for (id, measures) in cell.entries {
+                self.insert(&constraint, subspace, StoredEntry::new(id, &measures));
+            }
+        }
+        Ok(())
     }
 }
 

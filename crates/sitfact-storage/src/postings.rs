@@ -264,6 +264,114 @@ impl CompressedPostings {
         PostingsCursor::new(self)
     }
 
+    /// Serializes the list's *native* representation — arena words, skip
+    /// entries, length and tail split — for the snapshot codec in
+    /// [`crate::wal`]. Serializing the representation rather than the ids
+    /// matters: the sealed/tail split depends on when
+    /// [`CompressedPostings::compact`] ran, so re-pushing the ids would not
+    /// reproduce the pre-snapshot posting statistics.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        crate::wal::put_u32(out, self.len);
+        crate::wal::put_u32(out, self.tail_start);
+        crate::wal::put_u32(out, self.blocks.len() as u32);
+        for meta in &self.blocks {
+            // Copy the packed fields out before taking references.
+            let (max, offset) = (meta.max, meta.offset);
+            crate::wal::put_u32(out, max);
+            crate::wal::put_u32(out, offset);
+            out.push(meta.width);
+            out.push(meta.count);
+        }
+        crate::wal::put_u32(out, self.data.len() as u32);
+        for &word in &self.data {
+            crate::wal::put_u32(out, word);
+        }
+    }
+
+    /// Decodes a list serialized by [`CompressedPostings::encode_state`],
+    /// re-checking the structural invariants (block tiling, counts, widths,
+    /// ascending maxima, tail consistency) so a corrupted snapshot becomes a
+    /// typed error instead of a later panic or a silently broken index.
+    pub(crate) fn decode_state(cur: &mut crate::wal::ByteCursor<'_>) -> sitfact_core::Result<Self> {
+        use sitfact_core::SitFactError;
+        let corrupt = |detail: String| SitFactError::Parse(format!("posting snapshot: {detail}"));
+        let len = cur.get_u32()?;
+        let tail_start = cur.get_u32()?;
+        let nblocks = cur.get_count(10, "posting block")?;
+        let mut blocks = Vec::with_capacity(nblocks);
+        let mut expected_offset = 0u32;
+        let mut sealed_ids = 0usize;
+        let mut prev_max: Option<TupleId> = None;
+        for index in 0..nblocks {
+            let max = cur.get_u32()?;
+            let offset = cur.get_u32()?;
+            let width = cur.get_u8()?;
+            let count = cur.get_u8()?;
+            if count == 0 || count as usize > BLOCK {
+                return Err(corrupt(format!("block {index} claims {count} ids")));
+            }
+            if width > 32 {
+                return Err(corrupt(format!("block {index} claims width {width}")));
+            }
+            if offset != expected_offset {
+                return Err(corrupt(format!(
+                    "block {index} starts at word {offset}, want {expected_offset}"
+                )));
+            }
+            if prev_max.is_some_and(|p| p >= max) {
+                return Err(corrupt(format!(
+                    "block {index} max {max} does not ascend past {prev_max:?}"
+                )));
+            }
+            prev_max = Some(max);
+            expected_offset += words_for(width as usize, count as usize) as u32;
+            sealed_ids += count as usize;
+            blocks.push(BlockMeta {
+                max,
+                offset,
+                width,
+                count,
+            });
+        }
+        if tail_start != expected_offset {
+            return Err(corrupt(format!(
+                "tail starts at word {tail_start}, want {expected_offset}"
+            )));
+        }
+        let nwords = cur.get_count(4, "posting arena word")?;
+        if (tail_start as usize) > nwords {
+            return Err(corrupt(format!(
+                "tail start {tail_start} beyond the {nwords}-word arena"
+            )));
+        }
+        let mut data = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            data.push(cur.get_u32()?);
+        }
+        // The raw tail chains past the last sealed block, strictly ascending.
+        let mut prev = prev_max;
+        for (k, &id) in data[tail_start as usize..].iter().enumerate() {
+            if prev.is_some_and(|p| p >= id) {
+                return Err(corrupt(format!(
+                    "tail position {k}: id {id} after {prev:?}"
+                )));
+            }
+            prev = Some(id);
+        }
+        let tail_len = nwords - tail_start as usize;
+        if len as usize != sealed_ids + tail_len {
+            return Err(corrupt(format!(
+                "len {len} != sealed {sealed_ids} + tail {tail_len}"
+            )));
+        }
+        Ok(CompressedPostings {
+            data,
+            blocks,
+            len,
+            tail_start,
+        })
+    }
+
     /// Decodes the sealed block at `index` into `out`; returns its id count.
     /// (The cursor decodes incrementally instead; this one-shot variant backs
     /// the deep audit's roundtrip check.)

@@ -9,7 +9,7 @@
 //! paper's Section VI-C, so the same algorithm code runs over both.
 
 use crate::stats::StoreStats;
-use sitfact_core::{Constraint, SubspaceMask, TupleId};
+use sitfact_core::{Constraint, DimValueId, Result, SitFactError, SubspaceMask, TupleId};
 use std::sync::Arc;
 
 /// One stored skyline tuple: its id plus a copy of its measure values.
@@ -37,6 +37,22 @@ impl StoredEntry {
             measures: measures.into(),
         }
     }
+}
+
+/// One dumped cell of a [`SkylineStore`] in plain-data form: the constraint's
+/// raw value ids, the subspace bits and the entries (id plus measures), as
+/// produced by [`SkylineStore::dump_cells`] and consumed by
+/// [`SkylineStore::load_cells`]. This is the serialization surface of the
+/// durability layer — see `crate::wal::encode_cells`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreCell {
+    /// The cell's constraint as raw dimension value ids
+    /// ([`Constraint::values`]; `UNBOUND` marks free dimensions).
+    pub constraint: Vec<DimValueId>,
+    /// The cell's measure subspace bits ([`SubspaceMask`]`::0`).
+    pub subspace: u32,
+    /// The stored entries, in the cell's insertion order.
+    pub entries: Vec<(TupleId, Vec<f64>)>,
 }
 
 /// Cell-level access to the skyline tuples stored per `(C, M)` pair.
@@ -70,6 +86,21 @@ pub trait SkylineStore {
     /// Persists any buffered state (a no-op for purely in-memory backends;
     /// the file-backed store writes back its dirty cell buffer).
     fn flush(&mut self) {}
+
+    /// Dumps every cell in plain-data form for a durability snapshot, or
+    /// `None` when this backend does not support state export (the default —
+    /// callers then fall back to full-log replay).
+    fn dump_cells(&self) -> Option<Vec<StoreCell>> {
+        None
+    }
+
+    /// Replaces this store's contents with previously dumped cells. The
+    /// default refuses, matching the default [`SkylineStore::dump_cells`].
+    fn load_cells(&mut self, _cells: Vec<StoreCell>) -> Result<()> {
+        Err(SitFactError::InvalidConfig(
+            "this skyline store does not support state import".to_string(),
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,9 @@ use std::ops::Range;
 
 /// Posting lists of one dimension attribute: every value id observed in that
 /// column maps to the compressed ascending ids of the tuples carrying it.
-type PostingMap = FxHashMap<DimValueId, CompressedPostings>;
+/// Crate-visible so the snapshot codec in [`crate::wal`] can serialize the
+/// index natively.
+pub(crate) type PostingMap = FxHashMap<DimValueId, CompressedPostings>;
 
 /// Cap on the per-column distinct-value hint derived from a row-capacity
 /// hint: dictionary-encoded columns typically hold far fewer distinct values
@@ -492,6 +494,71 @@ impl Table {
         let posting_entries =
             distinct_values * (size_of::<DimValueId>() + size_of::<CompressedPostings>());
         columns + posting_lists + posting_entries + self.schema.approx_heap_bytes()
+    }
+
+    /// Crate-internal view of the table's primary state — schema, length,
+    /// flat columns and posting maps — for the snapshot codec in
+    /// [`crate::wal`].
+    pub(crate) fn state_parts(&self) -> (&Schema, usize, &[DimValueId], &[f64], &[PostingMap]) {
+        (
+            &self.schema,
+            self.len,
+            &self.dims,
+            &self.measures,
+            &self.postings,
+        )
+    }
+
+    /// Crate-internal inverse of [`Table::state_parts`], rebuilding a table
+    /// from decoded snapshot state. Re-checks the cheap cross-structure
+    /// invariants (column strides, posting arity and per-attribute id
+    /// coverage) so a corrupted snapshot surfaces as a typed error; the
+    /// per-list structure was already validated during posting decode.
+    pub(crate) fn from_state_parts(
+        schema: Schema,
+        len: usize,
+        dims: Vec<DimValueId>,
+        measures: Vec<f64>,
+        postings: Vec<PostingMap>,
+    ) -> Result<Table> {
+        let n_dims = schema.num_dimensions();
+        let n_measures = schema.num_measures();
+        let corrupt = |detail: String| SitFactError::Parse(format!("table snapshot: {detail}"));
+        if dims.len() != len * n_dims {
+            return Err(corrupt(format!(
+                "dims column holds {} ids, want {len} × {n_dims}",
+                dims.len()
+            )));
+        }
+        if measures.len() != len * n_measures {
+            return Err(corrupt(format!(
+                "measures column holds {} values, want {len} × {n_measures}",
+                measures.len()
+            )));
+        }
+        if postings.len() != n_dims {
+            return Err(corrupt(format!(
+                "{} posting maps for {n_dims} dimension attributes",
+                postings.len()
+            )));
+        }
+        for (attr, map) in postings.iter().enumerate() {
+            let total: usize = map.values().map(CompressedPostings::len).sum();
+            if total != len {
+                return Err(corrupt(format!(
+                    "attr {attr}: posting lists hold {total} ids in total, want {len}"
+                )));
+            }
+        }
+        Ok(Table {
+            schema,
+            n_dims,
+            n_measures,
+            len,
+            dims,
+            measures,
+            postings,
+        })
     }
 
     /// Validation helper: returns an error when `id` does not exist.

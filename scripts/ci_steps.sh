@@ -19,7 +19,7 @@ CARGO=${CARGO:-cargo}
 
 # Ordered step registry. Adding a step here without wiring it into ci.yml
 # (or vice versa) fails `parity`.
-CI_STEPS=(fmt clippy build test check-targets doc analyze quickstart fig-ingest-smoke fig-shard-smoke fig-postings-smoke fig-serve-smoke serve-smoke)
+CI_STEPS=(fmt clippy build test check-targets doc analyze quickstart fig-ingest-smoke fig-shard-smoke fig-postings-smoke fig-serve-smoke fig-wal-smoke serve-smoke wal-smoke)
 
 run_step() {
   echo "==> $1"
@@ -69,6 +69,12 @@ run_step() {
       $CARGO run --release -p sitfact-bench --bin fig_serve -- \
         --n 60 --batch 10 --clients-max 2 --reads 40 --reps 1 \
         --out /tmp/BENCH_serve_smoke.json ;;
+    fig-wal-smoke)
+      # Small n; the binary asserts every recovered monitor is byte-identical
+      # to an uninterrupted reference before timing anything, so this doubles
+      # as a WAL recovery-fidelity test (log-only and snapshot-bounded).
+      $CARGO run --release -p sitfact-bench --bin fig_wal -- \
+        --n 400 --batch 16 --reps 1 --out /tmp/BENCH_wal_smoke.json ;;
     serve-smoke)
       # Round-trip the TCP service front-end: start a sharded server on an
       # ephemeral port (it writes the bound address to a file), stream rows
@@ -99,6 +105,46 @@ run_step() {
         kill "$server_pid" 2>/dev/null || true
         wait "$server_pid" 2>/dev/null || true
         echo "serve-smoke: client round trip failed" >&2
+        return 1
+      fi
+      wait "$server_pid" ;;
+    wal-smoke)
+      # Kill-and-recover round trip for the durable server: ingest over the
+      # wire into a --data-dir server, fingerprint its TOPK + STATS, SIGKILL
+      # it (no clean shutdown — the WAL is the only survivor), restart it on
+      # the same directory, and assert the recovered state matches the
+      # fingerprint byte for byte before shutting down cleanly.
+      $CARGO build --release -p sitfact-serve
+      local data_dir=/tmp/sitfact_wal_smoke_data
+      local port_file=/tmp/sitfact_wal_smoke_port
+      local state_file=/tmp/sitfact_wal_smoke_state
+      rm -rf "$data_dir"
+      rm -f "$port_file" "$state_file"
+      target/release/sitfact_serve \
+        --addr 127.0.0.1:0 --port-file "$port_file" --tau 50 \
+        --data-dir "$data_dir" &
+      local server_pid=$!
+      if ! target/release/sitfact_client \
+        --port-file "$port_file" --n 40 --batch 8 --seed 11 \
+        --assert-facts --state-out "$state_file"; then
+        kill -9 "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+        echo "wal-smoke: pre-kill client round trip failed" >&2
+        return 1
+      fi
+      kill -9 "$server_pid"
+      wait "$server_pid" 2>/dev/null || true
+      rm -f "$port_file"
+      target/release/sitfact_serve \
+        --addr 127.0.0.1:0 --port-file "$port_file" --tau 50 \
+        --data-dir "$data_dir" &
+      server_pid=$!
+      if ! target/release/sitfact_client \
+        --port-file "$port_file" --n 0 --state-expect "$state_file" \
+        --shutdown; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+        echo "wal-smoke: recovered server state drifted from pre-kill" >&2
         return 1
       fi
       wait "$server_pid" ;;

@@ -13,9 +13,12 @@
 //! * [`algos`] — the discovery algorithms (`BottomUp`, `TopDown`, shared and
 //!   file-backed variants, plus the paper's baselines);
 //! * [`prominence`] — prominence ranking, thresholds and narration, unified
-//!   behind the [`StreamMonitor`](prominence::StreamMonitor) trait;
+//!   behind the [`StreamMonitor`](prominence::StreamMonitor) trait, plus
+//!   [`DurableMonitor`](prominence::DurableMonitor), which write-ahead-logs
+//!   any monitor's arrivals for snapshot-bounded crash recovery;
 //! * [`serve`] — the framed-TCP, multi-tenant service front-end (server +
-//!   client) over any `Box<dyn StreamMonitor>`;
+//!   client) over any `Box<dyn StreamMonitor>`, durable when bound with a
+//!   data directory;
 //! * [`datagen`] — synthetic NBA / weather / stock workloads and CSV IO.
 //!
 //! ## Quickstart
@@ -94,14 +97,15 @@ pub mod prelude {
     };
     pub use sitfact_datagen::{DataGenerator, Row};
     pub use sitfact_prominence::{
-        narrate, ArrivalReport, DistributionStats, FactMonitor, MonitorConfig, RankedFact,
-        ShardedMonitor, StreamMonitor,
+        narrate, replay_log, ArrivalReport, DistributionStats, DurableMonitor, FactMonitor,
+        MonitorConfig, RankedFact, RecoveryReport, ReplayOutcome, ShardedMonitor, StreamMonitor,
+        WalOptions,
     };
     pub use sitfact_serve::{
         Client, FactServer, RawRow, ServeError, ServeMode, ServerHandle, ServerOptions, TenantSpec,
     };
     pub use sitfact_storage::{
         ContextCounter, FileSkylineStore, KdTree, MemorySkylineStore, SkylineStore, StoreStats,
-        Table, WorkStats,
+        SyncPolicy, Table, WalStats, WorkStats,
     };
 }
