@@ -18,6 +18,10 @@ pub struct BaselineIdx {
     params: AlgoParams,
     tree: KdTree,
     stats: WorkStats,
+    /// Number of arrivals processed so far — the id the next arrival must
+    /// carry. Monotone even under retraction (expired tuples leave the tree
+    /// but were still processed), unlike `tree.len()`.
+    processed: TupleId,
 }
 
 impl BaselineIdx {
@@ -29,6 +33,7 @@ impl BaselineIdx {
             params,
             tree,
             stats: WorkStats::default(),
+            processed: 0,
         }
     }
 
@@ -44,13 +49,12 @@ impl Discovery for BaselineIdx {
     }
 
     fn discover_at(&mut self, table: &Table, t: &Tuple, t_id: TupleId) -> Vec<SkylinePair> {
-        // The tree holds exactly the arrivals processed so far, which is what
-        // keeps this correct under the batched protocol: even if the table
-        // was already extended past `t_id`, the range query can only return
-        // ids the tree has seen — the tuple's true history.
+        // The tree holds exactly the live arrivals processed so far, which is
+        // what keeps this correct under the batched protocol: even if the
+        // table was already extended past `t_id`, the range query can only
+        // return ids the tree has seen — the tuple's true history.
         debug_assert_eq!(
-            self.tree.len(),
-            t_id as usize,
+            self.processed, t_id,
             "BaselineIdx must see every tuple exactly once"
         );
         let cache = ConstraintCache::new(t, self.params.n_dims);
@@ -87,7 +91,21 @@ impl Discovery for BaselineIdx {
         // The new tuple becomes part of the index for future arrivals.
         self.tree.insert(t_id, t);
         self.stats.store_writes += 1;
+        self.processed = t_id + 1;
         out
+    }
+
+    fn retract(&mut self, table: &Table, t_id: TupleId) -> sitfact_core::Result<()> {
+        // The expired row is tombstoned but still physically present, so its
+        // measures can steer the tree descent.
+        if self.tree.remove(t_id, table.tuple(t_id)) {
+            self.stats.store_writes += 1;
+            Ok(())
+        } else {
+            Err(sitfact_core::SitFactError::InvalidTuple(format!(
+                "BaselineIdx asked to retract tuple {t_id}, which its index never saw"
+            )))
+        }
     }
 
     fn work_stats(&self) -> WorkStats {
@@ -155,6 +173,57 @@ mod tests {
             table.append(t).unwrap();
         }
         assert_eq!(subject.indexed_tuples(), 60);
+    }
+
+    /// After a prefix retraction, the tree answers from survivors only and
+    /// the stateless oracle (whose table scans are live-only) still agrees.
+    #[test]
+    fn retraction_keeps_agreement_with_brute_force() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(17);
+        let schema = schema();
+        let config = DiscoveryConfig::unrestricted();
+        let random_tuple = |rng: &mut StdRng| {
+            let dims = vec![
+                rng.gen_range(0..3u32),
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..3u32),
+            ];
+            let measures = vec![
+                rng.gen_range(0..6) as f64,
+                rng.gen_range(0..6) as f64,
+                rng.gen_range(0..6) as f64,
+            ];
+            Tuple::new(dims, measures)
+        };
+        let mut table = Table::new(schema.clone());
+        let mut subject = BaselineIdx::new(&schema, config);
+        let mut reference = BruteForce::new(&schema, config);
+        for _ in 0..40 {
+            let t = random_tuple(&mut rng);
+            let _ = subject.discover(&table, &t);
+            let _ = reference.discover(&table, &t);
+            table.append(t).unwrap();
+        }
+        table.retract_prefix(15);
+        for id in 0..15u32 {
+            subject.retract(&table, id).unwrap();
+            reference.retract(&table, id).unwrap();
+        }
+        // Double retraction is an error, not a panic: the tombstoned row is
+        // still physically readable, but the tree no longer holds its id.
+        assert!(subject.retract(&table, 5).is_err());
+        table.compact_retracted();
+        assert_eq!(subject.indexed_tuples(), 25);
+        for _ in 0..15 {
+            let t = random_tuple(&mut rng);
+            let mut expected = reference.discover(&table, &t);
+            let mut actual = subject.discover(&table, &t);
+            canonical_sort(&mut expected);
+            canonical_sort(&mut actual);
+            assert_eq!(expected, actual, "diverged at tuple {}", table.len());
+            table.append(t).unwrap();
+        }
     }
 
     #[test]

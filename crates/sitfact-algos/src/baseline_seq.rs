@@ -75,6 +75,12 @@ impl Discovery for BaselineSeq {
     fn store_stats(&self) -> StoreStats {
         StoreStats::default()
     }
+
+    fn retract(&mut self, _table: &Table, _t_id: TupleId) -> sitfact_core::Result<()> {
+        // Stateless: the per-arrival scan reads the table's live iterators,
+        // which already exclude retracted rows.
+        Ok(())
+    }
 }
 
 #[cfg(test)]

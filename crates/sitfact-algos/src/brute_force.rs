@@ -69,6 +69,13 @@ impl Discovery for BruteForce {
     fn store_stats(&self) -> StoreStats {
         StoreStats::default()
     }
+
+    fn retract(&mut self, _table: &Table, _t_id: TupleId) -> sitfact_core::Result<()> {
+        // Stateless: every discovery re-derives its answer from the table,
+        // whose iterators already skip retracted rows — oracle-exact under a
+        // sliding window with no repair work at all.
+        Ok(())
+    }
 }
 
 #[cfg(test)]

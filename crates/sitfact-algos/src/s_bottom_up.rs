@@ -244,6 +244,52 @@ impl<S: SkylineStore> Discovery for SBottomUp<S> {
             crate::common::skyline_cardinality_recompute(table, constraint, subspace, limit)
         }
     }
+
+    fn retract(&mut self, table: &Table, t_id: TupleId) -> sitfact_core::Result<()> {
+        // Invariant-1 repair. Only cells of the expired tuple's own
+        // constraint family `C^t` can reference it, and within those only the
+        // cells whose skyline it actually joined need work: removing a
+        // non-skyline tuple leaves a complete skyline complete. When the
+        // expired tuple does leave a skyline, the region it dominated is
+        // re-promoted by recomputing the cell from its *live* context (the
+        // table's iterators already skip tombstoned rows), which also drops
+        // the cell entirely when its context emptied — exactly the store an
+        // algorithm fed only the surviving suffix would hold.
+        let expired = table.tuple(t_id);
+        let directions = self.params.directions.clone();
+        let mut maintained = self.params.proper_subspaces.clone();
+        maintained.push(self.params.full_space);
+        for mask in self.params.lattice.enumerate_top_down() {
+            let constraint = Constraint::from_tuple_mask(expired, mask);
+            for &subspace in &maintained {
+                self.stats.store_reads += 1;
+                if !self.store.remove(&constraint, subspace, t_id) {
+                    continue;
+                }
+                self.stats.store_writes += 1;
+                let skyline = sitfact_core::dominance::skyline_of(
+                    table.context(&constraint),
+                    subspace,
+                    &directions,
+                );
+                for (id, survivor) in skyline {
+                    self.stats.comparisons += 1;
+                    if !self.store.contains(&constraint, subspace, id) {
+                        self.store.insert(
+                            &constraint,
+                            subspace,
+                            StoredEntry::new(id, survivor.measures()),
+                        );
+                        self.stats.store_writes += 1;
+                    }
+                }
+            }
+        }
+        if !self.in_batch {
+            self.store.flush();
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +299,7 @@ mod tests {
     use sitfact_core::dominance;
     use sitfact_core::pair::canonical_sort;
     use sitfact_core::{Direction, SchemaBuilder};
+    use sitfact_storage::StoreCell;
 
     fn schema(m: usize) -> Schema {
         let mut b = SchemaBuilder::new("s")
@@ -376,5 +423,71 @@ mod tests {
         let algo = SBottomUp::new(&schema, DiscoveryConfig::unrestricted());
         assert_eq!(algo.name(), "SBottomUp");
         assert_eq!(algo.store_stats(), StoreStats::default());
+    }
+
+    /// Invariant-1 repair: after expiring a prefix, the store (and all
+    /// subsequent discoveries) must be indistinguishable from an algorithm
+    /// that only ever processed the surviving suffix under the same ids.
+    #[test]
+    fn retraction_matches_rebuild_from_suffix() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(331);
+        let schema = schema(2);
+        let config = DiscoveryConfig::unrestricted();
+        let random_tuple = |rng: &mut StdRng| {
+            let dims = vec![
+                rng.gen_range(0..3u32),
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..3u32),
+            ];
+            let measures = (0..2).map(|_| rng.gen_range(0..5) as f64).collect();
+            Tuple::new(dims, measures)
+        };
+        let mut table = Table::new(schema.clone());
+        let mut algo = SBottomUp::new(&schema, config);
+        let mut tuples = Vec::new();
+        for _ in 0..60 {
+            let t = random_tuple(&mut rng);
+            let _ = algo.discover(&table, &t);
+            table.append(t.clone()).unwrap();
+            tuples.push(t);
+        }
+        // Expire the first 25 arrivals: tombstone, repair, compact.
+        assert_eq!(table.retract_prefix(25), 25);
+        for id in 0..25u32 {
+            algo.retract(&table, id).unwrap();
+        }
+        table.compact_retracted();
+        table.audit().unwrap();
+
+        // Rebuild from scratch over the surviving suffix, same ids.
+        let mut fresh_table = Table::with_base(schema.clone(), 25);
+        let mut fresh = SBottomUp::new(&schema, config);
+        for t in &tuples[25..] {
+            let _ = fresh.discover(&fresh_table, t);
+            fresh_table.append(t.clone()).unwrap();
+        }
+        let sort_cells = |mut cells: Vec<StoreCell>| {
+            for cell in &mut cells {
+                cell.entries.sort_by_key(|(id, _)| *id);
+            }
+            cells.sort_by(|a, b| (&a.constraint, a.subspace).cmp(&(&b.constraint, b.subspace)));
+            cells
+        };
+        assert_eq!(
+            sort_cells(algo.store().dump_cells().unwrap()),
+            sort_cells(fresh.store().dump_cells().unwrap()),
+        );
+        // New arrivals keep discovering identical facts.
+        for _ in 0..10 {
+            let t = random_tuple(&mut rng);
+            let mut a = algo.discover(&table, &t);
+            let mut b = fresh.discover(&fresh_table, &t);
+            canonical_sort(&mut a);
+            canonical_sort(&mut b);
+            assert_eq!(a, b);
+            table.append(t.clone()).unwrap();
+            fresh_table.append(t).unwrap();
+        }
     }
 }

@@ -309,6 +309,100 @@ impl<S: SkylineStore> Discovery for STopDown<S> {
     fn import_store_cells(&mut self, cells: Vec<StoreCell>) -> sitfact_core::Result<()> {
         self.store.load_cells(cells)
     }
+
+    fn retract(&mut self, table: &Table, t_id: TupleId) -> sitfact_core::Result<()> {
+        // Invariant-2 repair. Only contexts containing the expired tuple can
+        // change, and those are exactly the constraints of its own family
+        // `C^x` — which is closed under ancestors, and for any survivor `s`
+        // matching one of them, the ancestors in `s`'s own lattice coincide
+        // with the ancestors in `C^x`. Maximality is therefore decidable
+        // inside the family: recompute the live skyline of every `C^x` cell,
+        // keep each survivor only where no ancestor skyline also holds it,
+        // and reconcile the stored entries against that. This both evicts the
+        // expired tuple and runs the promotion cascade (a survivor that was
+        // dominated only by the expired tuple moves *up* to its new maximal
+        // constraint, leaving its old, now non-maximal, cells).
+        let expired = table.tuple(t_id);
+        let directions = self.params.directions.clone();
+        let mut maintained = self.params.proper_subspaces.clone();
+        maintained.push(self.params.full_space);
+        let masks = self.params.lattice.enumerate_top_down();
+        let constraints: Vec<Constraint> = masks
+            .iter()
+            .map(|&mask| Constraint::from_tuple_mask(expired, mask))
+            .collect();
+        let flag_len = self.params.lattice.flag_len();
+        for &subspace in &maintained {
+            // Live skyline of every affected context, keyed by bound mask.
+            // The table's iterators already skip tombstoned rows, so this is
+            // the skyline an algorithm fed only the surviving suffix would
+            // see.
+            let mut sky: Vec<Vec<TupleId>> = vec![Vec::new(); flag_len];
+            let mut in_sky: Vec<sitfact_core::FxHashSet<TupleId>> =
+                vec![sitfact_core::FxHashSet::default(); flag_len];
+            for (i, &mask) in masks.iter().enumerate() {
+                let s = sitfact_core::dominance::skyline_of(
+                    table.context(&constraints[i]),
+                    subspace,
+                    &directions,
+                );
+                let ids: Vec<TupleId> = s.into_iter().map(|(id, _)| id).collect();
+                in_sky[mask.0 as usize] = ids.iter().copied().collect();
+                sky[mask.0 as usize] = ids;
+            }
+            for (i, &mask) in masks.iter().enumerate() {
+                let constraint = &constraints[i];
+                let desired: Vec<TupleId> = sky[mask.0 as usize]
+                    .iter()
+                    .copied()
+                    .filter(|id| {
+                        !mask
+                            .ancestors()
+                            .iter()
+                            .any(|a| in_sky[a.0 as usize].contains(id))
+                    })
+                    .collect();
+                let current = self.store.read(constraint, subspace);
+                self.stats.store_reads += 1;
+                for entry in current.iter() {
+                    if !desired.contains(&entry.id) {
+                        self.store.remove(constraint, subspace, entry.id);
+                        self.stats.store_writes += 1;
+                    }
+                }
+                for id in desired {
+                    if !current.iter().any(|e| e.id == id) {
+                        self.store.insert(
+                            constraint,
+                            subspace,
+                            StoredEntry::new(id, table.tuple(id).measures()),
+                        );
+                        self.stats.store_writes += 1;
+                        // A newly-inserted survivor was, before the expiry,
+                        // not in this skyline at all — it was stored further
+                        // down, at cells of *its own* family that are now
+                        // dominated by this placement. Those cells need not
+                        // lie in `C^x` (the survivor may disagree with the
+                        // expired tuple on the extra bound attributes), so
+                        // evict it from every strict descendant explicitly.
+                        let survivor = table.tuple(id);
+                        for &descendant in &masks {
+                            if descendant != mask && descendant.0 & mask.0 == mask.0 {
+                                let cell = Constraint::from_tuple_mask(survivor, descendant);
+                                if self.store.remove(&cell, subspace, id) {
+                                    self.stats.store_writes += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !self.in_batch {
+            self.store.flush();
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -548,6 +642,69 @@ mod tests {
             batch_std.store_stats().stored_entries,
             seq_std.store_stats().stored_entries
         );
+    }
+
+    /// Invariant-2 repair: expiring a prefix must leave the maximal-constraint
+    /// store identical to one rebuilt from only the surviving suffix — the
+    /// promotion cascade moves survivors up to their new maximal constraints.
+    #[test]
+    fn retraction_matches_rebuild_from_suffix() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(251);
+        let schema = schema(2);
+        let config = DiscoveryConfig::unrestricted();
+        let random_tuple = |rng: &mut StdRng| {
+            let dims = vec![
+                rng.gen_range(0..3u32),
+                rng.gen_range(0..2u32),
+                rng.gen_range(0..3u32),
+            ];
+            let measures = (0..2).map(|_| rng.gen_range(0..5) as f64).collect();
+            Tuple::new(dims, measures)
+        };
+        let mut table = Table::new(schema.clone());
+        let mut algo = STopDown::new(&schema, config);
+        let mut tuples = Vec::new();
+        for _ in 0..60 {
+            let t = random_tuple(&mut rng);
+            let _ = algo.discover(&table, &t);
+            table.append(t.clone()).unwrap();
+            tuples.push(t);
+        }
+        assert_eq!(table.retract_prefix(25), 25);
+        for id in 0..25u32 {
+            algo.retract(&table, id).unwrap();
+        }
+        table.compact_retracted();
+        table.audit().unwrap();
+
+        let mut fresh_table = Table::with_base(schema.clone(), 25);
+        let mut fresh = STopDown::new(&schema, config);
+        for t in &tuples[25..] {
+            let _ = fresh.discover(&fresh_table, t);
+            fresh_table.append(t.clone()).unwrap();
+        }
+        let sort_cells = |mut cells: Vec<StoreCell>| {
+            for cell in &mut cells {
+                cell.entries.sort_by_key(|(id, _)| *id);
+            }
+            cells.sort_by(|a, b| (&a.constraint, a.subspace).cmp(&(&b.constraint, b.subspace)));
+            cells
+        };
+        assert_eq!(
+            sort_cells(algo.store().dump_cells().unwrap()),
+            sort_cells(fresh.store().dump_cells().unwrap()),
+        );
+        for _ in 0..10 {
+            let t = random_tuple(&mut rng);
+            let mut a = algo.discover(&table, &t);
+            let mut b = fresh.discover(&fresh_table, &t);
+            canonical_sort(&mut a);
+            canonical_sort(&mut b);
+            assert_eq!(a, b);
+            table.append(t.clone()).unwrap();
+            fresh_table.append(t).unwrap();
+        }
     }
 
     /// The file-backed instantiation (`FSTopDown`) produces identical results.

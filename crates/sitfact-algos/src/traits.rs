@@ -129,6 +129,29 @@ pub trait Discovery {
             self.name()
         )))
     }
+
+    /// Repairs the algorithm's internal state after the sliding window
+    /// expires tuple `t_id`. Called by the windowed monitors *after*
+    /// [`Table::retract_prefix`] tombstoned the row (so `table.iter()` and
+    /// `table.context(…)` already see only survivors) but *before*
+    /// [`Table::compact_retracted`] drops it physically — `table.tuple(t_id)`
+    /// still yields the expired row for targeted repair.
+    ///
+    /// Implementations must leave their state indistinguishable from an
+    /// algorithm that only ever processed the surviving suffix: when an
+    /// expired tuple leaves a contextual skyline, the region it dominated is
+    /// re-promoted by recomputing that skyline from the live context.
+    ///
+    /// The default refuses, so monitors can detect algorithms that cannot run
+    /// under a sliding window. Stateless scanning baselines accept trivially
+    /// (they re-derive everything from the — now live-only — table).
+    fn retract(&mut self, table: &Table, t_id: TupleId) -> Result<()> {
+        let _ = (table, t_id);
+        Err(SitFactError::InvalidConfig(format!(
+            "algorithm {} does not support retraction",
+            self.name()
+        )))
+    }
 }
 
 /// Enumeration of every implemented algorithm, used by benches and examples to

@@ -505,6 +505,12 @@ impl<M: StreamMonitor> DurableMonitor<M> {
                 let _ = fs::remove_file(path);
             }
         }
+        // The snapshot is durably in place: closed log segments whose
+        // windows it fully covers are dead weight — recovery skips them —
+        // so retire (delete) them. Only now, after the rename: a crash
+        // before this point still recovers from the previous snapshot plus
+        // the intact log.
+        self.log.retire_covered(covered)?;
         self.rows_since_snapshot = 0;
         Ok(true)
     }
@@ -602,6 +608,25 @@ impl<M: StreamMonitor> StreamMonitor for DurableMonitor<M> {
     fn ingest_batch_slice(&mut self, tuples: &[Tuple]) -> Result<Vec<ArrivalReport>> {
         self.log_and_ingest(tuples)
     }
+
+    fn live_rows(&self) -> usize {
+        self.inner.live_rows()
+    }
+
+    fn tombstone_rows(&self) -> usize {
+        self.inner.tombstone_rows()
+    }
+
+    fn evicted_rows(&self) -> usize {
+        self.inner.evicted_rows()
+    }
+
+    // evict_prefix deliberately keeps the erroring default: an eviction the
+    // log does not encode could not be re-applied by replay, so recovered
+    // state would diverge from the live monitor. Window-policy evictions
+    // compose correctly the other way around —
+    // `DurableMonitor<WindowedMonitor<…>>` — because the wrapper inside
+    // evicts at the logged batch boundaries replay re-feeds.
 
     fn posting_stats(&self) -> PostingIndexStats {
         self.inner.posting_stats()
@@ -772,6 +797,97 @@ mod tests {
         expected.extend(feed(&mut reference, &rows[40..], 8));
         let resumed = feed(&mut recovered, &rows[40..], 8);
         assert_eq!(resumed, expected[40..], "post-recovery reports must match");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retired_segments_do_not_break_recovery() {
+        let dir = temp_dir("retire");
+        let schema = schema();
+        let config = config();
+        let rows = raw_rows(23, 240);
+        // Small segments + periodic snapshots: segments rotate, snapshots
+        // cover them, and `snapshot_now` retires the covered files.
+        let opts = WalOptions::default()
+            .with_sync(SyncPolicy::Os)
+            .with_snapshot_every(40)
+            .with_segment_bytes(4096);
+
+        let mut reference = fresh(&schema, config);
+        let mut expected = feed(&mut reference, &rows[..200], 8);
+
+        let (mut durable, _) = DurableMonitor::open(&dir, fresh(&schema, config), opts).unwrap();
+        let live = feed(&mut durable, &rows[..200], 8);
+        assert_eq!(live, expected, "retirement must not change reports");
+        let stats = durable.wal_stats();
+        assert!(
+            stats.retired_segments > 0,
+            "segments must rotate and retire: {stats:?}"
+        );
+        std::mem::forget(durable);
+
+        // Kill-and-recover on the retired log: the newest snapshot plus the
+        // surviving segment suffix reconstruct the exact state.
+        let (mut recovered, recovery) =
+            DurableMonitor::open(&dir, fresh(&schema, config), opts).unwrap();
+        assert!(recovery.snapshot_rows > 0);
+        assert_eq!(recovery.snapshot_rows + recovery.replayed_rows, 200);
+        assert_eq!(recovery.dropped_bytes, 0);
+        assert_eq!(recovered.len(), reference.len());
+        assert_eq!(recovered.posting_stats(), reference.posting_stats());
+        assert_eq!(recovered.last_report(), expected.last());
+        expected.extend(feed(&mut reference, &rows[200..], 8));
+        let resumed = feed(&mut recovered, &rows[200..], 8);
+        assert_eq!(resumed, expected[200..], "post-recovery reports must match");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn windowed_durable_kill_and_recover_is_byte_identical() {
+        use crate::window::{WindowPolicy, WindowedMonitor};
+        let dir = temp_dir("windowed");
+        let schema = schema();
+        let config = config();
+        let rows = raw_rows(29, 90);
+        let policy = WindowPolicy::count(24).unwrap();
+        let opts = WalOptions::default()
+            .with_sync(SyncPolicy::Os)
+            .with_snapshot_every(32);
+
+        // Ground truth: a windowed monitor that never crashed, never logged.
+        let mut reference = WindowedMonitor::new(fresh(&schema, config), policy);
+        let mut expected = feed(&mut reference, &rows[..60], 7);
+
+        let (mut durable, _) = DurableMonitor::open(
+            &dir,
+            WindowedMonitor::new(fresh(&schema, config), policy),
+            opts,
+        )
+        .unwrap();
+        let live = feed(&mut durable, &rows[..60], 7);
+        assert_eq!(live, expected, "logging must not disturb the window");
+        assert_eq!(durable.live_rows(), 24);
+        std::mem::forget(durable);
+
+        // Replay re-feeds the logged batch boundaries, so the wrapper inside
+        // re-applies the same evictions at the same instants — no eviction
+        // records exist in the log.
+        let (mut recovered, recovery) = DurableMonitor::open(
+            &dir,
+            WindowedMonitor::new(fresh(&schema, config), policy),
+            opts,
+        )
+        .unwrap();
+        assert!(recovery.snapshot_rows > 0, "snapshots must cover evictions");
+        assert_eq!(recovered.len(), reference.len());
+        assert_eq!(recovered.live_rows(), reference.live_rows());
+        assert_eq!(recovered.evicted_rows(), reference.evicted_rows());
+        assert_eq!(recovered.posting_stats(), reference.posting_stats());
+        assert_eq!(recovered.last_report(), expected.last());
+        expected.extend(feed(&mut reference, &rows[60..], 7));
+        let resumed = feed(&mut recovered, &rows[60..], 7);
+        assert_eq!(resumed, expected[60..], "post-recovery reports must match");
+        recovered.inner().inner().audit().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

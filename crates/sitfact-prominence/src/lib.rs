@@ -24,7 +24,9 @@
 //! the [`sharded`] module docs for the soundness argument).
 //! [`DurableMonitor`] wraps any monitor with a
 //! write-ahead arrival log and snapshot-bounded crash recovery (see the
-//! [`durable`] module docs). [`DistributionStats`]
+//! [`durable`] module docs). [`WindowedMonitor`] bounds any monitor to a
+//! sliding window of recent arrivals, retracting expired tuples at batch
+//! boundaries (see the [`window`] module docs). [`DistributionStats`]
 //! accumulates the figures of the paper's case study (Figs. 14–15), and
 //! [`narrate()`] renders facts as English sentences in the style of the
 //! paper's examples.
@@ -39,6 +41,7 @@ pub mod monitor;
 pub mod narrate;
 pub mod sharded;
 pub mod stream;
+pub mod window;
 
 pub use distribution::DistributionStats;
 pub use durable::{replay_log, DurableMonitor, RecoveryReport, ReplayOutcome, WalOptions};
@@ -47,6 +50,7 @@ pub use monitor::{FactMonitor, MonitorConfig};
 pub use narrate::narrate;
 pub use sharded::ShardedMonitor;
 pub use stream::{MonitorSnapshot, StreamMonitor};
+pub use window::{WindowPolicy, WindowedMonitor};
 // The WAL types that cross the serve boundary (`STATS` counters, sync
 // policy), re-exported so the serving layer needs no direct storage
 // dependency.

@@ -157,6 +157,18 @@ impl<A: Discovery> FactMonitor<A> {
         }
     }
 
+    /// Like [`FactMonitor::new`], but over an empty table whose id space
+    /// starts at `base` (see [`Table::with_base`]): tuple ids `0..base` are
+    /// considered already evicted. This is the constructor the windowed ≡
+    /// rebuilt-from-scratch equivalence tests use — a fresh monitor fed only
+    /// a window's survivors produces reports with the *same* tuple ids as the
+    /// long-running monitor that evicted its way there.
+    pub fn with_base(schema: Schema, algorithm: A, config: MonitorConfig, base: TupleId) -> Self {
+        let mut monitor = FactMonitor::new(schema, algorithm, config);
+        monitor.table = Table::with_base(monitor.table.schema().clone(), base);
+        monitor
+    }
+
     /// The underlying table (read access).
     pub fn table(&self) -> &Table {
         &self.table
@@ -243,7 +255,42 @@ impl<A: Discovery> StreamMonitor for FactMonitor<A> {
     }
 
     fn tuple(&self, tuple_id: TupleId) -> Option<TupleRef<'_>> {
-        ((tuple_id as usize) < self.table.len()).then(|| self.table.tuple(tuple_id))
+        // Live rows only: a retracted id resolves to `None`, exactly like an
+        // id that was never ingested.
+        self.table.get(tuple_id)
+    }
+
+    fn live_rows(&self) -> usize {
+        self.table.live_rows()
+    }
+
+    fn tombstone_rows(&self) -> usize {
+        self.table.tombstone_rows()
+    }
+
+    fn evicted_rows(&self) -> usize {
+        self.table.evicted_rows()
+    }
+
+    /// Retracts every tuple below the watermark target `up_to`: the rows are
+    /// tombstoned in the table, forgotten by the context counter, and
+    /// retracted from the algorithm's skyline store ([`Discovery::retract`]),
+    /// so subsequent reports are those of a monitor that only ever saw the
+    /// survivors. Tombstones are physically dropped
+    /// ([`Table::compact_retracted`]) once they outnumber the live rows —
+    /// the classic amortized-halving schedule, keeping memory proportional
+    /// to the live window.
+    fn evict_prefix(&mut self, up_to: TupleId) -> Result<usize> {
+        let start = self.table.watermark();
+        let newly = self.table.retract_prefix(up_to as usize);
+        for id in start..start + newly as TupleId {
+            self.counter.forget(self.table.tuple(id));
+            self.algorithm.retract(&self.table, id)?;
+        }
+        if newly > 0 && self.table.tombstone_rows() >= self.table.live_rows() {
+            self.table.compact_retracted();
+        }
+        Ok(newly)
     }
 
     fn encode_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<Tuple> {
@@ -387,13 +434,13 @@ impl<A: Discovery> sitfact_core::Audit for FactMonitor<A> {
             Err(AuditViolation::new("FactMonitor", invariant, detail))
         };
         self.table.audit()?;
-        if self.counter.observed_tuples() != self.table.len() as u64 {
+        if self.counter.observed_tuples() != self.table.live_rows() as u64 {
             return fail(
                 "counter-observed-len",
                 format!(
-                    "counter observed {} tuples, table holds {}",
+                    "counter observed {} tuples, table holds {} live rows",
                     self.counter.observed_tuples(),
-                    self.table.len()
+                    self.table.live_rows()
                 ),
             );
         }
@@ -618,6 +665,55 @@ mod tests {
         // windows in between.
         let report = monitor.ingest_raw(&["B", "X"], vec![2.0, 2.0]).unwrap();
         assert_eq!(report.tuple_id, 1);
+    }
+
+    #[test]
+    fn evict_prefix_matches_a_monitor_fed_only_survivors() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(431);
+        let schema = schema();
+        let config = MonitorConfig::default().with_tau(2.0);
+        let random_tuple = |rng: &mut StdRng| {
+            Tuple::new(
+                vec![rng.gen_range(0..4u32), rng.gen_range(0..3u32)],
+                vec![rng.gen_range(0..6) as f64, rng.gen_range(0..6) as f64],
+            )
+        };
+        let mut windowed = FactMonitor::new(
+            schema.clone(),
+            STopDown::new(&schema, config.discovery),
+            config,
+        );
+        let tuples: Vec<Tuple> = (0..48).map(|_| random_tuple(&mut rng)).collect();
+        windowed.ingest_batch_slice(&tuples).unwrap();
+        assert_eq!(windowed.evict_prefix(20).unwrap(), 20);
+        // Watermark targets are monotone: re-evicting is a no-op.
+        assert_eq!(windowed.evict_prefix(20).unwrap(), 0);
+        assert_eq!(windowed.live_rows(), 28);
+        assert_eq!(windowed.len(), 48);
+        assert!(windowed.tuple(5).is_none(), "retracted ids resolve to None");
+        assert!(windowed.tuple(25).is_some());
+        windowed.audit().unwrap();
+        // A fresh monitor over the surviving suffix, id space aligned.
+        let mut rebuilt = FactMonitor::with_base(
+            schema.clone(),
+            STopDown::new(&schema, config.discovery),
+            config,
+            20,
+        );
+        rebuilt.ingest_batch_slice(&tuples[20..]).unwrap();
+        // Subsequent arrivals produce byte-identical reports on both.
+        for _ in 0..10 {
+            let t = random_tuple(&mut rng);
+            let a = windowed.ingest(t.clone()).unwrap();
+            let b = rebuilt.ingest(t).unwrap();
+            assert_eq!(a, b);
+        }
+        // Evicting past the halfway point triggers physical compaction.
+        windowed.evict_prefix(40).unwrap();
+        assert_eq!(windowed.evicted_rows(), 40);
+        assert_eq!(windowed.tombstone_rows(), 0);
+        windowed.audit().unwrap();
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::fact::ArrivalReport;
 use crate::monitor::MonitorConfig;
-use sitfact_core::{Result, Schema, Tuple, TupleId, TupleRef};
+use sitfact_core::{Result, Schema, SitFactError, Tuple, TupleId, TupleRef};
 use sitfact_storage::{PostingIndexStats, WalStats};
 
 /// A point-in-time export of a monitor's externally visible state, assembled
@@ -46,6 +46,12 @@ pub struct MonitorSnapshot {
     /// Write-ahead-log counters (all zero for a monitor without a durability
     /// layer; see [`StreamMonitor::wal_stats`]).
     pub wal: WalStats,
+    /// Tuples still answering queries (`len` minus everything retracted).
+    pub live_rows: usize,
+    /// Retracted tuples still physically present (awaiting compaction).
+    pub tombstones: usize,
+    /// Retracted tuples physically dropped by compaction.
+    pub evicted: usize,
 }
 
 /// A monitor that turns a stream of tuples into per-arrival fact reports.
@@ -125,6 +131,40 @@ pub trait StreamMonitor {
         self.len() == 0
     }
 
+    /// Number of tuples still answering queries — [`StreamMonitor::len`]
+    /// minus everything retracted. Equal to `len()` for monitors without a
+    /// retraction path (the default).
+    fn live_rows(&self) -> usize {
+        self.len()
+    }
+
+    /// Retracted tuples still physically present, awaiting compaction. Zero
+    /// for monitors without a retraction path (the default).
+    fn tombstone_rows(&self) -> usize {
+        0
+    }
+
+    /// Retracted tuples already physically dropped by compaction. Zero for
+    /// monitors without a retraction path (the default).
+    fn evicted_rows(&self) -> usize {
+        0
+    }
+
+    /// Retracts every tuple with id below `up_to` (a *watermark target*, not
+    /// a count: retracting to an already-passed watermark is a no-op).
+    /// Returns the number of tuples newly retracted.
+    ///
+    /// The sliding-window layer ([`WindowedMonitor`](crate::WindowedMonitor))
+    /// calls this at window boundaries. The default refuses: a monitor must
+    /// opt into retraction by overriding, so a window policy can never be
+    /// silently ignored.
+    fn evict_prefix(&mut self, up_to: TupleId) -> Result<usize> {
+        let _ = up_to;
+        Err(SitFactError::InvalidConfig(
+            "this monitor does not support retraction (evict_prefix)".to_string(),
+        ))
+    }
+
     /// Ingests a tuple given as raw dimension strings plus measures.
     fn ingest_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<ArrivalReport> {
         let tuple = self.encode_raw(dims, measures)?;
@@ -169,6 +209,9 @@ pub trait StreamMonitor {
             anchor_dim: config.discovery.anchor_dim,
             postings: self.posting_stats(),
             wal: self.wal_stats(),
+            live_rows: self.live_rows(),
+            tombstones: self.tombstone_rows(),
+            evicted: self.evicted_rows(),
         }
     }
 
@@ -241,6 +284,22 @@ impl<M: StreamMonitor + ?Sized> StreamMonitor for Box<M> {
 
     fn is_empty(&self) -> bool {
         (**self).is_empty()
+    }
+
+    fn live_rows(&self) -> usize {
+        (**self).live_rows()
+    }
+
+    fn tombstone_rows(&self) -> usize {
+        (**self).tombstone_rows()
+    }
+
+    fn evicted_rows(&self) -> usize {
+        (**self).evicted_rows()
+    }
+
+    fn evict_prefix(&mut self, up_to: TupleId) -> Result<usize> {
+        (**self).evict_prefix(up_to)
     }
 
     fn ingest_raw(&mut self, dims: &[&str], measures: Vec<f64>) -> Result<ArrivalReport> {

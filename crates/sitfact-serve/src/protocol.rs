@@ -20,7 +20,7 @@
 //!           | "INGEST" TAB row
 //!           | "INGEST_BATCH" TAB count (LF row)*
 //!           | "OPEN" TAB tenant TAB tau TAB keep_top TAB d_hat TAB m_hat
-//!             LF dim (TAB dim)* LF mdef (TAB mdef)*
+//!             [TAB window] LF dim (TAB dim)* LF mdef (TAB mdef)*
 //!           | "USE" TAB tenant
 //!           | "CLOSE" TAB tenant
 //! row      := ndims TAB nmeasures TAB dim* TAB measure*
@@ -29,7 +29,8 @@
 //! response := "PONG" | "BYE" | "OK"
 //!           | "STATS" TAB len TAB tau TAB keep_top TAB anchor
 //!             TAB sealed_blocks TAB tail_ids TAB comp_bytes TAB raw_bytes
-//!             TAB wal_segments TAB wal_bytes TAB wal_synced TAB schema
+//!             TAB wal_segments TAB wal_bytes TAB wal_synced TAB wal_retired
+//!             TAB live_rows TAB tombstones TAB evicted TAB schema
 //!           | "REPORT" LF report
 //!           | "REPORTS" TAB count (LF report)*
 //!           | "ERR" TAB kind TAB message
@@ -44,11 +45,17 @@
 //! (its durable state, if the server runs with a data directory, survives —
 //! a later `OPEN` of the same name recovers it). Tenant and attribute names
 //! may not contain TAB, LF or CR (and measure names may not contain `:`).
-//! Optional numeric fields (`keep_top`, `d_hat`, `m_hat`, `anchor`) render
-//! as `_` when unset. The `wal_*` STATS fields are the tenant's
-//! write-ahead-log counters (all zero when the server runs without a data
-//! directory): live segment files, total logged bytes, and rows durably
-//! synced to the log.
+//! Optional numeric fields (`keep_top`, `d_hat`, `m_hat`, `anchor`,
+//! `window`) render as `_` when unset. `OPEN`'s trailing `window` field is a
+//! sliding-window row limit — the tenant's monitor retracts everything older
+//! than the latest `window` arrivals at batch boundaries; `_` (or omitting
+//! the field, which older clients do) keeps the monitor unbounded. The
+//! `wal_*` STATS fields are the tenant's write-ahead-log counters (all zero
+//! when the server runs without a data directory): live segment files, total
+//! logged bytes, rows durably synced to the log, and segment files retired
+//! by snapshot coverage. `live_rows` / `tombstones` / `evicted` break `len`
+//! down under retraction: rows still answering queries, retracted rows
+//! awaiting compaction, and rows physically dropped.
 //!
 //! Measures travel as Rust's shortest-round-trip `f64` rendering, so a report
 //! decoded by the client is **byte-identical** to the [`ArrivalReport`] the
@@ -184,6 +191,10 @@ pub struct TenantSpec {
     pub d_hat: Option<u64>,
     /// Discovery cap `m̂` (max subspace size), `None` = unrestricted.
     pub m_hat: Option<u64>,
+    /// Sliding-window row limit: the tenant's monitor keeps only the most
+    /// recent `window` arrivals, retracting the rest at batch boundaries.
+    /// `None` = unbounded (the append-only monitors of the paper).
+    pub window: Option<u64>,
     /// Dimension attribute names, in schema order (at least one).
     pub dims: Vec<String>,
     /// Measure attributes as `(name, direction)`, in schema order (at least
@@ -201,6 +212,7 @@ impl TenantSpec {
             keep_top: None,
             d_hat: None,
             m_hat: None,
+            window: None,
             dims: dims.iter().map(|d| d.to_string()).collect(),
             measures: measures
                 .iter()
@@ -275,6 +287,16 @@ pub struct ServerStats {
     /// last synced arrival is `wal_synced - 1` (ids are assigned in arrival
     /// order from zero).
     pub wal_synced: u64,
+    /// Write-ahead-log segment files retired (deleted) because a snapshot
+    /// fully covers their windows.
+    pub wal_retired: u64,
+    /// Tuples still answering queries (`len` minus everything retracted by
+    /// the tenant's window policy).
+    pub live_rows: u64,
+    /// Retracted tuples still physically present, awaiting compaction.
+    pub tombstones: u64,
+    /// Retracted tuples physically dropped by compaction.
+    pub evicted: u64,
     /// Name of the schema the server ingests against.
     pub schema: String,
 }
@@ -362,6 +384,8 @@ fn encode_open_into(spec: &TenantSpec, out: &mut String) -> Result<(), ServeErro
     encode_opt_u64(spec.d_hat, out);
     out.push('\t');
     encode_opt_u64(spec.m_hat, out);
+    out.push('\t');
+    encode_opt_u64(spec.window, out);
     out.push('\n');
     for (i, dim) in spec.dims.iter().enumerate() {
         check_name("dimension", dim)?;
@@ -392,8 +416,12 @@ fn encode_open_into(spec: &TenantSpec, out: &mut String) -> Result<(), ServeErro
 
 fn decode_open(head: &[&str], mut lines: std::str::Split<'_, char>) -> Result<Request, ServeError> {
     let bad = |why: &str| ServeError::Protocol(format!("malformed OPEN: {why}"));
-    if head.len() != 5 {
-        return Err(bad("head must be `OPEN name tau keep_top d_hat m_hat`"));
+    // The window clause arrived with the sliding-window engine; clients
+    // predating it send the five-field head, which decodes as unbounded.
+    if head.len() != 5 && head.len() != 6 {
+        return Err(bad(
+            "head must be `OPEN name tau keep_top d_hat m_hat [window]`",
+        ));
     }
     let name = head[0].to_string();
     check_name("tenant", &name)?;
@@ -401,6 +429,10 @@ fn decode_open(head: &[&str], mut lines: std::str::Split<'_, char>) -> Result<Re
     let keep_top = decode_opt_u64(head[2], "OPEN keep_top")?;
     let d_hat = decode_opt_u64(head[3], "OPEN d_hat")?;
     let m_hat = decode_opt_u64(head[4], "OPEN m_hat")?;
+    let window = match head.get(5) {
+        Some(field) => decode_opt_u64(field, "OPEN window")?,
+        None => None,
+    };
     let dims_line = lines.next().ok_or_else(|| bad("missing dimension line"))?;
     let measures_line = lines.next().ok_or_else(|| bad("missing measure line"))?;
     if lines.next().is_some() {
@@ -433,6 +465,7 @@ fn decode_open(head: &[&str], mut lines: std::str::Split<'_, char>) -> Result<Re
         keep_top,
         d_hat,
         m_hat,
+        window,
         dims,
         measures,
     }))
@@ -702,14 +735,18 @@ impl Response {
                 encode_opt_u64(stats.anchor_dim, &mut out);
                 let _ = write!(
                     out,
-                    "\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    "\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
                     stats.sealed_blocks,
                     stats.tail_ids,
                     stats.compressed_bytes,
                     stats.uncompressed_bytes,
                     stats.wal_segments,
                     stats.wal_bytes,
-                    stats.wal_synced
+                    stats.wal_synced,
+                    stats.wal_retired,
+                    stats.live_rows,
+                    stats.tombstones,
+                    stats.evicted
                 );
                 out.push('\t');
                 // The schema name is free text under SchemaBuilder; flatten
@@ -754,8 +791,8 @@ impl Response {
             "BYE" => Ok(Response::Bye),
             "OK" => Ok(Response::Ok),
             "STATS" => {
-                if fields.len() != 13 {
-                    return Err(bad("STATS must carry 12 fields".into()));
+                if fields.len() != 17 {
+                    return Err(bad("STATS must carry 16 fields".into()));
                 }
                 let parse_u64 = |s: &str, what: &str| -> Result<u64, ServeError> {
                     s.parse()
@@ -773,7 +810,11 @@ impl Response {
                     wal_segments: parse_u64(fields[9], "STATS wal_segments")?,
                     wal_bytes: parse_u64(fields[10], "STATS wal_bytes")?,
                     wal_synced: parse_u64(fields[11], "STATS wal_synced")?,
-                    schema: fields[12].to_string(),
+                    wal_retired: parse_u64(fields[12], "STATS wal_retired")?,
+                    live_rows: parse_u64(fields[13], "STATS live_rows")?,
+                    tombstones: parse_u64(fields[14], "STATS tombstones")?,
+                    evicted: parse_u64(fields[15], "STATS evicted")?,
+                    schema: fields[16].to_string(),
                 }))
             }
             "REPORT" => Ok(Response::Report(decode_report(&mut lines)?)),
@@ -844,6 +885,10 @@ mod tests {
             wal_segments: 2,
             wal_bytes: 4096,
             wal_synced: 12,
+            wal_retired: 1,
+            live_rows: 9,
+            tombstones: 1,
+            evicted: 2,
             schema: "nba_gamelog".into(),
         }
     }
@@ -855,6 +900,7 @@ mod tests {
             keep_top: Some(16),
             d_hat: Some(3),
             m_hat: None,
+            window: Some(4096),
             dims: vec!["player".into(), "team".into()],
             measures: vec![
                 ("points".into(), Direction::HigherIsBetter),
@@ -994,6 +1040,10 @@ mod tests {
             batch,
             Request::IngestBatch(Vec::new()),
             Request::Open(sample_spec()),
+            Request::Open(TenantSpec {
+                window: None,
+                ..sample_spec()
+            }),
             Request::Open(TenantSpec::new(
                 "t",
                 &["d"],
@@ -1006,6 +1056,19 @@ mod tests {
             let payload = request.encode().unwrap();
             assert_eq!(Request::decode(&payload).unwrap(), request);
         }
+    }
+
+    #[test]
+    fn five_field_open_head_from_an_older_client_decodes_as_unbounded() {
+        // Clients built before the window clause send the five-field head;
+        // the decoder must keep accepting it (window = None).
+        let payload = "OPEN\tt\t1.5\t8\t_\t2\nplayer\tteam\npoints:max";
+        let Request::Open(spec) = Request::decode(payload).unwrap() else {
+            panic!("wrong verb");
+        };
+        assert_eq!(spec.window, None);
+        assert_eq!(spec.keep_top, Some(8));
+        assert_eq!(spec.m_hat, Some(2));
     }
 
     #[test]
@@ -1131,14 +1194,16 @@ mod tests {
             "INGEST_BATCH\t2\n1\t1\ta\t1.0",               // declared 2, carried 1
             "INGEST_BATCH\t1\n1\t1\ta\t1.0\n1\t1\tb\t2.0", // declared 1, carried 2
             "PING\textra",
-            "OPEN\tt\t1.0\t_\t_",                 // missing m_hat head field
-            "OPEN\tt\t1.0\t_\t_\t_",              // missing dim/measure lines
-            "OPEN\tt\t1.0\t_\t_\t_\nd",           // missing measure line
-            "OPEN\tt\tx\t_\t_\t_\nd\nm:max",      // tau is not a number
-            "OPEN\tt\t1.0\t_\t_\t_\nd\nm",        // mdef without direction
-            "OPEN\tt\t1.0\t_\t_\t_\nd\nm:up",     // unknown direction
-            "OPEN\tt\t1.0\t_\t_\t_\n\nm:max",     // empty dimension name
-            "OPEN\tt\t1.0\t_\t_\t_\nd\nm:max\nx", // trailing line
+            "OPEN\tt\t1.0\t_\t_",                    // missing m_hat head field
+            "OPEN\tt\t1.0\t_\t_\t_",                 // missing dim/measure lines
+            "OPEN\tt\t1.0\t_\t_\t_\nd",              // missing measure line
+            "OPEN\tt\tx\t_\t_\t_\nd\nm:max",         // tau is not a number
+            "OPEN\tt\t1.0\t_\t_\t_\nd\nm",           // mdef without direction
+            "OPEN\tt\t1.0\t_\t_\t_\nd\nm:up",        // unknown direction
+            "OPEN\tt\t1.0\t_\t_\t_\n\nm:max",        // empty dimension name
+            "OPEN\tt\t1.0\t_\t_\t_\nd\nm:max\nx",    // trailing line
+            "OPEN\tt\t1.0\t_\t_\t_\tx\nd\nm:max",    // window is not a count
+            "OPEN\tt\t1.0\t_\t_\t_\t8\t9\nd\nm:max", // over-long head
             "USE",
             "USE\t",
             "USE\ta\tb",

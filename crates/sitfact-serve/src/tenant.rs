@@ -75,6 +75,10 @@ pub(crate) fn stats_of(monitor: &dyn StreamMonitor) -> ServerStats {
         wal_segments: snapshot.wal.segments,
         wal_bytes: snapshot.wal.bytes,
         wal_synced: snapshot.wal.durable_rows,
+        wal_retired: snapshot.wal.retired_segments,
+        live_rows: snapshot.live_rows as u64,
+        tombstones: snapshot.tombstones as u64,
+        evicted: snapshot.evicted as u64,
         schema: snapshot.schema_name,
     }
 }
@@ -136,7 +140,7 @@ fn wrap_durable(
 pub(crate) fn build_monitor(spec: &TenantSpec) -> Result<BoxedMonitor, SitFactError> {
     use sitfact_algos::STopDown;
     use sitfact_core::{DiscoveryConfig, SchemaBuilder};
-    use sitfact_prominence::{FactMonitor, MonitorConfig};
+    use sitfact_prominence::{FactMonitor, MonitorConfig, WindowPolicy, WindowedMonitor};
 
     let mut builder = SchemaBuilder::new(&spec.name);
     for dim in &spec.dims {
@@ -164,7 +168,18 @@ pub(crate) fn build_monitor(spec: &TenantSpec) -> Result<BoxedMonitor, SitFactEr
     config.validate()?;
     discovery.validate(&schema)?;
     let algorithm = STopDown::new(&schema, discovery);
-    Ok(Box::new(FactMonitor::new(schema, algorithm, config)))
+    let monitor = FactMonitor::new(schema, algorithm, config);
+    // A windowed tenant wraps its monitor *inside* the durability layer
+    // (`wrap_durable` is applied by the caller, outermost), so WAL replay
+    // re-feeds the logged batches through the window wrapper and the same
+    // evictions are re-applied — the log never records eviction events.
+    match spec.window {
+        None => Ok(Box::new(monitor)),
+        Some(_) => {
+            let policy = WindowPolicy::from_limit(spec.window)?;
+            Ok(Box::new(WindowedMonitor::new(monitor, policy)))
+        }
+    }
 }
 
 fn err(kind: &str, message: impl Into<String>) -> Response {
@@ -847,6 +862,89 @@ mod tests {
                 engine.dispatch("east", Request::Stats),
                 Response::Stats(ref s) if s.len == 0
             ));
+        }
+    }
+
+    #[test]
+    fn windowed_tenants_retract_old_arrivals_and_report_the_breakdown() {
+        for engine in engines() {
+            let mut windowed = spec("tail");
+            windowed.window = Some(3);
+            assert_eq!(engine.open(&windowed), Response::Ok);
+            for i in 0..7 {
+                assert!(matches!(
+                    engine.dispatch("tail", Request::Ingest(row("Wes", "BOS", f64::from(i)))),
+                    Response::Report(_)
+                ));
+            }
+            let Response::Stats(stats) = engine.dispatch("tail", Request::Stats) else {
+                panic!("STATS should answer on a windowed tenant");
+            };
+            assert_eq!(stats.len, 7);
+            assert_eq!(stats.live_rows, 3);
+            // Every expired arrival is either tombstoned or already compacted
+            // away; the breakdown always reconciles with `len`.
+            assert_eq!(stats.live_rows + stats.tombstones + stats.evicted, 7);
+
+            // A degenerate window (zero rows) is refused at OPEN time with a
+            // typed config error, not accepted and ignored.
+            let mut degenerate = spec("zero");
+            degenerate.window = Some(0);
+            assert!(matches!(
+                engine.open(&degenerate),
+                Response::Error { ref kind, .. } if kind == "InvalidConfig"
+            ));
+        }
+    }
+
+    #[test]
+    fn durable_windowed_tenants_recover_with_their_window_reapplied() {
+        for (mode, owners, tag) in [
+            (ServeMode::Owned, 2, "owned-window"),
+            (ServeMode::GlobalMutex, 0, "locked-window"),
+        ] {
+            let root = temp_root(tag);
+            let durability = Durability {
+                root: root.clone(),
+                wal: WalOptions::default(),
+            };
+            let mut windowed = spec("tail");
+            windowed.window = Some(2);
+            let pre_kill;
+            {
+                let engine = Engine::new(default_monitor(), mode, owners, Some(durability.clone()))
+                    .expect("fresh data dir");
+                assert_eq!(engine.open(&windowed), Response::Ok);
+                for r in [
+                    row("Wes", "BOS", 31.0),
+                    row("Amy", "NYK", 12.0),
+                    row("Wes", "BOS", 7.0),
+                    row("Sam", "NYK", 44.0),
+                ] {
+                    assert!(matches!(
+                        engine.dispatch("tail", Request::Ingest(r)),
+                        Response::Report(_)
+                    ));
+                }
+                pre_kill = (
+                    engine.dispatch("tail", Request::TopK(8)).encode(),
+                    engine.dispatch("tail", Request::Stats).encode(),
+                );
+                // Crash without an orderly handoff.
+            }
+            let engine = Engine::new(default_monitor(), mode, owners, Some(durability))
+                .expect("recover data dir");
+            // Re-OPEN with the same windowed spec: replay re-feeds the logged
+            // batches through the window wrapper, so the retraction state
+            // (live/tombstone/evicted breakdown included) is reproduced
+            // exactly, not just the surviving tuples.
+            assert_eq!(engine.open(&windowed), Response::Ok);
+            assert_eq!(
+                engine.dispatch("tail", Request::TopK(8)).encode(),
+                pre_kill.0
+            );
+            assert_eq!(engine.dispatch("tail", Request::Stats).encode(), pre_kill.1);
+            let _ = std::fs::remove_dir_all(&root);
         }
     }
 

@@ -75,6 +75,28 @@ impl ContextCounter {
         }
     }
 
+    /// Unregisters a retracted tuple: the exact inverse of
+    /// [`ContextCounter::observe`]. Every constraint of `C^t` has its context
+    /// cardinality decremented, and constraints whose context empties leave
+    /// the map entirely — so a counter that observes a window and then
+    /// forgets its expired prefix is indistinguishable from one that only
+    /// ever observed the surviving suffix (the windowed ≡ rebuilt property).
+    /// Forgetting a tuple that was never observed is a no-op per constraint
+    /// (counts never wrap below zero).
+    pub fn forget(&mut self, tuple: impl TupleView) {
+        debug_assert_eq!(tuple.num_dims(), self.lattice.n_dims());
+        for &mask in &self.masks {
+            let constraint = Constraint::from_tuple_mask(&tuple, mask);
+            if let Some(count) = self.counts.get_mut(&constraint) {
+                *count -= 1;
+                if *count == 0 {
+                    self.counts.remove(&constraint);
+                }
+            }
+        }
+        self.observed_tuples = self.observed_tuples.saturating_sub(1);
+    }
+
     /// The number of observed tuples satisfying `constraint`, i.e.
     /// `|σ_C(R)|`. Constraints never observed have cardinality 0; constraints
     /// with more than `d̂` bound attributes are not tracked and also report 0.
@@ -254,5 +276,46 @@ mod tests {
         assert_eq!(counter.approx_heap_bytes(), 0);
         counter.observe(Tuple::new(vec![0, 1, 2], vec![1.0]));
         assert!(counter.approx_heap_bytes() > 0);
+    }
+
+    #[test]
+    fn forget_is_the_exact_inverse_of_observe() {
+        let table = sample_table();
+        // Observe everything, forget the first two arrivals: the counter
+        // must be indistinguishable from one that only ever saw the suffix.
+        let mut windowed = ContextCounter::new(3, 2);
+        windowed.observe_batch(table.iter().map(|(_, t)| t));
+        for (_, tuple) in table.iter().take(2) {
+            windowed.forget(tuple);
+        }
+        let mut rebuilt = ContextCounter::new(3, 2);
+        rebuilt.observe_batch(table.iter().skip(2).map(|(_, t)| t));
+        assert_eq!(windowed.observed_tuples(), rebuilt.observed_tuples());
+        assert_eq!(
+            windowed.tracked_constraints(),
+            rebuilt.tracked_constraints(),
+            "emptied contexts must leave the map, not linger at zero"
+        );
+        for (_, tuple) in table.iter() {
+            for mask in [
+                BoundMask::from_indices([0]),
+                BoundMask::from_indices([1]),
+                BoundMask::from_indices([2]),
+                BoundMask::from_indices([0, 1]),
+                BoundMask::from_indices([1, 2]),
+            ] {
+                assert_eq!(
+                    windowed.cardinality_for(tuple, mask),
+                    rebuilt.cardinality_for(tuple, mask)
+                );
+            }
+        }
+        // Forgetting every remaining tuple drains the counter completely.
+        for (_, tuple) in table.iter().skip(2) {
+            windowed.forget(tuple);
+        }
+        assert_eq!(windowed.observed_tuples(), 0);
+        assert_eq!(windowed.tracked_constraints(), 0);
+        assert_eq!(windowed.approx_heap_bytes(), 0);
     }
 }

@@ -16,6 +16,10 @@ struct Node {
     id: TupleId,
     left: Option<u32>,
     right: Option<u32>,
+    /// Lazily deleted: the node keeps routing queries (its subtrees are
+    /// live) but no longer reports its own id. Dead nodes are purged by the
+    /// threshold rebuild in [`KdTree::remove`].
+    dead: bool,
 }
 
 /// A k-d tree keyed by canonical measure vectors, supporting insertion and
@@ -30,6 +34,10 @@ pub struct KdTree {
     directions: Vec<Direction>,
     nodes: Vec<Node>,
     root: Option<u32>,
+    /// Number of lazily-deleted nodes still in the arena. Once the dead
+    /// fraction reaches ½ the tree is rebuilt from its survivors — the same
+    /// threshold the compressed posting lists use.
+    dead: usize,
 }
 
 impl KdTree {
@@ -40,17 +48,24 @@ impl KdTree {
             directions: directions.to_vec(),
             nodes: Vec::new(),
             root: None,
+            dead: 0,
         }
     }
 
-    /// Number of indexed points.
+    /// Number of live indexed points (deleted points stop counting even
+    /// while their nodes linger in the arena awaiting a rebuild).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.dead
     }
 
-    /// Whether the tree is empty.
+    /// Whether the tree holds no live points.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of lazily-deleted nodes still occupying arena slots.
+    pub fn dead_len(&self) -> usize {
+        self.dead
     }
 
     fn canonical(&self, tuple: impl TupleView) -> Box<[f64]> {
@@ -63,12 +78,17 @@ impl KdTree {
     pub fn insert(&mut self, id: TupleId, tuple: impl TupleView) {
         debug_assert_eq!(tuple.num_measures(), self.dims);
         let point = self.canonical(tuple);
+        self.insert_canonical(id, point);
+    }
+
+    fn insert_canonical(&mut self, id: TupleId, point: Box<[f64]>) {
         let new_index = self.nodes.len() as u32;
         self.nodes.push(Node {
             point,
             id,
             left: None,
             right: None,
+            dead: false,
         });
         let Some(mut current) = self.root else {
             self.root = Some(new_index);
@@ -101,6 +121,55 @@ impl KdTree {
         }
     }
 
+    /// Deletes a point by its id, navigating by the tuple's measures (the
+    /// same descent [`KdTree::insert`] took, so the walk is logarithmic on
+    /// balanced data rather than a full-arena scan). The node is only marked
+    /// dead — it keeps routing queries until the dead fraction reaches ½ and
+    /// the tree rebuilds itself from the survivors in insertion order.
+    ///
+    /// Returns whether a live `(id, measures)` point was found and removed.
+    pub fn remove(&mut self, id: TupleId, tuple: impl TupleView) -> bool {
+        debug_assert_eq!(tuple.num_measures(), self.dims);
+        let point = self.canonical(tuple);
+        let mut current = self.root;
+        let mut depth = 0usize;
+        while let Some(index) = current {
+            let node = &self.nodes[index as usize];
+            if node.id == id && !node.dead && node.point == point {
+                self.nodes[index as usize].dead = true;
+                self.dead += 1;
+                if 2 * self.dead >= self.nodes.len() {
+                    self.rebuild();
+                }
+                return true;
+            }
+            let axis = depth % self.dims;
+            current = if point[axis] < node.point[axis] {
+                node.left
+            } else {
+                node.right
+            };
+            depth += 1;
+        }
+        false
+    }
+
+    /// Purges dead nodes by re-inserting the survivors in insertion order —
+    /// arena order *is* insertion order, so the rebuilt tree is exactly the
+    /// tree an append-only run over the survivors would have produced
+    /// (deterministic across windowed and rebuilt-from-scratch monitors).
+    fn rebuild(&mut self) {
+        let old = std::mem::take(&mut self.nodes);
+        self.root = None;
+        self.dead = 0;
+        self.nodes.reserve(old.iter().filter(|n| !n.dead).count());
+        for node in old {
+            if !node.dead {
+                self.insert_canonical(node.id, node.point);
+            }
+        }
+    }
+
     /// Returns the ids of all indexed tuples whose canonical measures are
     /// greater than or equal to `query`'s on **every** attribute of
     /// `subspace` — the candidate dominators of `query` in that subspace.
@@ -129,7 +198,7 @@ impl KdTree {
         out: &mut Vec<TupleId>,
     ) {
         let node = &self.nodes[node_index as usize];
-        let satisfies = subspace.indices().all(|i| node.point[i] >= query[i]);
+        let satisfies = !node.dead && subspace.indices().all(|i| node.point[i] >= query[i]);
         if satisfies {
             out.push(node.id);
         }
@@ -190,6 +259,28 @@ impl sitfact_core::Audit for KdTree {
                     "{} directions for {} axes",
                     self.directions.len(),
                     self.dims
+                ),
+            );
+        }
+        let flagged = self.nodes.iter().filter(|n| n.dead).count();
+        if flagged != self.dead {
+            return fail(
+                "dead-counter",
+                format!(
+                    "{flagged} nodes carry the dead flag but the counter says {}",
+                    self.dead
+                ),
+            );
+        }
+        // `remove` rebuilds the moment the dead fraction reaches ½, so a
+        // tree at rest always keeps a live majority.
+        if self.dead > 0 && 2 * self.dead >= self.nodes.len() {
+            return fail(
+                "dead-threshold",
+                format!(
+                    "{} of {} nodes are dead — the ½ rebuild threshold should have fired",
+                    self.dead,
+                    self.nodes.len()
                 ),
             );
         }
@@ -400,5 +491,81 @@ mod tests {
             tree.insert(i, tuple(&[i as f64, 1.0]));
         }
         assert!(tree.approx_heap_bytes() > empty);
+    }
+
+    #[test]
+    fn remove_hides_points_and_rebuild_purges_them() {
+        let dirs = higher(2);
+        let mut tree = KdTree::new(&dirs);
+        let points: Vec<Tuple> = (0..8).map(|i| tuple(&[i as f64, (8 - i) as f64])).collect();
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(i as TupleId, p);
+        }
+        // Removing an id whose measures don't match, or twice, fails.
+        assert!(!tree.remove(3, tuple(&[99.0, 99.0])));
+        assert!(tree.remove(3, &points[3]));
+        assert!(!tree.remove(3, &points[3]));
+        assert_eq!(tree.len(), 7);
+        assert_eq!(tree.dead_len(), 1);
+        let found = tree.candidates_at_least(tuple(&[0.0, 0.0]), SubspaceMask::full(2));
+        assert!(!found.contains(&3), "dead ids must not be reported");
+        assert_eq!(found.len(), 7);
+        tree.audit().unwrap();
+        // Delete up to the ½ threshold: the rebuild purges the arena.
+        for i in [0u32, 1, 2] {
+            assert!(tree.remove(i, &points[i as usize]));
+        }
+        assert_eq!(tree.dead_len(), 0, "threshold rebuild must have fired");
+        assert_eq!(tree.len(), 4);
+        let mut rest = tree.candidates_at_least(tuple(&[0.0, 0.0]), SubspaceMask::full(2));
+        rest.sort_unstable();
+        assert_eq!(rest, vec![4, 5, 6, 7]);
+        tree.audit().unwrap();
+    }
+
+    #[test]
+    fn rebuild_matches_an_append_only_tree_over_the_survivors() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        let dirs = higher(3);
+        let mut tree = KdTree::new(&dirs);
+        let mut points = Vec::new();
+        for i in 0..120u32 {
+            let t = tuple(&[
+                rng.gen_range(0..15) as f64,
+                rng.gen_range(0..15) as f64,
+                rng.gen_range(0..15) as f64,
+            ]);
+            tree.insert(i, &t);
+            points.push((i, t));
+        }
+        // Retract a prefix, as the windowed monitors do.
+        for (id, t) in &points[..70] {
+            assert!(tree.remove(*id, t));
+        }
+        let mut fresh = KdTree::new(&dirs);
+        for (id, t) in &points[70..] {
+            fresh.insert(*id, t);
+        }
+        assert_eq!(tree.len(), fresh.len());
+        for _ in 0..25 {
+            let q = tuple(&[
+                rng.gen_range(0..15) as f64,
+                rng.gen_range(0..15) as f64,
+                rng.gen_range(0..15) as f64,
+            ]);
+            for mask in [0b111u32, 0b011, 0b100] {
+                let subspace = SubspaceMask(mask);
+                let mut a = tree.candidates_at_least(&q, subspace);
+                let mut b = fresh.candidates_at_least(&q, subspace);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b);
+                let expected = reference(&points[70..], &q, subspace, &dirs);
+                assert_eq!(a, expected);
+            }
+        }
+        tree.audit().unwrap();
+        fresh.audit().unwrap();
     }
 }

@@ -100,10 +100,16 @@ pub struct CompressedPostings {
     data: Vec<u32>,
     /// One skip entry per sealed block, maxima strictly ascending.
     blocks: Vec<BlockMeta>,
-    /// Total ids stored (sealed + tail).
+    /// Total ids stored (sealed + tail), dead ids included.
     len: u32,
     /// Arena index where the raw tail begins (= end of the packed region).
     tail_start: u32,
+    /// Ids logically deleted by [`Table::retract_prefix`](crate::Table::retract_prefix)
+    /// but still physically encoded. Retraction is prefix-only, so the dead
+    /// ids are exactly the stored ids below the table's watermark; readers
+    /// skip them by seeking to the watermark, and the list is rebuilt without
+    /// them once the dead fraction crosses the lazy-deletion threshold.
+    dead: u32,
 }
 
 impl CompressedPostings {
@@ -122,14 +128,53 @@ impl CompressedPostings {
         }
     }
 
-    /// Number of ids stored.
+    /// Number of ids stored, dead ids included.
     pub fn len(&self) -> usize {
         self.len as usize
     }
 
-    /// Whether the list holds no ids.
+    /// Whether the list holds no ids (dead or alive).
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Number of ids logically deleted but still physically encoded.
+    pub fn dead_len(&self) -> usize {
+        self.dead as usize
+    }
+
+    /// Number of live (non-retracted) ids.
+    pub fn live_len(&self) -> usize {
+        (self.len - self.dead) as usize
+    }
+
+    /// Marks one stored id as dead. Retraction is prefix-only, so the caller
+    /// (the table, while advancing its watermark) identifies the id by
+    /// position in the stream, not by value — the list only counts.
+    pub(crate) fn mark_dead(&mut self) {
+        self.dead += 1;
+        debug_assert!(self.dead <= self.len);
+    }
+
+    /// Whether the dead fraction has crossed the lazy-deletion threshold
+    /// (half the stored ids) and the list should be rebuilt without them.
+    pub(crate) fn should_rebuild(&self) -> bool {
+        self.dead > 0 && 2 * self.dead >= self.len
+    }
+
+    /// Rebuilds the list from its ids `>= watermark`, dropping every dead id.
+    /// Retraction is prefix-only, so the surviving ids are exactly those at
+    /// or above the table's watermark; the rebuilt representation is a pure
+    /// function of that suffix (fresh sealing cadence, empty tail history).
+    pub(crate) fn rebuild_below(&mut self, watermark: TupleId) {
+        let mut rebuilt = CompressedPostings::with_capacity(self.live_len());
+        let mut cursor = self.cursor();
+        if cursor.seek(watermark).is_some() {
+            for id in cursor {
+                rebuilt.push(id);
+            }
+        }
+        *self = rebuilt;
     }
 
     /// Number of sealed blocks.
@@ -273,6 +318,7 @@ impl CompressedPostings {
     pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
         crate::wal::put_u32(out, self.len);
         crate::wal::put_u32(out, self.tail_start);
+        crate::wal::put_u32(out, self.dead);
         crate::wal::put_u32(out, self.blocks.len() as u32);
         for meta in &self.blocks {
             // Copy the packed fields out before taking references.
@@ -297,6 +343,10 @@ impl CompressedPostings {
         let corrupt = |detail: String| SitFactError::Parse(format!("posting snapshot: {detail}"));
         let len = cur.get_u32()?;
         let tail_start = cur.get_u32()?;
+        let dead = cur.get_u32()?;
+        if dead > len {
+            return Err(corrupt(format!("{dead} dead ids out of {len} stored")));
+        }
         let nblocks = cur.get_count(10, "posting block")?;
         let mut blocks = Vec::with_capacity(nblocks);
         let mut expected_offset = 0u32;
@@ -369,6 +419,7 @@ impl CompressedPostings {
             blocks,
             len,
             tail_start,
+            dead,
         })
     }
 
@@ -784,6 +835,12 @@ impl sitfact_core::Audit for CompressedPostings {
                 ),
             );
         }
+        if self.dead > self.len {
+            return fail(
+                "dead-bounded",
+                format!("{} dead ids out of {} stored", self.dead, self.len),
+            );
+        }
 
         // Decode roundtrip: every block must yield its claimed count of
         // strictly ascending ids, agree with its skip entry and chain past
@@ -1033,6 +1090,37 @@ mod tests {
         let mut list = filled(0..300);
         list.len += 1;
         assert!(list.check().is_err());
+    }
+
+    #[test]
+    fn lazy_deletion_counts_and_rebuilds() {
+        let mut list = filled(0..300);
+        for _ in 0..100 {
+            list.mark_dead();
+        }
+        assert_eq!(
+            (list.len(), list.dead_len(), list.live_len()),
+            (300, 100, 200)
+        );
+        assert!(!list.should_rebuild());
+        for _ in 0..50 {
+            list.mark_dead();
+        }
+        assert!(list.should_rebuild());
+        list.rebuild_below(150);
+        assert_eq!(
+            (list.len(), list.dead_len(), list.live_len()),
+            (150, 0, 150)
+        );
+        assert!(list.iter().eq(150..300));
+        list.check().unwrap();
+        // Appends continue past a rebuild.
+        list.push(400);
+        assert_eq!(list.live_len(), 151);
+        // A watermark past the end empties the list.
+        list.rebuild_below(1000);
+        assert!(list.is_empty());
+        list.check().unwrap();
     }
 
     #[test]

@@ -39,23 +39,42 @@ pub(crate) type PostingMap = FxHashMap<DimValueId, CompressedPostings>;
 /// pre-sizing each posting map for one entry per row would waste memory.
 const POSTING_MAP_HINT_CAP: usize = 1 << 10;
 
-/// An append-only table of tuples under a fixed [`Schema`], stored as flat
-/// columns plus per-dimension posting lists.
+/// An append-at-the-end table of tuples under a fixed [`Schema`], stored as
+/// flat columns plus per-dimension posting lists.
 ///
 /// The table owns the schema (and therefore the dimension dictionaries), so
 /// raw string records can be ingested with [`Table::append_raw`]; already
 /// encoded tuples are appended with [`Table::append`]. Tuples are never
-/// updated or deleted — the paper's model is an ever-growing relation whose
-/// appends correspond to real-world events.
+/// updated — the paper's model is an ever-growing relation whose appends
+/// correspond to real-world events — but sliding-window workloads may
+/// *retract* the oldest rows with [`Table::retract_prefix`]: expired rows are
+/// tombstoned (a bitmap over the physical columns plus a lazy dead counter
+/// per posting list) and physically dropped by
+/// [`Table::compact_retracted`]. Tuple ids stay stable for the table's whole
+/// life; [`Table::len`] keeps counting every id ever assigned, while
+/// [`Table::live_rows`] counts the surviving suffix.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     n_dims: usize,
     n_measures: usize,
+    /// Total ids ever assigned (`next_id`), retracted rows included — ids are
+    /// stable, so this never decreases.
     len: usize,
-    /// All dimension values, row-major (`len * n_dims` entries).
+    /// Rows physically removed from the front of the columns. The physical
+    /// row of tuple `id` is `id - evicted`.
+    evicted: usize,
+    /// Lowest live id. Retraction is prefix-only, so ids in
+    /// `[evicted, watermark)` are tombstoned but still physically present
+    /// (readable during skyline repair) until [`Table::compact_retracted`].
+    watermark: usize,
+    /// Tombstone bitmap over physical rows: bit `k` set means row
+    /// `evicted + k` is retracted. Lazily allocated on first retraction and
+    /// cleared by compaction, so an append-only table pays zero bytes.
+    tombstones: Vec<u64>,
+    /// All dimension values, row-major (`(len - evicted) * n_dims` entries).
     dims: Vec<DimValueId>,
-    /// All measure values, row-major (`len * n_measures` entries).
+    /// All measure values, row-major (`(len - evicted) * n_measures` entries).
     measures: Vec<f64>,
     /// One posting map per dimension attribute.
     postings: Vec<PostingMap>,
@@ -65,6 +84,20 @@ impl Table {
     /// Creates an empty table.
     pub fn new(schema: Schema) -> Self {
         Self::with_capacity(schema, 0)
+    }
+
+    /// Creates an empty table whose next id is `base` — as if `base` rows had
+    /// arrived, been retracted and been compacted away already. This is the
+    /// reference construction behind the `windowed ≡ rebuild-from-scratch`
+    /// property: a fresh monitor over `with_base(schema, watermark)` fed only
+    /// the surviving suffix assigns the survivors the ids they already hold
+    /// in the windowed table, so reports can be compared byte for byte.
+    pub fn with_base(schema: Schema, base: TupleId) -> Self {
+        let mut table = Self::with_capacity(schema, 0);
+        table.len = base as usize;
+        table.evicted = base as usize;
+        table.watermark = base as usize;
+        table
     }
 
     /// Creates an empty table with pre-allocated capacity (in rows).
@@ -86,6 +119,9 @@ impl Table {
             n_dims,
             n_measures,
             len: 0,
+            evicted: 0,
+            watermark: 0,
+            tombstones: Vec::new(),
             dims: Vec::with_capacity(capacity * n_dims),
             measures: Vec::with_capacity(capacity * n_measures),
             postings: vec![
@@ -106,12 +142,14 @@ impl Table {
         &mut self.schema
     }
 
-    /// Number of tuples currently stored.
+    /// Number of tuple ids ever assigned, retracted rows included. Ids are
+    /// stable across retraction, so this is also the id the next append
+    /// receives — the live population is [`Table::live_rows`].
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Whether the table is empty.
+    /// Whether the table has never stored a tuple.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -119,6 +157,118 @@ impl Table {
     /// The id that the *next* appended tuple will receive.
     pub fn next_id(&self) -> TupleId {
         self.len as TupleId
+    }
+
+    /// Number of live (non-retracted) rows.
+    pub fn live_rows(&self) -> usize {
+        self.len - self.watermark
+    }
+
+    /// The lowest live id: every id below it has been retracted. Equals 0
+    /// until the first [`Table::retract_prefix`].
+    pub fn watermark(&self) -> TupleId {
+        self.watermark as TupleId
+    }
+
+    /// Rows retracted *and* physically dropped by
+    /// [`Table::compact_retracted`].
+    pub fn evicted_rows(&self) -> usize {
+        self.evicted
+    }
+
+    /// Rows tombstoned but not yet physically compacted (the
+    /// `[evicted, watermark)` id range).
+    pub fn tombstone_rows(&self) -> usize {
+        self.watermark - self.evicted
+    }
+
+    /// Whether `id` names a live (assigned and not retracted) row.
+    pub fn is_live(&self, id: TupleId) -> bool {
+        let id = id as usize;
+        id >= self.watermark && id < self.len
+    }
+
+    /// Retracts every row with id below `up_to` (clamped to the table
+    /// length): the expired prefix of a sliding window. Idempotent — ids
+    /// already retracted stay retracted — and returns how many rows this
+    /// call newly tombstoned.
+    ///
+    /// Tombstoned rows disappear from [`Table::get`], [`Table::iter`],
+    /// [`Table::context`] and [`Table::context_scan`] immediately, but stay
+    /// readable through [`Table::tuple`] until [`Table::compact_retracted`]
+    /// physically drops them — skyline repair needs the expired points'
+    /// coordinates while it re-promotes their dominated regions. Each posting
+    /// list tracks its dead ids lazily and is rebuilt without them once they
+    /// reach half the list ([`CompressedPostings::live_len`] /
+    /// `should_rebuild`); fully-dead lists are removed outright.
+    pub fn retract_prefix(&mut self, up_to: usize) -> usize {
+        let new_watermark = up_to.min(self.len);
+        if new_watermark <= self.watermark {
+            return 0;
+        }
+        let newly = new_watermark - self.watermark;
+        // Mark the tombstone bitmap for the newly dead physical rows.
+        let dead_rows = new_watermark - self.evicted;
+        self.tombstones.resize(dead_rows.div_ceil(64), 0);
+        for row in (self.watermark - self.evicted)..dead_rows {
+            self.tombstones[row / 64] |= 1u64 << (row % 64);
+        }
+        // Count the dead ids into their posting lists (one bump per
+        // occurrence; a value appears at most once per row per attribute).
+        for id in self.watermark..new_watermark {
+            let row = id - self.evicted;
+            for attr in 0..self.n_dims {
+                let value = self.dims[row * self.n_dims + attr];
+                if let Some(list) = self.postings[attr].get_mut(&value) {
+                    list.mark_dead();
+                }
+            }
+        }
+        self.watermark = new_watermark;
+        // Lazy-deletion maintenance: drop fully-dead lists, rebuild lists
+        // whose dead fraction crossed the threshold. Done after all marks so
+        // a rebuild never races the counting above.
+        let watermark = self.watermark as TupleId;
+        for map in &mut self.postings {
+            map.retain(|_, list| {
+                if list.live_len() == 0 {
+                    return false;
+                }
+                if list.should_rebuild() {
+                    list.rebuild_below(watermark);
+                }
+                true
+            });
+        }
+        newly
+    }
+
+    /// Physically drops the tombstoned prefix from the flat columns and
+    /// clears the bitmap, reclaiming the memory [`Table::retract_prefix`]
+    /// only marked. Returns the number of rows dropped. Ids below the
+    /// watermark stop being readable even through [`Table::tuple`], so
+    /// callers must finish any retraction repair first.
+    pub fn compact_retracted(&mut self) -> usize {
+        let dead = self.watermark - self.evicted;
+        if dead == 0 {
+            return 0;
+        }
+        self.dims.drain(..dead * self.n_dims);
+        self.measures.drain(..dead * self.n_measures);
+        self.evicted = self.watermark;
+        self.tombstones = Vec::new();
+        // Lists below the lazy-deletion threshold may still carry ids of the
+        // rows just dropped; those ids now point below `evicted`, so force
+        // the rebuild the threshold deferred.
+        let watermark = self.watermark as TupleId;
+        for map in &mut self.postings {
+            for list in map.values_mut() {
+                if list.dead_len() > 0 {
+                    list.rebuild_below(watermark);
+                }
+            }
+        }
+        dead
     }
 
     /// Appends an already-encoded tuple after validating it against the
@@ -305,26 +455,30 @@ impl Table {
         id
     }
 
-    /// A zero-copy view of the row with the given id, if it exists.
+    /// A zero-copy view of the *live* row with the given id, if it exists.
+    /// Retracted ids return `None`, exactly like ids never assigned.
     pub fn get(&self, id: TupleId) -> Option<TupleRef<'_>> {
-        let row = id as usize;
-        if row < self.len {
-            Some(self.row(row))
+        if self.is_live(id) {
+            Some(self.view_of(id))
         } else {
             None
         }
     }
 
-    /// A zero-copy view of the row with the given id; panics when out of
-    /// range.
+    /// A zero-copy view of the row with the given id; panics when the row is
+    /// not physically present. Unlike [`Table::get`] this still reads
+    /// tombstoned rows (ids in `[evicted, watermark)`) — retraction repair
+    /// needs the expired points' coordinates until
+    /// [`Table::compact_retracted`] drops them.
     pub fn tuple(&self, id: TupleId) -> TupleRef<'_> {
-        let row = id as usize;
+        let id = id as usize;
         assert!(
-            row < self.len,
-            "tuple id {id} out of range (len {})",
+            id >= self.evicted && id < self.len,
+            "tuple id {id} not physically present (evicted {}, len {})",
+            self.evicted,
             self.len
         );
-        self.row(row)
+        self.row(id - self.evicted)
     }
 
     #[inline]
@@ -335,10 +489,17 @@ impl Table {
         )
     }
 
-    /// Iterates `(id, tuple)` pairs in arrival order. The iterator knows its
-    /// exact length, so collecting all rows allocates once.
+    /// View of the row holding tuple `id`, which must be physically present.
+    #[inline]
+    fn view_of(&self, id: TupleId) -> TupleRef<'_> {
+        self.row(id as usize - self.evicted)
+    }
+
+    /// Iterates `(id, tuple)` pairs of the *live* rows in arrival order. The
+    /// iterator knows its exact length, so collecting all rows allocates
+    /// once.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (TupleId, TupleRef<'_>)> {
-        (0..self.len).map(|row| (row as TupleId, self.row(row)))
+        (self.watermark..self.len).map(|id| (id as TupleId, self.view_of(id as TupleId)))
     }
 
     /// Iterates only the tuples that satisfy `constraint` — the context
@@ -369,14 +530,28 @@ impl Table {
             return ContextIter::all(self);
         }
         // Driving the intersection from the shortest list bounds the number
-        // of candidates by the most selective bound value.
-        lists.sort_unstable_by_key(|l| l.len());
+        // of candidates by the most selective bound value. Dead ids are a
+        // prefix (retraction is prefix-only), so seeking every cursor to the
+        // watermark once skips all tombstones without per-id filtering —
+        // `seek` peeks, leaving the first live id ready for `next`.
+        lists.sort_unstable_by_key(|l| l.live_len());
+        let watermark = self.watermark as TupleId;
+        let cursor_at_watermark = |list: &'a CompressedPostings| {
+            let mut cursor = list.cursor();
+            if watermark > 0 {
+                cursor.seek(watermark);
+            }
+            cursor
+        };
         let state = if lists.len() == 1 {
-            ContextState::Single(lists[0].cursor())
+            ContextState::Single {
+                cursor: cursor_at_watermark(lists[0]),
+                remaining: lists[0].live_len(),
+            }
         } else {
             ContextState::Gallop {
-                driver: lists[0].cursor(),
-                others: lists[1..].iter().map(|l| l.cursor()).collect(),
+                driver: cursor_at_watermark(lists[0]),
+                others: lists[1..].iter().map(|l| cursor_at_watermark(l)).collect(),
             }
         };
         ContextIter { table: self, state }
@@ -419,11 +594,11 @@ impl Table {
                 .postings
                 .get(attr)
                 .and_then(|p| p.get(&value))
-                .map_or(0, CompressedPostings::len);
+                .map_or(0, CompressedPostings::live_len);
             bound = bound.min(len);
         }
         if bound == usize::MAX {
-            self.len
+            self.live_rows()
         } else {
             bound
         }
@@ -474,16 +649,19 @@ impl Table {
     /// experiment (Fig. 10a).
     ///
     /// Derived entirely from `size_of` so the estimate tracks the layout:
-    /// * the dimension column holds `len * n_dims` value ids;
-    /// * the measure column holds `len * n_measures` floats;
+    /// * the dimension column holds `(len - evicted) * n_dims` value ids;
+    /// * the measure column holds `(len - evicted) * n_measures` floats;
+    /// * the tombstone bitmap holds one `u64` word per 64 physical dead rows
+    ///   (zero until the first retraction);
     /// * every posting list is accounted at its compressed footprint — arena
     ///   words plus skip entries ([`CompressedPostings::approx_heap_bytes`]);
     /// * each distinct `(dimension, value)` pair costs one map entry (key +
     ///   [`CompressedPostings`] header).
     pub fn approx_heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        let columns = self.len * self.n_dims * size_of::<DimValueId>()
-            + self.len * self.n_measures * size_of::<f64>();
+        let physical = self.len - self.evicted;
+        let columns = physical * self.n_dims * size_of::<DimValueId>()
+            + physical * self.n_measures * size_of::<f64>();
         let posting_lists: usize = self
             .postings
             .iter()
@@ -493,16 +671,34 @@ impl Table {
         let distinct_values: usize = self.postings.iter().map(PostingMap::len).sum();
         let posting_entries =
             distinct_values * (size_of::<DimValueId>() + size_of::<CompressedPostings>());
-        columns + posting_lists + posting_entries + self.schema.approx_heap_bytes()
+        columns
+            + self.tombstones.len() * size_of::<u64>()
+            + posting_lists
+            + posting_entries
+            + self.schema.approx_heap_bytes()
     }
 
     /// Crate-internal view of the table's primary state — schema, length,
-    /// flat columns and posting maps — for the snapshot codec in
-    /// [`crate::wal`].
-    pub(crate) fn state_parts(&self) -> (&Schema, usize, &[DimValueId], &[f64], &[PostingMap]) {
+    /// retraction bounds, flat columns and posting maps — for the snapshot
+    /// codec in [`crate::wal`]. The tombstone bitmap is not part of the
+    /// state: it is a pure function of `evicted` and `watermark`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn state_parts(
+        &self,
+    ) -> (
+        &Schema,
+        usize,
+        usize,
+        usize,
+        &[DimValueId],
+        &[f64],
+        &[PostingMap],
+    ) {
         (
             &self.schema,
             self.len,
+            self.evicted,
+            self.watermark,
             &self.dims,
             &self.measures,
             &self.postings,
@@ -517,6 +713,8 @@ impl Table {
     pub(crate) fn from_state_parts(
         schema: Schema,
         len: usize,
+        evicted: usize,
+        watermark: usize,
         dims: Vec<DimValueId>,
         measures: Vec<f64>,
         postings: Vec<PostingMap>,
@@ -524,15 +722,22 @@ impl Table {
         let n_dims = schema.num_dimensions();
         let n_measures = schema.num_measures();
         let corrupt = |detail: String| SitFactError::Parse(format!("table snapshot: {detail}"));
-        if dims.len() != len * n_dims {
+        if evicted > watermark || watermark > len {
             return Err(corrupt(format!(
-                "dims column holds {} ids, want {len} × {n_dims}",
+                "retraction bounds must nest: evicted {evicted} <= watermark {watermark} <= \
+                 len {len}"
+            )));
+        }
+        let physical = len - evicted;
+        if dims.len() != physical * n_dims {
+            return Err(corrupt(format!(
+                "dims column holds {} ids, want {physical} × {n_dims}",
                 dims.len()
             )));
         }
-        if measures.len() != len * n_measures {
+        if measures.len() != physical * n_measures {
             return Err(corrupt(format!(
-                "measures column holds {} values, want {len} × {n_measures}",
+                "measures column holds {} values, want {physical} × {n_measures}",
                 measures.len()
             )));
         }
@@ -543,18 +748,29 @@ impl Table {
             )));
         }
         for (attr, map) in postings.iter().enumerate() {
-            let total: usize = map.values().map(CompressedPostings::len).sum();
-            if total != len {
+            let live: usize = map.values().map(CompressedPostings::live_len).sum();
+            if live != len - watermark {
                 return Err(corrupt(format!(
-                    "attr {attr}: posting lists hold {total} ids in total, want {len}"
+                    "attr {attr}: posting lists hold {live} live ids in total, want {}",
+                    len - watermark
                 )));
             }
+        }
+        // The tombstone bitmap is derived state: every physical row below the
+        // watermark is dead.
+        let dead_rows = watermark - evicted;
+        let mut tombstones = vec![0u64; dead_rows.div_ceil(64)];
+        for row in 0..dead_rows {
+            tombstones[row / 64] |= 1u64 << (row % 64);
         }
         Ok(Table {
             schema,
             n_dims,
             n_measures,
             len,
+            evicted,
+            watermark,
+            tombstones,
             dims,
             measures,
             postings,
@@ -585,28 +801,67 @@ impl sitfact_core::Audit for Table {
             Err(AuditViolation::new("Table", invariant, detail))
         };
 
-        // Columns are flat row-major arrays: exactly `len` strides each.
-        if self.dims.len() != self.len * self.n_dims {
+        // Retraction bounds nest and the tombstone bitmap mirrors them
+        // exactly: bit k set iff physical row k is below the watermark, with
+        // the minimal word count (empty when nothing is tombstoned, so an
+        // append-only table provably pays no bitmap bytes).
+        if self.evicted > self.watermark || self.watermark > self.len {
             return fail(
-                "column-stride",
+                "retraction-bounds",
                 format!(
-                    "dims column holds {} ids, want len × n_dims = {} × {} = {}",
-                    self.dims.len(),
-                    self.len,
-                    self.n_dims,
-                    self.len * self.n_dims
+                    "evicted {} <= watermark {} <= len {} must nest",
+                    self.evicted, self.watermark, self.len
                 ),
             );
         }
-        if self.measures.len() != self.len * self.n_measures {
+        let dead_rows = self.watermark - self.evicted;
+        if self.tombstones.len() != dead_rows.div_ceil(64) {
+            return fail(
+                "tombstone-bitmap",
+                format!(
+                    "{} bitmap words for {dead_rows} tombstoned rows, want {}",
+                    self.tombstones.len(),
+                    dead_rows.div_ceil(64)
+                ),
+            );
+        }
+        for row in 0..self.tombstones.len() * 64 {
+            let set = self.tombstones[row / 64] & (1u64 << (row % 64)) != 0;
+            if set != (row < dead_rows) {
+                return fail(
+                    "tombstone-bitmap",
+                    format!(
+                        "physical row {row}: bitmap says dead={set}, watermark says \
+                         dead={}",
+                        row < dead_rows
+                    ),
+                );
+            }
+        }
+        // Columns are flat row-major arrays: exactly one stride per
+        // physically present row.
+        let physical = self.len - self.evicted;
+        if self.dims.len() != physical * self.n_dims {
             return fail(
                 "column-stride",
                 format!(
-                    "measures column holds {} values, want len × n_measures = {} × {} = {}",
+                    "dims column holds {} ids, want physical × n_dims = {} × {} = {}",
+                    self.dims.len(),
+                    physical,
+                    self.n_dims,
+                    physical * self.n_dims
+                ),
+            );
+        }
+        if self.measures.len() != physical * self.n_measures {
+            return fail(
+                "column-stride",
+                format!(
+                    "measures column holds {} values, want physical × n_measures = {} × {} = {}",
                     self.measures.len(),
-                    self.len,
+                    physical,
                     self.n_measures,
-                    self.len * self.n_measures
+                    physical * self.n_measures
                 ),
             );
         }
@@ -634,12 +889,17 @@ impl sitfact_core::Audit for Table {
             );
         }
         for (attr, map) in self.postings.iter().enumerate() {
-            let mut total = 0usize;
+            let mut live_total = 0usize;
             for (&value, list) in map {
-                if list.is_empty() {
+                // Fully-dead lists are removed by the retraction maintenance
+                // pass, so every surviving list carries at least one live id.
+                if list.live_len() == 0 {
                     return fail(
                         "posting-list-nonempty",
-                        format!("attr {attr} value {value} maps to an empty posting list"),
+                        format!(
+                            "attr {attr} value {value} maps to a posting list with no \
+                             live ids"
+                        ),
                     );
                 }
                 // Delegate the compressed-layout invariants (block chaining,
@@ -651,21 +911,29 @@ impl sitfact_core::Audit for Table {
                         format!("attr {attr} value {value}: {}", inner.explain()),
                     );
                 }
-                // Every decoded id must exist and carry this value in this
-                // column — combined with the per-attribute count below, the
-                // column is exactly reconstructible from the posting lists.
+                // Every decoded id must be physically present and carry this
+                // value in its column — combined with the per-attribute live
+                // count below, the live suffix of the column is exactly
+                // reconstructible from the posting lists. Dead ids below the
+                // watermark must be exactly the ones the list's lazy-deletion
+                // counter claims.
+                let mut dead_ids = 0usize;
                 for id in list.iter() {
                     let row = id as usize;
-                    if row >= self.len {
+                    if row < self.evicted || row >= self.len {
                         return fail(
                             "posting-id-in-range",
                             format!(
-                                "attr {attr} value {value}: id {id} out of range (len {})",
-                                self.len
+                                "attr {attr} value {value}: id {id} outside physical range \
+                                 [{}, {})",
+                                self.evicted, self.len
                             ),
                         );
                     }
-                    let stored = self.dims[row * self.n_dims + attr];
+                    if row < self.watermark {
+                        dead_ids += 1;
+                    }
+                    let stored = self.dims[(row - self.evicted) * self.n_dims + attr];
                     if stored != value {
                         return fail(
                             "posting-reconstructible",
@@ -676,18 +944,29 @@ impl sitfact_core::Audit for Table {
                         );
                     }
                 }
-                total += list.len();
+                if dead_ids != list.dead_len() {
+                    return fail(
+                        "posting-dead-counter",
+                        format!(
+                            "attr {attr} value {value}: {dead_ids} stored ids below \
+                             watermark {}, but the list counts {} dead",
+                            self.watermark,
+                            list.dead_len()
+                        ),
+                    );
+                }
+                live_total += list.live_len();
             }
-            // Every row appears in exactly one list per attribute (lists are
-            // duplicate-free by strict ascent, and the value check above pins
-            // each row to the single list its column names).
-            if total != self.len {
+            // Every live row appears in exactly one list per attribute (lists
+            // are duplicate-free by strict ascent, and the value check above
+            // pins each row to the single list its column names).
+            if live_total != self.len - self.watermark {
                 return fail(
                     "posting-coverage",
                     format!(
-                        "attr {attr}: posting lists hold {total} ids in total, want one per \
-                         row = {}",
-                        self.len
+                        "attr {attr}: posting lists hold {live_total} live ids in total, \
+                         want one per live row = {}",
+                        self.len - self.watermark
                     ),
                 );
             }
@@ -701,8 +980,9 @@ impl sitfact_core::Audit for Table {
             .flat_map(PostingMap::values)
             .map(CompressedPostings::approx_heap_bytes)
             .sum();
-        let expect = self.len * self.n_dims * std::mem::size_of::<DimValueId>()
-            + self.len * self.n_measures * std::mem::size_of::<f64>()
+        let expect = physical * self.n_dims * std::mem::size_of::<DimValueId>()
+            + physical * self.n_measures * std::mem::size_of::<f64>()
+            + self.tombstones.len() * std::mem::size_of::<u64>()
             + lists
             + distinct
                 * (std::mem::size_of::<DimValueId>() + std::mem::size_of::<CompressedPostings>())
@@ -750,12 +1030,17 @@ pub struct ContextIter<'a> {
 
 #[derive(Debug)]
 enum ContextState<'a> {
-    /// Top constraint: every row qualifies.
+    /// Top constraint: every live id qualifies.
     All(Range<usize>),
     /// A bound value was never observed.
     Empty,
-    /// One bound attribute: its posting list is streamed as-is.
-    Single(PostingsCursor<'a>),
+    /// One bound attribute: its posting list is streamed from the watermark
+    /// on. `remaining` counts the live ids left (the cursor's own upper
+    /// bound still includes the skipped dead prefix).
+    Single {
+        cursor: PostingsCursor<'a>,
+        remaining: usize,
+    },
     /// Galloping intersection of two or more posting lists: the shortest
     /// drives, the others (ascending by length) confirm candidates via
     /// [`PostingsCursor::seek`].
@@ -795,7 +1080,7 @@ impl<'a> ContextIter<'a> {
     fn all(table: &'a Table) -> Self {
         ContextIter {
             table,
-            state: ContextState::All(0..table.len),
+            state: ContextState::All(table.watermark..table.len),
         }
     }
 
@@ -825,7 +1110,7 @@ impl<'a> ContextIter<'a> {
     pub fn blocks_decoded(&self) -> usize {
         match &self.state {
             ContextState::All(_) | ContextState::Empty => 0,
-            ContextState::Single(cursor) => cursor.blocks_decoded(),
+            ContextState::Single { cursor, .. } => cursor.blocks_decoded(),
             ContextState::Gallop { driver, others } => {
                 driver.blocks_decoded()
                     + others
@@ -843,19 +1128,20 @@ impl<'a> Iterator for ContextIter<'a> {
     fn next(&mut self) -> Option<Self::Item> {
         match &mut self.state {
             ContextState::All(range) => {
-                let row = range.next()?;
-                Some((row as TupleId, self.table.row(row)))
+                let id = range.next()?;
+                Some((id as TupleId, self.table.view_of(id as TupleId)))
             }
             ContextState::Empty => None,
-            // Posting-list ids are in range by construction; `row` skips the
-            // public accessor's bounds assertion on the hot path.
-            ContextState::Single(cursor) => {
+            // Posting-list ids are in range by construction; `view_of` skips
+            // the public accessor's bounds assertion on the hot path.
+            ContextState::Single { cursor, remaining } => {
                 let id = cursor.next()?;
-                Some((id, self.table.row(id as usize)))
+                *remaining -= 1;
+                Some((id, self.table.view_of(id)))
             }
             ContextState::Gallop { driver, others } => {
                 let id = gallop_next(driver, others)?;
-                Some((id, self.table.row(id as usize)))
+                Some((id, self.table.view_of(id)))
             }
         }
     }
@@ -871,12 +1157,12 @@ impl<'a> Iterator for ContextIter<'a> {
     {
         let table = self.table;
         match self.state {
-            ContextState::All(range) => {
-                range.fold(init, |acc, row| f(acc, (row as TupleId, table.row(row))))
-            }
+            ContextState::All(range) => range.fold(init, |acc, id| {
+                f(acc, (id as TupleId, table.view_of(id as TupleId)))
+            }),
             ContextState::Empty => init,
-            ContextState::Single(cursor) => {
-                cursor.fold(init, |acc, id| f(acc, (id, table.row(id as usize))))
+            ContextState::Single { cursor, .. } => {
+                cursor.fold(init, |acc, id| f(acc, (id, table.view_of(id))))
             }
             ContextState::Gallop {
                 mut driver,
@@ -884,7 +1170,7 @@ impl<'a> Iterator for ContextIter<'a> {
             } => {
                 let mut acc = init;
                 while let Some(id) = gallop_next(&mut driver, &mut others) {
-                    acc = f(acc, (id, table.row(id as usize)));
+                    acc = f(acc, (id, table.view_of(id)));
                 }
                 acc
             }
@@ -904,11 +1190,11 @@ impl<'a> Iterator for ContextIter<'a> {
         match &self.state {
             ContextState::All(range) => range.size_hint(),
             ContextState::Empty => (0, Some(0)),
-            ContextState::Single(cursor) => {
-                // A single cursor only ever advances through `next`, so its
-                // upper bound is exact.
-                let remaining = cursor.remaining_upper_bound();
-                (remaining, Some(remaining))
+            ContextState::Single { remaining, .. } => {
+                // Exactly the live ids left: the construction-time watermark
+                // seek skipped the dead prefix without consuming it, so the
+                // tracked count — not the cursor's upper bound — is exact.
+                (*remaining, Some(*remaining))
             }
             ContextState::Gallop { driver, others } => {
                 let shortest = others
@@ -1343,5 +1629,166 @@ mod tests {
             it.blocks_decoded()
         );
         t.audit().unwrap();
+    }
+
+    fn windowed_table(rows: usize) -> Table {
+        let mut t = Table::new(schema());
+        for i in 0..rows {
+            t.append_raw(
+                &[
+                    &format!("p{}", i % 5),
+                    if i % 2 == 0 { "East" } else { "West" },
+                ],
+                vec![i as f64, (rows - i) as f64],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn retract_prefix_tombstones_without_reassigning_ids() {
+        let mut t = windowed_table(10);
+        assert_eq!(t.retract_prefix(4), 4);
+        assert_eq!(t.len(), 10, "len counts every id ever assigned");
+        assert_eq!(t.next_id(), 10);
+        assert_eq!(t.live_rows(), 6);
+        assert_eq!(t.watermark(), 4);
+        assert_eq!(t.evicted_rows(), 0);
+        assert_eq!(t.tombstone_rows(), 4);
+        // Dead ids disappear from lookups and iteration, but stay readable
+        // through `tuple` for retraction repair.
+        assert!(t.get(3).is_none());
+        assert!(t.get(4).is_some());
+        assert_eq!(t.tuple(3).measures()[0], 3.0);
+        let ids: Vec<TupleId> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![4, 5, 6, 7, 8, 9]);
+        // Repeating or shrinking the prefix is a no-op.
+        assert_eq!(t.retract_prefix(4), 0);
+        assert_eq!(t.retract_prefix(2), 0);
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn contexts_skip_tombstones_and_match_the_scan_oracle() {
+        let mut t = windowed_table(40);
+        t.retract_prefix(17);
+        let schema = t.schema().clone();
+        for constraint in [
+            Constraint::top(schema.num_dimensions()),
+            Constraint::parse(&schema, &[("player", "p2")]).unwrap(),
+            Constraint::parse(&schema, &[("team", "East")]).unwrap(),
+            Constraint::parse(&schema, &[("player", "p1"), ("team", "West")]).unwrap(),
+        ] {
+            let indexed: Vec<TupleId> = t.context(&constraint).map(|(id, _)| id).collect();
+            let scanned: Vec<TupleId> = t.context_scan(&constraint).map(|(id, _)| id).collect();
+            assert_eq!(indexed, scanned, "constraint {constraint:?}");
+            assert!(indexed.iter().all(|&id| id >= 17));
+            assert_eq!(t.context_cardinality(&constraint), scanned.len());
+            assert!(t.context_probe_bound(&constraint) >= scanned.len());
+        }
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn context_size_hint_is_exact_for_single_lists_after_retraction() {
+        let mut t = windowed_table(30);
+        t.retract_prefix(11);
+        let c = Constraint::parse(t.schema(), &[("team", "West")]).unwrap();
+        let it = t.context(&c);
+        let (lo, hi) = it.size_hint();
+        let n = it.count();
+        assert_eq!((lo, hi), (n, Some(n)));
+    }
+
+    #[test]
+    fn compact_reclaims_columns_and_forces_posting_rebuilds() {
+        let mut t = windowed_table(20);
+        let before = t.approx_heap_bytes();
+        t.retract_prefix(8);
+        assert_eq!(t.compact_retracted(), 8);
+        assert_eq!(t.evicted_rows(), 8);
+        assert_eq!(t.tombstone_rows(), 0);
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.live_rows(), 12);
+        assert!(
+            t.approx_heap_bytes() < before,
+            "compaction must reclaim column memory"
+        );
+        // Every surviving posting id is physically present and live.
+        for attr in 0..t.schema().num_dimensions() {
+            for (_, list) in t.postings[attr].iter() {
+                assert_eq!(list.dead_len(), 0, "compaction leaves no lazy dead ids");
+                assert!(list.iter().all(|id| id >= 8));
+            }
+        }
+        // Ids below the eviction horizon are gone for good; appends continue
+        // from the monotone id space.
+        assert!(t.get(7).is_none());
+        let id = t.append_raw(&["p0", "East"], vec![99.0, 1.0]).unwrap();
+        assert_eq!(id, 20);
+        assert!(t.is_live(20));
+        assert_eq!(t.compact_retracted(), 0);
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn fully_dead_posting_lists_are_removed_on_retraction() {
+        let mut t = Table::new(schema());
+        t.append_raw(&["gone", "East"], vec![1.0, 1.0]).unwrap();
+        t.append_raw(&["kept", "East"], vec![2.0, 2.0]).unwrap();
+        let gone = t.schema().dictionary(0).lookup("gone").unwrap();
+        assert!(t.posting_list(0, gone).is_some());
+        t.retract_prefix(1);
+        assert!(
+            t.posting_list(0, gone).is_none(),
+            "a list with no live ids must leave the posting map"
+        );
+        let c = Constraint::parse(t.schema(), &[("player", "gone")]).unwrap();
+        assert_eq!(t.context(&c).count(), 0);
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn append_only_tables_pay_no_tombstone_bytes() {
+        let t = windowed_table(100);
+        assert_eq!(t.tombstones.len(), 0, "bitmap is lazily allocated");
+        let mut u = windowed_table(100);
+        u.retract_prefix(100);
+        assert_eq!(u.live_rows(), 0);
+        assert_eq!(u.tombstones.len(), 100usize.div_ceil(64));
+        u.compact_retracted();
+        assert_eq!(u.tombstones.len(), 0);
+        // Columns, bitmap and postings are all gone; only the schema (with
+        // its interned dictionaries) still occupies heap.
+        assert_eq!(u.approx_heap_bytes(), u.schema().approx_heap_bytes());
+        u.audit().unwrap();
+    }
+
+    #[test]
+    fn retraction_state_survives_the_snapshot_round_trip() {
+        let mut t = windowed_table(25);
+        t.retract_prefix(9);
+        // Leave a mix of lazily-dead and rebuilt lists, then round-trip
+        // through the snapshot parts.
+        let (schema, len, evicted, watermark, dims, measures, postings) = t.state_parts();
+        let restored = Table::from_state_parts(
+            schema.clone(),
+            len,
+            evicted,
+            watermark,
+            dims.to_vec(),
+            measures.to_vec(),
+            postings.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(restored.len(), t.len());
+        assert_eq!(restored.live_rows(), t.live_rows());
+        assert_eq!(restored.watermark(), t.watermark());
+        assert_eq!(restored.tombstone_rows(), t.tombstone_rows());
+        let a: Vec<TupleId> = t.iter().map(|(id, _)| id).collect();
+        let b: Vec<TupleId> = restored.iter().map(|(id, _)| id).collect();
+        assert_eq!(a, b);
+        restored.audit().unwrap();
     }
 }

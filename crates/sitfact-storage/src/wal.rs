@@ -370,6 +370,11 @@ pub struct WalStats {
     /// Rows durably appended to the log (the last synced id is
     /// `durable_rows - 1`).
     pub durable_rows: u64,
+    /// Closed segment files deleted by [`ArrivalLog::retire_covered`]
+    /// because a full-state snapshot covers every window they held. Counts
+    /// this process's retirements (the counter restarts at zero on reopen —
+    /// retired files are gone, so a fresh scan cannot see them).
+    pub retired_segments: u64,
 }
 
 /// What scanning an existing log directory found.
@@ -452,10 +457,22 @@ pub struct ArrivalLog {
     segment_seq: u64,
     segment_bytes: u64,
     segment_limit: u64,
-    older_bytes: u64,
-    segments: u64,
+    closed: Vec<ClosedSegment>,
+    retired: u64,
     durable_rows: u64,
     sync: SyncPolicy,
+}
+
+/// A rotated-out (no longer written) segment, remembered so snapshots can
+/// retire it once they cover every window it holds.
+#[derive(Debug, Clone, Copy)]
+struct ClosedSegment {
+    seq: u64,
+    bytes: u64,
+    /// Id one past the last row whose window ends in this segment (windows
+    /// never straddle a rotation). A snapshot covering `rows_end` rows makes
+    /// the whole segment redundant.
+    rows_end: u64,
 }
 
 impl ArrivalLog {
@@ -469,8 +486,11 @@ impl ArrivalLog {
             dropped_bytes: 0,
         };
         let segments = list_segments(dir)?;
-        let mut keep: Vec<(u64, u64)> = Vec::new(); // (seq, valid bytes)
+        let mut keep: Vec<ClosedSegment> = Vec::new();
         let mut torn = false;
+        // Retired logs no longer start at row 0: track the running
+        // high-water id from the records themselves, not a sum of lengths.
+        let mut rows_end = 0u64;
         for (seq, path) in &segments {
             let buf = std::fs::read(path)?;
             if torn {
@@ -480,7 +500,9 @@ impl ArrivalLog {
             }
             let (frames, valid_end) = scan_frames(&buf);
             for payload in frames {
-                scanned.windows.push(WindowRecord::decode(payload)?);
+                let window = WindowRecord::decode(payload)?;
+                rows_end = window.first_id + window.rows.len() as u64;
+                scanned.windows.push(window);
             }
             if valid_end != buf.len() {
                 scanned.dropped_bytes += (buf.len() - valid_end) as u64;
@@ -491,21 +513,19 @@ impl ArrivalLog {
                 file.set_len(valid_end as u64)?;
                 file.sync_data()?;
             }
-            keep.push((*seq, valid_end as u64));
+            keep.push(ClosedSegment {
+                seq: *seq,
+                bytes: valid_end as u64,
+                rows_end,
+            });
         }
-        let (segment_seq, segment_bytes) = keep.last().copied().unwrap_or((0, 0));
-        let older_bytes: u64 = keep
-            .iter()
-            .take(keep.len().saturating_sub(1))
-            .map(|&(_, bytes)| bytes)
-            .sum();
+        let (segment_seq, segment_bytes) = keep
+            .last()
+            .map(|active| (active.seq, active.bytes))
+            .unwrap_or((0, 0));
+        keep.truncate(keep.len().saturating_sub(1));
         let path = dir.join(segment_name(segment_seq));
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        let durable_rows = scanned
-            .windows
-            .iter()
-            .map(|w| w.rows.len() as u64)
-            .sum::<u64>();
         Ok((
             ArrivalLog {
                 dir: dir.to_path_buf(),
@@ -513,9 +533,9 @@ impl ArrivalLog {
                 segment_seq,
                 segment_bytes,
                 segment_limit: segment_limit.max(1),
-                older_bytes,
-                segments: keep.len().max(1) as u64,
-                durable_rows,
+                closed: keep,
+                retired: 0,
+                durable_rows: rows_end,
                 sync,
             },
             scanned,
@@ -535,19 +555,54 @@ impl ArrivalLog {
             self.file.sync_data()?;
         }
         self.segment_bytes += (FRAME_HEADER + payload.len()) as u64;
-        self.durable_rows += record.rows.len() as u64;
+        self.durable_rows = record.first_id + record.rows.len() as u64;
         Ok(())
     }
 
     fn rotate(&mut self) -> Result<()> {
         self.file.sync_data()?;
+        self.closed.push(ClosedSegment {
+            seq: self.segment_seq,
+            bytes: self.segment_bytes,
+            rows_end: self.durable_rows,
+        });
         self.segment_seq += 1;
         let path = self.dir.join(segment_name(self.segment_seq));
         self.file = OpenOptions::new().create(true).append(true).open(&path)?;
-        self.older_bytes += self.segment_bytes;
         self.segment_bytes = 0;
-        self.segments += 1;
         Ok(())
+    }
+
+    /// Deletes every *closed* segment whose windows all end at or before
+    /// `covered_rows` — the row count a committed snapshot fully captures.
+    /// The active segment is never touched, so the log keeps accepting
+    /// appends and a later [`ArrivalLog::open`] still finds a writable
+    /// tail. Returns the number of files deleted.
+    pub fn retire_covered(&mut self, covered_rows: u64) -> Result<u64> {
+        let mut kept = Vec::with_capacity(self.closed.len());
+        let mut retired = 0u64;
+        let mut failure: Option<std::io::Error> = None;
+        for segment in std::mem::take(&mut self.closed) {
+            if failure.is_none() && segment.rows_end <= covered_rows {
+                match std::fs::remove_file(self.dir.join(segment_name(segment.seq))) {
+                    Ok(()) => retired += 1,
+                    Err(err) => {
+                        // Keep the segment in the books; a later snapshot
+                        // retries the deletion.
+                        failure = Some(err);
+                        kept.push(segment);
+                    }
+                }
+            } else {
+                kept.push(segment);
+            }
+        }
+        self.closed = kept;
+        self.retired += retired;
+        match failure {
+            Some(err) => Err(err.into()),
+            None => Ok(retired),
+        }
     }
 
     /// The directory this log lives in.
@@ -558,9 +613,10 @@ impl ArrivalLog {
     /// Current counters (segments, bytes, durably appended rows).
     pub fn stats(&self) -> WalStats {
         WalStats {
-            segments: self.segments,
-            bytes: self.older_bytes + self.segment_bytes,
+            segments: self.closed.len() as u64 + 1,
+            bytes: self.closed.iter().map(|s| s.bytes).sum::<u64>() + self.segment_bytes,
             durable_rows: self.durable_rows,
+            retired_segments: self.retired,
         }
     }
 }
@@ -639,9 +695,13 @@ fn decode_schema(cur: &mut ByteCursor<'_>) -> Result<Schema> {
 /// compressed bytes) byte-identical to the never-crashed monitor's, which
 /// the serve `STATS` equality checks pin.
 pub fn encode_table(table: &Table, out: &mut Vec<u8>) {
-    let (schema, len, dims, measures, postings) = table.state_parts();
+    let (schema, len, evicted, watermark, dims, measures, postings) = table.state_parts();
     encode_schema(schema, out);
     put_u64(out, len as u64);
+    // Retraction bounds travel with the columns; the tombstone bitmap is
+    // derived from them on decode rather than serialized.
+    put_u64(out, evicted as u64);
+    put_u64(out, watermark as u64);
     for &d in dims {
         put_u32(out, d);
     }
@@ -670,7 +730,16 @@ pub fn decode_table(cur: &mut ByteCursor<'_>) -> Result<Table> {
     let n_dims = schema.num_dimensions();
     let n_measures = schema.num_measures();
     let len = cur.get_u64()? as usize;
-    let n_dim_cells = len.checked_mul(n_dims).ok_or_else(|| {
+    let evicted = cur.get_u64()? as usize;
+    let watermark = cur.get_u64()? as usize;
+    if evicted > watermark || watermark > len {
+        return Err(SitFactError::Parse(format!(
+            "retraction bounds do not nest in snapshot: evicted {evicted} <= watermark \
+             {watermark} <= len {len} violated"
+        )));
+    }
+    let physical = len - evicted;
+    let n_dim_cells = physical.checked_mul(n_dims).ok_or_else(|| {
         SitFactError::Parse(format!("implausible table length {len} in snapshot"))
     })?;
     if n_dim_cells.saturating_mul(4) > cur.remaining() {
@@ -683,8 +752,8 @@ pub fn decode_table(cur: &mut ByteCursor<'_>) -> Result<Table> {
     for _ in 0..n_dim_cells {
         dims.push(cur.get_u32()?);
     }
-    let mut measures = Vec::with_capacity(len * n_measures);
-    for _ in 0..len * n_measures {
+    let mut measures = Vec::with_capacity(physical * n_measures);
+    for _ in 0..physical * n_measures {
         measures.push(cur.get_f64()?);
     }
     let mut postings = Vec::with_capacity(n_dims);
@@ -703,7 +772,7 @@ pub fn decode_table(cur: &mut ByteCursor<'_>) -> Result<Table> {
         }
         postings.push(map);
     }
-    Table::from_state_parts(schema, len, dims, measures, postings)
+    Table::from_state_parts(schema, len, evicted, watermark, dims, measures, postings)
 }
 
 /// Encodes dumped skyline-store cells ([`StoreCell`]) in a deterministic
@@ -1004,6 +1073,41 @@ mod tests {
             !dir.join(segment_name(2)).exists(),
             "unreachable segment removed"
         );
+        drop(log);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retirement_deletes_only_covered_closed_segments() {
+        let dir = temp_dir("retire");
+        let (mut log, _) = ArrivalLog::open(&dir, SyncPolicy::Os, 16).unwrap();
+        for i in 0..4 {
+            log.append(&sample_window(i * 2, 2)).unwrap();
+        }
+        // Three closed segments (rows_end 2, 4, 6) plus the active one.
+        assert_eq!(log.stats().segments, 4);
+        // Coverage that lands mid-segment retires only the fully covered.
+        assert_eq!(log.retire_covered(5).unwrap(), 2);
+        let stats = log.stats();
+        assert_eq!(stats.segments, 2);
+        assert_eq!(stats.retired_segments, 2);
+        assert!(!dir.join(segment_name(0)).exists());
+        assert!(!dir.join(segment_name(1)).exists());
+        assert!(dir.join(segment_name(2)).exists());
+        // Idempotent at the same coverage.
+        assert_eq!(log.retire_covered(5).unwrap(), 0);
+        // The active segment survives even when fully covered.
+        assert_eq!(log.retire_covered(100).unwrap(), 1);
+        assert_eq!(log.stats().segments, 1);
+        assert_eq!(log.stats().retired_segments, 3);
+        drop(log);
+        // A retired log reopens on its surviving suffix with the high-water
+        // row count intact (ids no longer start at zero).
+        let (log, scanned) = ArrivalLog::open(&dir, SyncPolicy::Os, 16).unwrap();
+        assert_eq!(scanned.windows.len(), 1);
+        assert_eq!(scanned.windows[0].first_id, 6);
+        assert_eq!(log.stats().durable_rows, 8);
+        assert_eq!(log.stats().retired_segments, 0, "counter is per-process");
         drop(log);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -19,7 +19,7 @@ CARGO=${CARGO:-cargo}
 
 # Ordered step registry. Adding a step here without wiring it into ci.yml
 # (or vice versa) fails `parity`.
-CI_STEPS=(fmt clippy build test check-targets doc analyze quickstart fig-ingest-smoke fig-shard-smoke fig-postings-smoke fig-serve-smoke fig-wal-smoke serve-smoke wal-smoke)
+CI_STEPS=(fmt clippy build test check-targets doc analyze quickstart fig-ingest-smoke fig-shard-smoke fig-postings-smoke fig-serve-smoke fig-wal-smoke fig-window-smoke serve-smoke wal-smoke)
 
 run_step() {
   echo "==> $1"
@@ -75,6 +75,14 @@ run_step() {
       # as a WAL recovery-fidelity test (log-only and snapshot-bounded).
       $CARGO run --release -p sitfact-bench --bin fig_wal -- \
         --n 400 --batch 16 --reps 1 --out /tmp/BENCH_wal_smoke.json ;;
+    fig-window-smoke)
+      # Small window, 5x-window stream; the binary asserts windowed ≡
+      # rebuild-from-suffix (byte-identical continuation reports) and that
+      # windowed memory stays bounded past the 2x-window fill level before
+      # timing anything, so this doubles as a retraction-correctness test.
+      $CARGO run --release -p sitfact-bench --bin fig_window -- \
+        --window 120 --mult 5 --batch 8 --reps 1 \
+        --out /tmp/BENCH_window_smoke.json ;;
     serve-smoke)
       # Round-trip the TCP service front-end: start a sharded server on an
       # ephemeral port (it writes the bound address to a file), stream rows

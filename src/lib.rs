@@ -95,11 +95,11 @@ pub mod prelude {
         DiscoveryConfig, Schema, SchemaBuilder, SkylinePair, SubspaceMask, Tuple, TupleId,
         TupleRef, TupleView,
     };
-    pub use sitfact_datagen::{DataGenerator, Row};
+    pub use sitfact_datagen::{shuffle_rows, DataGenerator, Row, ShuffledReplay};
     pub use sitfact_prominence::{
         narrate, replay_log, ArrivalReport, DistributionStats, DurableMonitor, FactMonitor,
         MonitorConfig, RankedFact, RecoveryReport, ReplayOutcome, ShardedMonitor, StreamMonitor,
-        WalOptions,
+        WalOptions, WindowPolicy, WindowedMonitor,
     };
     pub use sitfact_serve::{
         Client, FactServer, RawRow, ServeError, ServeMode, ServerHandle, ServerOptions, TenantSpec,
